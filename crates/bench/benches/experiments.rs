@@ -1,0 +1,5 @@
+//! `cargo bench` entry point that regenerates every paper table and figure
+//! (quick repetition counts; run the binaries for the full series).
+fn main() {
+    lapi_bench::run_all(true);
+}

@@ -1,0 +1,87 @@
+//! Criterion wall-clock microbenchmarks of the simulator substrate —
+//! these measure the *host* cost of the reproduction (how fast the
+//! simulated SP runs on your machine), not virtual-time results; the paper
+//! artifacts come from the `experiments` bench / the experiment binaries.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use lapi::{LapiWorld, Mode};
+use spsim::{run_spmd_with, MachineConfig, SimRng, TimedQueue, VClock, VDur, VTime};
+use spswitch::Network;
+
+fn bench_clock(c: &mut Criterion) {
+    let clock = VClock::new();
+    c.bench_function("vclock_advance", |b| {
+        b.iter(|| clock.advance(VDur::from_ns(3)))
+    });
+    c.bench_function("vclock_merge", |b| {
+        b.iter(|| clock.merge(VTime::from_us(1)))
+    });
+}
+
+fn bench_rng(c: &mut Criterion) {
+    let mut rng = SimRng::new(42);
+    c.bench_function("simrng_next_u64", |b| b.iter(|| rng.next_u64()));
+}
+
+fn bench_queue(c: &mut Criterion) {
+    c.bench_function("timed_queue_push_pop", |b| {
+        let q = TimedQueue::new();
+        let clock = VClock::new();
+        b.iter(|| {
+            q.push(VTime::from_us(1), 7u64);
+            q.recv_merge(&clock).expect("open")
+        })
+    });
+}
+
+fn bench_switch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("switch");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("send_one_packet", |b| {
+        let net: Network<u64> = Network::new(2, Arc::new(MachineConfig::default()), 1);
+        let ads = net.into_adapters();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            ads[0].send_at(VTime::ZERO, 1, 1024, i);
+            ads[1].rx().try_recv().expect("open")
+        })
+    });
+    g.finish();
+}
+
+fn bench_lapi_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lapi_world");
+    g.sample_size(10);
+    g.bench_function("put_wait_4b_x20", |b| {
+        b.iter_batched(
+            || LapiWorld::init(2, MachineConfig::default(), Mode::Interrupt),
+            |ctxs| {
+                run_spmd_with(ctxs, |rank, ctx| {
+                    let buf = ctx.alloc(8);
+                    let addrs = ctx.address_init(buf);
+                    if rank == 0 {
+                        for i in 0..20u8 {
+                            ctx.put_wait(1, addrs[1], &[i; 4]).expect("put");
+                        }
+                    }
+                    ctx.gfence().expect("gfence");
+                });
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_clock,
+    bench_rng,
+    bench_queue,
+    bench_switch,
+    bench_lapi_ops
+);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Design-choice ablations; see `lapi_bench::experiments::ablation`.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("{}", lapi_bench::experiments::ablation::run(quick));
+}

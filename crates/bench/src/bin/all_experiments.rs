@@ -1,0 +1,5 @@
+//! Runs every experiment in paper order (Table 2 → Figure 4 → §5.4 apps).
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    lapi_bench::run_all(quick);
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper artifact; see `lapi_bench::experiments::fig2`.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("{}", lapi_bench::experiments::fig2::run(quick));
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper artifact; see `lapi_bench::experiments::ga_latency`.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("{}", lapi_bench::experiments::ga_latency::run(quick));
+}

@@ -1,0 +1,204 @@
+//! Ablations of the design choices the paper discusses:
+//!
+//! 1. **Vector RMC (§6 extension)** — rerun the Figure-3/4 2-D GA transfers
+//!    with the `putv`/`getv` noncontiguous interface the paper lists as
+//!    future work, quantifying the improvement it predicts ("removing the
+//!    overhead associated with multiple requests or the copy overhead").
+//! 2. **Packet-header tax (§4)** — the paper attributes LAPI's lower peak
+//!    bandwidth to its 48-byte headers and calls reducing them future
+//!    work: sweep the header size.
+//! 3. **Interrupt vs polling (§2.1)** — the cost of unilateral progress.
+//! 4. **`MP_EAGER_LIMIT` sweep (§4)** — the eager/rendezvous trade the
+//!    default 4 KB limit embodies.
+
+use std::sync::Arc;
+
+use ga::{Ga, GaBackend, GaConfig, LapiGaBackend};
+use lapi::Mode;
+use spsim::run_spmd_with;
+
+use crate::experiments::ga_bw::{bandwidth_series, ga_size_sweep, GaOp, Shape};
+use crate::report::{Measurement, Report, Series};
+use crate::worlds;
+
+/// GA world on LAPI with the §6 vector extension enabled.
+fn ga_lapi_vector(n: usize) -> Vec<Ga> {
+    worlds::lapi(n, Mode::Interrupt)
+        .into_iter()
+        .map(|ctx| {
+            Ga::new(LapiGaBackend::new(ctx, GaConfig::default().with_vector_rmc())
+                as Arc<dyn GaBackend>)
+        })
+        .collect()
+}
+
+fn vector_rmc_ablation(quick: bool, r: &mut Report) {
+    let sizes: Vec<usize> = ga_size_sweep()
+        .into_iter()
+        .filter(|&s| (4096..=1 << 20).contains(&s))
+        .collect();
+    let hybrid_put =
+        bandwidth_series("2-D put, 1998 hybrid AM", || worlds::ga_lapi(4), GaOp::Put, Shape::TwoD, &sizes, quick);
+    let vector_put =
+        bandwidth_series("2-D put, §6 vector RMC", || ga_lapi_vector(4), GaOp::Put, Shape::TwoD, &sizes, quick);
+    let hybrid_get =
+        bandwidth_series("2-D get, 1998 hybrid AM", || worlds::ga_lapi(4), GaOp::Get, Shape::TwoD, &sizes, quick);
+    let vector_get =
+        bandwidth_series("2-D get, §6 vector RMC", || ga_lapi_vector(4), GaOp::Get, Shape::TwoD, &sizes, quick);
+    let gain = |a: &Series, b: &Series, x: usize| {
+        b.y_at(x as f64).unwrap_or(0.0) / a.y_at(x as f64).unwrap_or(f64::INFINITY)
+    };
+    r.rows.push(Measurement::plain(
+        "vector/hybrid 2-D put gain at 64KB",
+        gain(&hybrid_put, &vector_put, 65536),
+        "x",
+    ));
+    r.rows.push(Measurement::plain(
+        "vector/hybrid 2-D get gain at 64KB",
+        gain(&hybrid_get, &vector_get, 65536),
+        "x",
+    ));
+    r.series.extend([hybrid_put, vector_put, hybrid_get, vector_get]);
+}
+
+fn header_tax_ablation(quick: bool, r: &mut Report) {
+    // LAPI put+wait bandwidth at 2MB under several header sizes.
+    let bw = |header: usize| {
+        let mut cfg = worlds::machine();
+        cfg.lapi_header_bytes = header;
+        let ctxs = lapi::LapiWorld::init_seeded(2, cfg, Mode::Polling, worlds::SEED);
+        let reps = if quick { 2 } else { 4 };
+        let bytes = 2 * 1024 * 1024;
+        let rates = run_spmd_with(ctxs, move |rank, ctx| {
+            let buf = ctx.alloc(bytes);
+            let tgt = ctx.new_counter();
+            let addrs = ctx.address_init(buf);
+            let remotes = ctx.counter_init(&tgt);
+            let t0 = ctx.barrier();
+            let mut rate = 0.0;
+            if rank == 0 {
+                let cmpl = ctx.new_counter();
+                let data = vec![1u8; bytes];
+                for _ in 0..reps {
+                    ctx.put(1, addrs[1], &data, Some(remotes[1]), None, Some(&cmpl))
+                        .expect("put");
+                    ctx.waitcntr(&cmpl, 1);
+                }
+                rate = (ctx.now() - t0).rate_mb_s((bytes * reps) as u64);
+            } else {
+                ctx.waitcntr(&tgt, reps as i64);
+            }
+            ctx.gfence().expect("gfence");
+            rate
+        });
+        rates[0]
+    };
+    let with_48 = bw(48);
+    let with_16 = bw(16);
+    r.rows.push(Measurement::plain(
+        "LAPI 2MB bandwidth, 48B headers (the shipped design)",
+        with_48,
+        "MB/s",
+    ));
+    r.rows.push(Measurement::plain(
+        "LAPI 2MB bandwidth, 16B headers (the §4 future work)",
+        with_16,
+        "MB/s",
+    ));
+    r.rows.push(Measurement::plain(
+        "header-tax recovery",
+        with_16 / with_48,
+        "x",
+    ));
+}
+
+fn interrupt_vs_polling(quick: bool, r: &mut Report) {
+    let one_way = |mode: Mode| {
+        let reps = if quick { 15 } else { 50 };
+        let ctxs = worlds::lapi(2, mode);
+        let times = run_spmd_with(ctxs, move |rank, ctx| {
+            let buf = ctx.alloc(4);
+            let tgt = ctx.new_counter();
+            let addrs = ctx.address_init(buf);
+            let remotes = ctx.counter_init(&tgt);
+            let mut total = 0.0;
+            for _ in 0..reps {
+                let t0 = ctx.barrier();
+                if rank == 0 {
+                    ctx.put(1, addrs[1], &[1u8; 4], Some(remotes[1]), None, None)
+                        .expect("put");
+                    ctx.fence(1).expect("fence");
+                } else {
+                    ctx.waitcntr(&tgt, 1);
+                    total += (ctx.now() - t0).as_us();
+                }
+            }
+            ctx.gfence().expect("gfence");
+            total / reps as f64
+        });
+        times[1]
+    };
+    let polling = one_way(Mode::Polling);
+    let interrupt = one_way(Mode::Interrupt);
+    r.rows.push(Measurement::plain("one-way latency, polling", polling, "us"));
+    r.rows.push(Measurement::plain("one-way latency, interrupt", interrupt, "us"));
+    r.rows.push(Measurement::plain(
+        "interrupt-mode latency penalty",
+        interrupt - polling,
+        "us",
+    ));
+}
+
+fn eager_limit_sweep(quick: bool, r: &mut Report) {
+    let mut series = Series {
+        label: "MPI 8KB-message bandwidth vs MP_EAGER_LIMIT".into(),
+        points: Vec::new(),
+    };
+    let reps = if quick { 8 } else { 30 };
+    for limit_kb in [1usize, 2, 4, 8, 16, 32, 64] {
+        let limit = limit_kb * 1024;
+        let ctxs = worlds::mpl(2, mpl::MplMode::Polling, limit);
+        let rates = run_spmd_with(ctxs, move |rank, ctx| {
+            let bytes = 8192;
+            let t0 = ctx.barrier();
+            let mut rate = 0.0;
+            if rank == 0 {
+                let data = vec![7u8; bytes];
+                for _ in 0..reps {
+                    ctx.send(1, 1, &data);
+                    let _ = ctx.recv(Some(1), Some(2));
+                }
+                rate = (ctx.now() - t0).rate_mb_s((bytes * reps) as u64);
+            } else {
+                for _ in 0..reps {
+                    let _ = ctx.recv(Some(0), Some(1));
+                    ctx.send(0, 2, &[]);
+                }
+            }
+            ctx.barrier();
+            rate
+        });
+        series.points.push((limit as f64, rates[0]));
+    }
+    // the kink: 8KB messages go rendezvous below an 8KB limit
+    let below = series.points[1].1; // limit 2KB → rendezvous
+    let above = series.points[4].1; // limit 16KB → eager
+    r.rows.push(Measurement::plain(
+        "eager/rendezvous bandwidth ratio for 8KB messages",
+        above / below,
+        "x",
+    ));
+    r.series.push(series);
+}
+
+/// Run the ablation suite.
+pub fn run(quick: bool) -> Report {
+    let mut r = Report::new("ablation", "Design-choice ablations (§2.1, §4, §6)");
+    vector_rmc_ablation(quick, &mut r);
+    header_tax_ablation(quick, &mut r);
+    interrupt_vs_polling(quick, &mut r);
+    eager_limit_sweep(quick, &mut r);
+    r.note("vector RMC = the paper's §6 noncontiguous-interface future work, implemented");
+    r.note("header tax = the paper's §4 'reducing the packet header size' future work");
+    r
+}

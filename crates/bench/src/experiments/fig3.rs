@@ -1,0 +1,52 @@
+//! Figure 3: performance of GA *put* under LAPI and MPL.
+//!
+//! Four curves (LAPI/MPL × 1-D/2-D), 8 B – 2 MB. Paper landmarks:
+//! * MPL's larger buffer space lets its put return sooner for requests
+//!   between ≈1 KB and ≈20 KB (the send is non-blocking);
+//! * for larger requests sender-side buffering is impossible and the LAPI
+//!   implementation is faster;
+//! * GA's 1-D put reaches within ~6 % of raw `LAPI_Put` bandwidth (direct
+//!   RMC, no copies), while 2-D requests switch to per-column `LAPI_Put`
+//!   around 0.5 MB;
+//! * the MPL implementation performs identically for 1-D and 2-D (the
+//!   sender copy cannot be avoided either way).
+
+use crate::experiments::ga_bw::{bandwidth_series, ga_size_sweep, GaOp, Shape};
+use crate::report::{Measurement, Report};
+use crate::worlds;
+
+/// Run the Figure 3 reproduction.
+pub fn run(quick: bool) -> Report {
+    let sizes = ga_size_sweep();
+    let lapi_1d = bandwidth_series("GA put LAPI 1-D", || worlds::ga_lapi(4), GaOp::Put, Shape::OneD, &sizes, quick);
+    let lapi_2d = bandwidth_series("GA put LAPI 2-D", || worlds::ga_lapi(4), GaOp::Put, Shape::TwoD, &sizes, quick);
+    let mpl_1d = bandwidth_series("GA put MPL 1-D", || worlds::ga_mpl(4), GaOp::Put, Shape::OneD, &sizes, quick);
+    let mpl_2d = bandwidth_series("GA put MPL 2-D", || worlds::ga_mpl(4), GaOp::Put, Shape::TwoD, &sizes, quick);
+
+    let mut r = Report::new("fig3", "GA put bandwidth under LAPI and MPL (Figure 3)");
+    // Paper landmark checks, reported as measurements:
+    let at = |s: &crate::report::Series, x: usize| s.y_at(x as f64).unwrap_or(0.0);
+    r.rows.push(Measurement::plain(
+        "MPL/LAPI 1-D put ratio at 8KB (paper: MPL ahead 1-20KB)",
+        at(&mpl_1d, 8192) / at(&lapi_1d, 8192).max(1e-9),
+        "x",
+    ));
+    r.rows.push(Measurement::plain(
+        "LAPI/MPL 1-D put ratio at 1MB (paper: LAPI ahead when large)",
+        at(&lapi_1d, 1 << 20) / at(&mpl_1d, 1 << 20).max(1e-9),
+        "x",
+    ));
+    r.rows.push(Measurement::plain(
+        "LAPI 1-D put peak bandwidth",
+        lapi_1d.peak(),
+        "MB/s",
+    ));
+    r.rows.push(Measurement::plain(
+        "MPL 1-D vs 2-D peak ratio (paper: identical)",
+        mpl_1d.peak() / mpl_2d.peak().max(1e-9),
+        "x",
+    ));
+    r.series = vec![lapi_1d, lapi_2d, mpl_1d, mpl_2d];
+    r.note("4 nodes, round-robin remote targets, fresh patches; put timed to call return");
+    r
+}

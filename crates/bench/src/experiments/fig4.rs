@@ -1,0 +1,61 @@
+//! Figure 4: performance of GA *get* under LAPI and MPL.
+//!
+//! Same setup as Figure 3 but for the blocking get. Paper landmarks:
+//! * LAPI outperforms MPL for **all** cases (each MPL request pays the
+//!   rcvncall context plus reply copies);
+//! * both implementations do better for 1-D than 2-D requests;
+//! * the LAPI 1-D path uses `LAPI_Get` directly, avoiding two copies; the
+//!   2-D path switches to per-column `LAPI_Get` around 0.5 MB.
+
+use crate::experiments::ga_bw::{bandwidth_series, ga_size_sweep, GaOp, Shape};
+use crate::report::{Measurement, Report};
+use crate::worlds;
+
+/// Run the Figure 4 reproduction.
+pub fn run(quick: bool) -> Report {
+    let sizes = ga_size_sweep();
+    let lapi_1d = bandwidth_series("GA get LAPI 1-D", || worlds::ga_lapi(4), GaOp::Get, Shape::OneD, &sizes, quick);
+    let lapi_2d = bandwidth_series("GA get LAPI 2-D", || worlds::ga_lapi(4), GaOp::Get, Shape::TwoD, &sizes, quick);
+    let mpl_1d = bandwidth_series("GA get MPL 1-D", || worlds::ga_mpl(4), GaOp::Get, Shape::OneD, &sizes, quick);
+    let mpl_2d = bandwidth_series("GA get MPL 2-D", || worlds::ga_mpl(4), GaOp::Get, Shape::TwoD, &sizes, quick);
+
+    let mut r = Report::new("fig4", "GA get bandwidth under LAPI and MPL (Figure 4)");
+    // LAPI should win at every point of both shapes.
+    let mut lapi_wins = 0usize;
+    let mut total = 0usize;
+    for (l, m) in lapi_1d.points.iter().zip(&mpl_1d.points) {
+        total += 1;
+        if l.1 >= m.1 {
+            lapi_wins += 1;
+        }
+    }
+    for (l, m) in lapi_2d.points.iter().zip(&mpl_2d.points) {
+        total += 1;
+        if l.1 >= m.1 {
+            lapi_wins += 1;
+        }
+    }
+    r.rows.push(Measurement::plain(
+        "fraction of sizes where LAPI get wins (paper: all)",
+        lapi_wins as f64 / total as f64,
+        "",
+    ));
+    r.rows.push(Measurement::plain(
+        "LAPI 1-D get peak bandwidth",
+        lapi_1d.peak(),
+        "MB/s",
+    ));
+    r.rows.push(Measurement::plain(
+        "LAPI 1-D / 2-D peak ratio (paper: 1-D better)",
+        lapi_1d.peak() / lapi_2d.peak().max(1e-9),
+        "x",
+    ));
+    r.rows.push(Measurement::plain(
+        "MPL 1-D / 2-D peak ratio (paper: 1-D better)",
+        mpl_1d.peak() / mpl_2d.peak().max(1e-9),
+        "x",
+    ));
+    r.series = vec![lapi_1d, lapi_2d, mpl_1d, mpl_2d];
+    r.note("4 nodes, round-robin remote targets, fresh patches; get is blocking");
+    r
+}

@@ -1,0 +1,135 @@
+//! Shared machinery for Figures 3 and 4: GA put/get bandwidth over 1-D and
+//! 2-D array sections, on both backends.
+//!
+//! Methodology from §5.4: 4 nodes; node 0 times a series of operations
+//! (series length decreasing with request size) whose targets rotate
+//! round-robin over the other nodes; each access references a different
+//! array patch to avoid caching effects; 2-D requests are square patches
+//! whose leading dimension does not match the array's (strided data).
+
+use ga::{Ga, GaKind, GlobalArray, Patch};
+use spsim::run_spmd_with;
+
+use crate::report::{reps_for, Series};
+
+/// Which operation a run measures.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub enum GaOp {
+    /// `ga_put` — timed to call return (non-blocking w.r.t. the target).
+    Put,
+    /// `ga_get` — blocking.
+    Get,
+}
+
+/// Patch shape.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub enum Shape {
+    /// A single column segment (contiguous at the owner).
+    OneD,
+    /// A square section (strided at the owner).
+    TwoD,
+}
+
+/// The 1-D bench array: tall and narrow so a 2 MB request is one
+/// contiguous column run within a single owner block.
+fn array_1d(ga: &Ga) -> GlobalArray {
+    ga.create("bw1d", 1 << 19, 4, GaKind::Double)
+}
+
+/// The 2-D bench array: square, blocks 512×512, so a 512×512 (2 MB)
+/// square patch fits inside one owner block.
+fn array_2d(ga: &Ga) -> GlobalArray {
+    ga.create("bw2d", 1024, 1024, GaKind::Double)
+}
+
+/// Pick the `rep`-th fresh patch of ~`bytes` inside `target`'s block.
+/// Returns the patch and its actual byte size.
+fn pick_patch(a: &GlobalArray, shape: Shape, target: usize, bytes: usize, rep: usize) -> (Patch, usize) {
+    let b = a.distribution(target).expect("owner block");
+    match shape {
+        Shape::OneD => {
+            let elems = (bytes / 8).clamp(1, b.rows());
+            let max_start = b.rows() - elems;
+            let i0 = b.lo.0 + if max_start == 0 { 0 } else { (rep * 4099) % (max_start + 1) };
+            let j = b.lo.1 + rep % b.cols();
+            (Patch::new((i0, j), (i0 + elems - 1, j)), elems * 8)
+        }
+        Shape::TwoD => {
+            let s = (((bytes / 8) as f64).sqrt().round() as usize).clamp(1, b.rows().min(b.cols()));
+            let max_i = b.rows() - s;
+            let max_j = b.cols() - s;
+            let i0 = b.lo.0 + if max_i == 0 { 0 } else { (rep * 257) % (max_i + 1) };
+            let j0 = b.lo.1 + if max_j == 0 { 0 } else { (rep * 131) % (max_j + 1) };
+            (Patch::new((i0, j0), (i0 + s - 1, j0 + s - 1)), s * s * 8)
+        }
+    }
+}
+
+/// Bandwidth series over the size sweep for one backend/op/shape.
+pub fn bandwidth_series(
+    label: &str,
+    mk_world: impl Fn() -> Vec<Ga>,
+    op: GaOp,
+    shape: Shape,
+    sizes: &[usize],
+    quick: bool,
+) -> Series {
+    let mut points = Vec::with_capacity(sizes.len());
+    for &bytes in sizes {
+        let reps = reps_for(bytes, quick);
+        let out = run_spmd_with(mk_world(), move |rank, ga| {
+            let a = match shape {
+                Shape::OneD => array_1d(&ga),
+                Shape::TwoD => array_2d(&ga),
+            };
+            ga.sync();
+            let mut result = (0.0f64, 0usize);
+            if rank == 0 {
+                let mut total_us = 0.0;
+                let mut total_bytes = 0usize;
+                for rep in 0..reps {
+                    let target = 1 + rep % (ga.tasks() - 1);
+                    let (p, actual) = pick_patch(&a, shape, target, bytes, rep);
+                    match op {
+                        GaOp::Put => {
+                            let data = vec![1.0f64; p.elems()];
+                            let t0 = ga.now();
+                            a.put(p, &data);
+                            total_us += (ga.now() - t0).as_us();
+                        }
+                        GaOp::Get => {
+                            let t0 = ga.now();
+                            let v = a.get(p);
+                            total_us += (ga.now() - t0).as_us();
+                            debug_assert_eq!(v.len(), p.elems());
+                        }
+                    }
+                    total_bytes += actual;
+                    // Quiesce outside the timed window so completion-ack
+                    // processing of this op doesn't bleed into the next
+                    // op's measurement (keeps the series deterministic).
+                    ga.fence(target);
+                }
+                result = (total_us, total_bytes);
+            }
+            ga.sync();
+            result
+        });
+        let (us, total_bytes) = out[0];
+        let mb_s = if us > 0.0 {
+            (total_bytes as f64 / 1e6) / (us / 1e6)
+        } else {
+            0.0
+        };
+        points.push((bytes as f64, mb_s));
+    }
+    Series {
+        label: label.to_string(),
+        points,
+    }
+}
+
+/// The size sweep for GA figures (8 B – 2 MB).
+pub fn ga_size_sweep() -> Vec<usize> {
+    (3..=21).map(|p| 1usize << p).collect()
+}

@@ -1,0 +1,75 @@
+//! §5.4 single-element GA latency (4 nodes, 8-byte double):
+//!
+//! | | LAPI | MPL |
+//! |---|---|---|
+//! | GA get | 94.2 µs | 221 µs |
+//! | GA put | 49.6 µs | 54.6 µs |
+//!
+//! GA put is non-blocking with respect to remote completion (it returns
+//! when the origin buffer is reusable — which is why the MPL version, with
+//! its generous buffering, is almost as fast); GA get is blocking. Targets
+//! rotate round-robin over the three remote nodes and each access touches
+//! a different element, per the paper's methodology.
+
+use ga::{Ga, GaKind, Patch};
+use spsim::run_spmd_with;
+
+use crate::report::{Measurement, Report};
+use crate::worlds;
+
+fn measure(gas: Vec<Ga>, reps: usize) -> (f64, f64) {
+    let out = run_spmd_with(gas, |rank, ga| {
+        let a = ga.create("lat", 64, 64, GaKind::Double);
+        a.fill(1.0);
+        ga.sync();
+        let mut put_total = 0.0;
+        let mut get_total = 0.0;
+        if rank == 0 {
+            for rep in 0..reps {
+                let target = 1 + rep % 3;
+                let b = a.distribution(target).expect("block");
+                // a fresh element every time (avoid caching effects)
+                let i = b.lo.0 + rep % b.rows();
+                let j = b.lo.1 + (rep / b.rows()) % b.cols();
+                let p = Patch::new((i, j), (i, j));
+                let t0 = ga.now();
+                a.put(p, &[rep as f64]);
+                put_total += (ga.now() - t0).as_us();
+                let t0 = ga.now();
+                let v = a.get(p);
+                get_total += (ga.now() - t0).as_us();
+                assert_eq!(v.len(), 1);
+            }
+        }
+        ga.sync();
+        (put_total / reps as f64, get_total / reps as f64)
+    });
+    out[0]
+}
+
+/// Run the GA element-latency reproduction.
+pub fn run(quick: bool) -> Report {
+    let reps = if quick { 15 } else { 60 };
+    let (lapi_put, lapi_get) = measure(worlds::ga_lapi(4), reps);
+    let (mpl_put, mpl_get) = measure(worlds::ga_mpl(4), reps);
+    let mut r = Report::new(
+        "ga_latency",
+        "GA single-element (8B) latency, LAPI vs MPL (§5.4)",
+    );
+    r.rows
+        .push(Measurement::with_paper("GA put (LAPI)", lapi_put, "us", 49.6));
+    r.rows
+        .push(Measurement::with_paper("GA put (MPL)", mpl_put, "us", 54.6));
+    r.rows
+        .push(Measurement::with_paper("GA get (LAPI)", lapi_get, "us", 94.2));
+    r.rows
+        .push(Measurement::with_paper("GA get (MPL)", mpl_get, "us", 221.0));
+    r.rows.push(Measurement::plain(
+        "get speedup LAPI over MPL",
+        mpl_get / lapi_get,
+        "x",
+    ));
+    r.note("4 nodes, round-robin remote targets, fresh elements per access");
+    r.note("paper get speedup: 221/94.2 = 2.35x; put near parity (MPL buffering)");
+    r
+}

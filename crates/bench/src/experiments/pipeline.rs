@@ -1,0 +1,49 @@
+//! §4 pipeline latency: the time for a nonblocking `LAPI_Put`/`LAPI_Get`
+//! call to return control to the user program (paper: 16 µs / 19 µs).
+
+use lapi::Mode;
+use spsim::run_spmd_with;
+
+use crate::report::{Measurement, Report};
+use crate::worlds;
+
+/// Run the pipeline-latency reproduction.
+pub fn run(quick: bool) -> Report {
+    let reps = if quick { 20 } else { 200 };
+    let ctxs = worlds::lapi(2, Mode::Interrupt);
+    let times = run_spmd_with(ctxs, |rank, ctx| {
+        let buf = ctx.alloc(8 * reps);
+        let addrs = ctx.address_init(buf);
+        let mut put_total = 0.0;
+        let mut get_total = 0.0;
+        if rank == 0 {
+            let org = ctx.new_counter();
+            for i in 0..reps {
+                let t0 = ctx.now();
+                ctx.put(1, addrs[1].offset(8 * i), &[1u8; 8], None, None, None)
+                    .expect("put");
+                put_total += (ctx.now() - t0).as_us();
+                let t0 = ctx.now();
+                ctx.get(1, addrs[1].offset(8 * i), 8, buf.offset(8 * i), None, Some(&org))
+                    .expect("get");
+                get_total += (ctx.now() - t0).as_us();
+            }
+            // drain everything before terminating
+            ctx.waitcntr(&org, reps as i64);
+            ctx.fence(1).expect("fence");
+        }
+        ctx.gfence().expect("gfence");
+        (put_total / reps as f64, get_total / reps as f64)
+    });
+    let (put_us, get_us) = times[0];
+    let mut r = Report::new(
+        "pipeline_latency",
+        "Pipeline latency: nonblocking call-return time (§4)",
+    );
+    r.rows
+        .push(Measurement::with_paper("LAPI_Put call return", put_us, "us", 16.0));
+    r.rows
+        .push(Measurement::with_paper("LAPI_Get call return", get_us, "us", 19.0));
+    r.note("includes the time to inject the message/request into the network");
+    r
+}

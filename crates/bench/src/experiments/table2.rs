@@ -1,0 +1,221 @@
+//! Table 2: 4-byte latency, LAPI vs MPI/MPL, polling and interrupt modes.
+//!
+//! Paper values (120 MHz P2SC, SP switch, user space):
+//!
+//! | measurement | LAPI | MPI/MPL |
+//! |---|---|---|
+//! | polling one-way | 34 µs | 43 µs |
+//! | polling round-trip | 60 µs | 86 µs |
+//! | interrupt round-trip | 89 µs | 200 µs |
+//!
+//! Methodology mirrors the paper: the MPI polling numbers use plain
+//! send/recv ping-pong; the interrupt round trip uses `rcvncall` with the
+//! target replying *from the handler*; the LAPI round trip is an active
+//! message whose header handler sends the reply put.
+
+use lapi::{HdrOutcome, Mode};
+use mpl::MplMode;
+use parking_lot::{Condvar, Mutex};
+use spsim::run_spmd_with;
+use std::sync::Arc;
+
+use crate::report::{Measurement, Report};
+use crate::worlds;
+
+const MSG: usize = 4;
+
+/// LAPI one-way polling latency: put 4 B, measured at the target between
+/// the barrier-aligned start and the target counter firing.
+fn lapi_one_way(reps: usize) -> f64 {
+    let ctxs = worlds::lapi(2, Mode::Polling);
+    let times = run_spmd_with(ctxs, |rank, ctx| {
+        let buf = ctx.alloc(MSG);
+        let tgt = ctx.new_counter();
+        let addrs = ctx.address_init(buf);
+        let remotes = ctx.counter_init(&tgt);
+        let mut total = 0.0;
+        for _ in 0..reps {
+            let t0 = ctx.barrier();
+            if rank == 0 {
+                ctx.put(1, addrs[1], &[1u8; MSG], Some(remotes[1]), None, None)
+                    .expect("put");
+                // flush our own rx (the Done ack) before the next round
+                ctx.fence(1).expect("fence");
+            } else {
+                ctx.waitcntr(&tgt, 1);
+                total += (ctx.now() - t0).as_us();
+            }
+        }
+        ctx.gfence().expect("gfence");
+        total / reps as f64
+    });
+    times[1]
+}
+
+/// LAPI round trip: active message whose header handler replies with a put
+/// from inside the handler; measured at the origin.
+fn lapi_round_trip(mode: Mode, reps: usize) -> f64 {
+    let ctxs = worlds::lapi(2, mode);
+    let times = run_spmd_with(ctxs, move |rank, ctx| {
+        let buf = ctx.alloc(MSG);
+        let reply = ctx.new_counter();
+        let served = ctx.new_counter();
+        let addrs = ctx.address_init(buf);
+        let reply_remotes = ctx.counter_init(&reply);
+        let served_remotes = ctx.counter_init(&served);
+        if rank == 1 {
+            let back_addr = addrs[0];
+            let back_cntr = reply_remotes[0];
+            ctx.register_handler(1, move |hctx, info| {
+                hctx.reply_put(info.src, back_addr, &[2u8; MSG], Some(back_cntr), None, None)
+                    .expect("reply");
+                HdrOutcome::none()
+            });
+        }
+        let mut total = 0.0;
+        for _ in 0..reps {
+            let t0 = ctx.barrier();
+            if rank == 0 {
+                ctx.amsend(1, 1, &[9u8; MSG], &[], Some(served_remotes[1]), None, None)
+                    .expect("am");
+                ctx.waitcntr(&reply, 1);
+                total += (ctx.now() - t0).as_us();
+                ctx.fence(1).expect("fence");
+            } else {
+                // In polling mode this wait drives the target's progress
+                // (processing the AM and issuing the echo); in interrupt
+                // mode it just keeps the rounds in lockstep.
+                ctx.waitcntr(&served, 1);
+            }
+        }
+        ctx.gfence().expect("gfence");
+        total / reps as f64
+    });
+    times[0]
+}
+
+/// MPI one-way polling latency: blocking send / blocking recv, measured at
+/// the receiver.
+fn mpi_one_way(reps: usize) -> f64 {
+    let ctxs = worlds::mpl(2, MplMode::Polling, 4096);
+    let times = run_spmd_with(ctxs, |rank, ctx| {
+        let mut total = 0.0;
+        for _ in 0..reps {
+            let t0 = ctx.barrier();
+            if rank == 0 {
+                ctx.send(1, 1, &[1u8; MSG]);
+            } else {
+                let _ = ctx.recv(Some(0), Some(1));
+                total += (ctx.now() - t0).as_us();
+            }
+        }
+        ctx.barrier();
+        total / reps as f64
+    });
+    times[1]
+}
+
+/// MPI polling round trip: send/recv ping-pong, measured at the origin.
+fn mpi_round_trip(reps: usize) -> f64 {
+    let ctxs = worlds::mpl(2, MplMode::Polling, 4096);
+    let times = run_spmd_with(ctxs, |rank, ctx| {
+        let mut total = 0.0;
+        for _ in 0..reps {
+            let t0 = ctx.barrier();
+            if rank == 0 {
+                ctx.send(1, 1, &[1u8; MSG]);
+                let _ = ctx.recv(Some(1), Some(2));
+                total += (ctx.now() - t0).as_us();
+            } else {
+                let (d, _) = ctx.recv(Some(0), Some(1));
+                ctx.send(0, 2, &d);
+            }
+        }
+        ctx.barrier();
+        total / reps as f64
+    });
+    times[0]
+}
+
+/// MPL interrupt round trip: `rcvncall` on both sides — the target's
+/// handler sends the reply, the origin's handler signals the waiting main
+/// thread. Each handler invocation pays the AIX context-creation cost.
+fn mpl_rcvncall_round_trip(reps: usize) -> f64 {
+    let ctxs = worlds::mpl(2, MplMode::Interrupt, 4096);
+    let times = run_spmd_with(ctxs, |rank, ctx| {
+        if rank == 1 {
+            ctx.rcvncall(1, |hctx, data, st| {
+                hctx.isend(st.src, 2, &data);
+            });
+        }
+        let got: Arc<(Mutex<usize>, Condvar)> = Arc::new((Mutex::new(0), Condvar::new()));
+        if rank == 0 {
+            let got = Arc::clone(&got);
+            ctx.rcvncall(2, move |_hctx, _data, _st| {
+                let mut n = got.0.lock();
+                *n += 1;
+                got.1.notify_all();
+            });
+        }
+        let mut total = 0.0;
+        for rep in 0..reps {
+            let t0 = ctx.barrier();
+            if rank == 0 {
+                ctx.send(1, 1, &[1u8; MSG]);
+                let mut n = got.0.lock();
+                while *n < rep + 1 {
+                    got.1.wait(&mut n);
+                }
+                drop(n);
+                total += (ctx.now() - t0).as_us();
+            }
+        }
+        ctx.barrier();
+        total / reps as f64
+    });
+    times[0]
+}
+
+/// Run the Table 2 reproduction.
+pub fn run(quick: bool) -> Report {
+    let reps = if quick { 10 } else { 50 };
+    let mut r = Report::new("table2", "Latency measurements (Table 2)");
+    r.rows.push(Measurement::with_paper(
+        "LAPI polling one-way",
+        lapi_one_way(reps),
+        "us",
+        34.0,
+    ));
+    r.rows.push(Measurement::with_paper(
+        "MPI polling one-way",
+        mpi_one_way(reps),
+        "us",
+        43.0,
+    ));
+    r.rows.push(Measurement::with_paper(
+        "LAPI polling round-trip",
+        lapi_round_trip(Mode::Polling, reps),
+        "us",
+        60.0,
+    ));
+    r.rows.push(Measurement::with_paper(
+        "MPI polling round-trip",
+        mpi_round_trip(reps),
+        "us",
+        86.0,
+    ));
+    r.rows.push(Measurement::with_paper(
+        "LAPI interrupt round-trip",
+        lapi_round_trip(Mode::Interrupt, reps),
+        "us",
+        89.0,
+    ));
+    r.rows.push(Measurement::with_paper(
+        "MPL rcvncall interrupt round-trip",
+        mpl_rcvncall_round_trip(reps),
+        "us",
+        200.0,
+    ));
+    r.note("4-byte messages, 2 nodes; means over the repetition series.");
+    r
+}

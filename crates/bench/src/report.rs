@@ -1,0 +1,228 @@
+//! Structured experiment reports: tables and data series with the paper's
+//! reference values alongside measured ones.
+
+use std::fmt;
+
+/// One measured scalar with an optional paper-reported reference.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Row label ("polling round-trip", …).
+    pub label: String,
+    /// Measured value.
+    pub measured: f64,
+    /// Unit ("us", "MB/s", "%").
+    pub unit: String,
+    /// The value the paper reports, if it gives one.
+    pub paper: Option<f64>,
+}
+
+impl Measurement {
+    /// A measurement with a paper reference value.
+    pub fn with_paper(label: &str, measured: f64, unit: &str, paper: f64) -> Self {
+        Measurement {
+            label: label.to_string(),
+            measured,
+            unit: unit.to_string(),
+            paper: Some(paper),
+        }
+    }
+
+    /// A measurement the paper reports no exact number for.
+    pub fn plain(label: &str, measured: f64, unit: &str) -> Self {
+        Measurement {
+            label: label.to_string(),
+            measured,
+            unit: unit.to_string(),
+            paper: None,
+        }
+    }
+
+    /// measured / paper (how close the reproduction landed).
+    pub fn ratio(&self) -> Option<f64> {
+        self.paper.map(|p| self.measured / p)
+    }
+}
+
+/// A named curve: (x, y) points (x usually bytes, y MB/s).
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Curve label ("LAPI", "MPI default", …).
+    pub label: String,
+    /// Data points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Largest y value.
+    pub fn peak(&self) -> f64 {
+        self.points.iter().map(|p| p.1).fold(0.0, f64::max)
+    }
+
+    /// Smallest x at which y reaches `frac` of the peak (linear
+    /// interpolation between points) — e.g. the half-peak message size.
+    pub fn x_at_fraction_of_peak(&self, frac: f64) -> Option<f64> {
+        let target = self.peak() * frac;
+        for w in self.points.windows(2) {
+            let ((x0, y0), (x1, y1)) = (w[0], w[1]);
+            if y0 < target && y1 >= target {
+                let t = (target - y0) / (y1 - y0);
+                return Some(x0 + t * (x1 - x0));
+            }
+        }
+        self.points
+            .first()
+            .filter(|p| p.1 >= target)
+            .map(|p| p.0)
+    }
+
+    /// y at the given x (exact match expected).
+    pub fn y_at(&self, x: f64) -> Option<f64> {
+        self.points.iter().find(|p| p.0 == x).map(|p| p.1)
+    }
+}
+
+/// A finished experiment: scalar rows and/or curves, plus notes.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Experiment id ("table2", "fig3", …).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Scalar measurements.
+    pub rows: Vec<Measurement>,
+    /// Curves (figures).
+    pub series: Vec<Series>,
+    /// Free-form observations (crossovers, half-peak points, caveats).
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// New empty report.
+    pub fn new(id: &str, title: &str) -> Self {
+        Report {
+            id: id.to_string(),
+            title: title.to_string(),
+            rows: Vec::new(),
+            series: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a note line.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "================================================================")?;
+        writeln!(f, "{} — {}", self.id, self.title)?;
+        writeln!(f, "================================================================")?;
+        if !self.rows.is_empty() {
+            writeln!(
+                f,
+                "{:<38} {:>12} {:>12} {:>8}",
+                "measurement", "measured", "paper", "ratio"
+            )?;
+            for m in &self.rows {
+                let paper = m
+                    .paper
+                    .map(|p| format!("{p:.1}"))
+                    .unwrap_or_else(|| "-".to_string());
+                let ratio = m
+                    .ratio()
+                    .map(|r| format!("{r:.2}x"))
+                    .unwrap_or_else(|| "-".to_string());
+                writeln!(
+                    f,
+                    "{:<38} {:>9.1} {:<2} {:>12} {:>8}",
+                    m.label, m.measured, m.unit, paper, ratio
+                )?;
+            }
+        }
+        for s in &self.series {
+            writeln!(f, "--- series: {} (peak {:.1} MB/s)", s.label, s.peak())?;
+            writeln!(f, "{:>12} {:>12}", "bytes", "MB/s")?;
+            for (x, y) in &s.points {
+                writeln!(f, "{:>12} {:>12.2}", *x as u64, y)?;
+            }
+        }
+        for n in &self.notes {
+            writeln!(f, "note: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The message-size sweep of the paper's figures (16 B – 2 MB).
+pub fn size_sweep() -> Vec<usize> {
+    (4..=21).map(|p| 1usize << p).collect()
+}
+
+/// Series length shrinking as request size grows (the paper's §5.4
+/// methodology: "a series of operations with the series length decreasing
+/// as the request size increases").
+pub fn reps_for(bytes: usize, quick: bool) -> usize {
+    let base = (1 << 22) / bytes.max(1);
+    let r = base.clamp(3, 40);
+    if quick {
+        (r / 4).max(2)
+    } else {
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_peak_and_half_peak() {
+        let s = Series {
+            label: "t".into(),
+            points: vec![(1.0, 10.0), (2.0, 50.0), (4.0, 90.0), (8.0, 100.0)],
+        };
+        assert_eq!(s.peak(), 100.0);
+        let half = s.x_at_fraction_of_peak(0.5).expect("crosses half");
+        assert!(half > 1.0 && half < 4.0, "{half}");
+        assert_eq!(s.y_at(4.0), Some(90.0));
+        assert_eq!(s.y_at(3.0), None);
+    }
+
+    #[test]
+    fn measurement_ratio() {
+        let m = Measurement::with_paper("x", 40.0, "us", 50.0);
+        assert_eq!(m.ratio(), Some(0.8));
+        assert_eq!(Measurement::plain("y", 1.0, "us").ratio(), None);
+    }
+
+    #[test]
+    fn sweep_covers_paper_range() {
+        let s = size_sweep();
+        assert_eq!(*s.first().expect("nonempty"), 16);
+        assert_eq!(*s.last().expect("nonempty"), 2 * 1024 * 1024);
+    }
+
+    #[test]
+    fn reps_shrink_with_size() {
+        assert!(reps_for(16, false) >= reps_for(1 << 20, false));
+        assert!(reps_for(16, true) < reps_for(16, false));
+        assert!(reps_for(1 << 21, false) >= 3);
+    }
+
+    #[test]
+    fn report_renders() {
+        let mut r = Report::new("t", "test");
+        r.rows.push(Measurement::with_paper("lat", 34.5, "us", 34.0));
+        r.series.push(Series {
+            label: "c".into(),
+            points: vec![(16.0, 1.0)],
+        });
+        r.note("hello");
+        let text = r.to_string();
+        assert!(text.contains("lat"));
+        assert!(text.contains("hello"));
+        assert!(text.contains("1.01x") || text.contains("1.02x"));
+    }
+}

@@ -1,0 +1,46 @@
+//! World construction helpers shared by the experiments.
+
+use std::sync::Arc;
+
+use ga::{Ga, GaBackend, GaConfig, LapiGaBackend, MplGaBackend};
+use lapi::{LapiContext, LapiWorld, Mode};
+use mpl::{MplContext, MplMode, MplWorld};
+use spsim::MachineConfig;
+
+/// Deterministic default seed for experiments.
+pub const SEED: u64 = 0x1998_0330;
+
+/// The calibrated machine of the paper's evaluation.
+pub fn machine() -> MachineConfig {
+    MachineConfig::sp_p2sc_120()
+}
+
+/// A LAPI job.
+pub fn lapi(n: usize, mode: Mode) -> Vec<LapiContext> {
+    LapiWorld::init_seeded(n, machine(), mode, SEED)
+}
+
+/// An MPL job with a given `MP_EAGER_LIMIT`.
+pub fn mpl(n: usize, mode: MplMode, eager_limit: usize) -> Vec<MplContext> {
+    MplWorld::init_seeded(n, machine().with_eager_limit(eager_limit), mode, SEED)
+}
+
+/// A GA job on the LAPI backend (interrupt mode, as GA requires unilateral
+/// progress).
+pub fn ga_lapi(n: usize) -> Vec<Ga> {
+    lapi(n, Mode::Interrupt)
+        .into_iter()
+        .map(|ctx| Ga::new(LapiGaBackend::new(ctx, GaConfig::default()) as Arc<dyn GaBackend>))
+        .collect()
+}
+
+/// A GA job on the MPL backend. The paper's MPL-era GA benefited from
+/// generous protocol buffering ("the much larger buffer space in MPL"); a
+/// 16 KB eager limit reproduces its return-after-copy behaviour up to the
+/// ≈20 KB crossover of Figure 3.
+pub fn ga_mpl(n: usize) -> Vec<Ga> {
+    mpl(n, MplMode::Interrupt, 16 * 1024)
+        .into_iter()
+        .map(|ctx| Ga::new(MplGaBackend::new(ctx) as Arc<dyn GaBackend>))
+        .collect()
+}

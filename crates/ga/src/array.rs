@@ -1,0 +1,413 @@
+//! The [`GlobalArray`] handle: shared-memory-style 2-D array operations.
+//!
+//! All patch data moves in **column-major patch order** (leading dimension
+//! = patch rows), matching the Fortran conventions of real GA. Operations
+//! are unilateral: `put`/`acc` return when the origin buffer is reusable,
+//! `get`/`read_inc` are blocking, and ordering between conflicting
+//! operations requires `Ga::fence`/`Ga::sync` — exactly the §5.1 model
+//! (out-of-order completion is allowed only for non-overlapping sections,
+//! which is what fencing enforces for the overlapping ones).
+
+use std::sync::Arc;
+
+use spsim::NodeId;
+
+use crate::backend::{GaBackend, Segment};
+use crate::dist::{Distribution, Patch};
+
+/// Element type of a global array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GaKind {
+    /// IEEE double (`MT_F_DBL`): put/get/acc/scatter/gather.
+    Double,
+    /// 64-bit integer (`MT_F_INT`), stored as raw bits in the 8-byte
+    /// cells: put/get (as bits) and the atomic `read_inc`.
+    Int,
+}
+
+/// Immutable metadata of one created array.
+pub struct ArrayMeta {
+    /// Creation index (same on every task).
+    pub id: u32,
+    /// Debug name.
+    pub name: String,
+    /// Element type.
+    pub kind: GaKind,
+    /// Block distribution.
+    pub dist: Distribution,
+    /// Per-owner block tokens (LAPI: remote arena addresses).
+    pub tokens: Vec<u64>,
+}
+
+/// A handle to a distributed 2-D array.
+#[derive(Clone)]
+pub struct GlobalArray {
+    backend: Arc<dyn GaBackend>,
+    meta: Arc<ArrayMeta>,
+}
+
+impl GlobalArray {
+    pub(crate) fn new(backend: Arc<dyn GaBackend>, meta: Arc<ArrayMeta>) -> Self {
+        GlobalArray { backend, meta }
+    }
+
+    /// Array dimensions `(rows, cols)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.meta.dist.rows, self.meta.dist.cols)
+    }
+
+    /// Element type.
+    pub fn kind(&self) -> GaKind {
+        self.meta.kind
+    }
+
+    /// Debug name.
+    pub fn name(&self) -> &str {
+        &self.meta.name
+    }
+
+    /// Which task owns element `(i, j)` (full locality information, §5.1).
+    pub fn locate(&self, i: usize, j: usize) -> NodeId {
+        self.meta.dist.locate(i, j)
+    }
+
+    /// The block owned by `task` (`ga_distribution`).
+    pub fn distribution(&self, task: NodeId) -> Option<Patch> {
+        self.meta.dist.block(task)
+    }
+
+    /// The calling task's own block.
+    pub fn local_patch(&self) -> Option<Patch> {
+        self.distribution(self.backend.id())
+    }
+
+    /// Whole-patch helper covering the full array.
+    pub fn full_patch(&self) -> Patch {
+        Patch::new((0, 0), (self.meta.dist.rows - 1, self.meta.dist.cols - 1))
+    }
+
+    // ------------------------------------------------------- data movement
+
+    /// Store `data` (patch column-major) into the global `patch`.
+    /// Unilateral; returns when `data` is reusable.
+    pub fn put(&self, patch: Patch, data: &[f64]) {
+        assert_eq!(data.len(), patch.elems(), "put data/patch size mismatch");
+        let me = self.backend.id();
+        for (owner, inter) in self.meta.dist.owners(&patch) {
+            let segs = segments(&self.meta.dist, owner, &inter);
+            let sub = extract(&*self.backend, &patch, &inter, data);
+            if owner == me {
+                // Local portion: plain stores, no communication (GA makes
+                // locality visible precisely so applications can rely on
+                // this being cheap).
+                let mut pos = 0;
+                for s in &segs {
+                    self.backend
+                        .local_write(self.meta.tokens[me], s.off, &sub[pos..pos + s.len]);
+                    pos += s.len;
+                }
+            } else {
+                self.backend.put(owner, self.meta.tokens[owner], &segs, &sub);
+            }
+        }
+    }
+
+    /// Fetch the global `patch` (blocking); returns it column-major.
+    pub fn get(&self, patch: Patch) -> Vec<f64> {
+        let me = self.backend.id();
+        let mut out = vec![0.0; patch.elems()];
+        for (owner, inter) in self.meta.dist.owners(&patch) {
+            let segs = segments(&self.meta.dist, owner, &inter);
+            let sub = if owner == me {
+                let mut sub = Vec::with_capacity(inter.elems());
+                for s in &segs {
+                    sub.extend(self.backend.local_read(self.meta.tokens[me], s.off, s.len));
+                }
+                sub
+            } else {
+                self.backend.get(owner, self.meta.tokens[owner], &segs)
+            };
+            place(&*self.backend, &patch, &inter, &sub, &mut out);
+        }
+        out
+    }
+
+    /// Atomically `global[patch] += alpha * data` (GA accumulate; §5.1:
+    /// commutative, so concurrent accumulates need no ordering).
+    pub fn acc(&self, patch: Patch, alpha: f64, data: &[f64]) {
+        assert_eq!(self.meta.kind, GaKind::Double, "acc requires a Double array");
+        assert_eq!(data.len(), patch.elems(), "acc data/patch size mismatch");
+        for (owner, inter) in self.meta.dist.owners(&patch) {
+            let segs = segments(&self.meta.dist, owner, &inter);
+            let sub = extract(&*self.backend, &patch, &inter, data);
+            // Remote *and* local accumulates go through the backend: the
+            // update must be atomic against concurrent remote accumulates,
+            // and only the backend can serialize with its handlers.
+            self.backend.acc(owner, self.meta.tokens[owner], &segs, alpha, &sub);
+        }
+    }
+
+    /// Atomic fetch-and-add on integer element `(i, j)` (GA
+    /// read-and-increment; the nxtval counter of SCF-style codes).
+    pub fn read_inc(&self, i: usize, j: usize, inc: i64) -> i64 {
+        assert_eq!(self.meta.kind, GaKind::Int, "read_inc requires an Int array");
+        let owner = self.meta.dist.locate(i, j);
+        let off = self.meta.dist.local_offset(i, j);
+        self.backend.read_inc(owner, self.meta.tokens[owner], off, inc)
+    }
+
+    /// Scatter `values[k]` to element `points[k]` (unilateral).
+    pub fn scatter(&self, points: &[(usize, usize)], values: &[f64]) {
+        assert_eq!(points.len(), values.len(), "scatter points/values mismatch");
+        for (owner, segs, vals) in self.group_points(points, Some(values)) {
+            let vals = vals.expect("values grouped");
+            if owner == self.backend.id() {
+                for (s, v) in segs.iter().zip(&vals) {
+                    self.backend.local_write(self.meta.tokens[owner], s.off, &[*v]);
+                }
+            } else {
+                self.backend.put(owner, self.meta.tokens[owner], &segs, &vals);
+            }
+        }
+    }
+
+    /// Gather the elements at `points` (blocking).
+    pub fn gather(&self, points: &[(usize, usize)]) -> Vec<f64> {
+        let mut out = vec![0.0; points.len()];
+        // Remember each point's position to restore request order.
+        let mut index: std::collections::HashMap<usize, Vec<usize>> = std::collections::HashMap::new();
+        for (k, &(i, j)) in points.iter().enumerate() {
+            index
+                .entry(self.meta.dist.locate(i, j))
+                .or_default()
+                .push(k);
+        }
+        for (owner, segs, _) in self.group_points(points, None) {
+            let vals = if owner == self.backend.id() {
+                segs.iter()
+                    .map(|s| self.backend.local_read(self.meta.tokens[owner], s.off, 1)[0])
+                    .collect()
+            } else {
+                self.backend.get(owner, self.meta.tokens[owner], &segs)
+            };
+            for (k, v) in index[&owner].iter().zip(vals) {
+                out[*k] = v;
+            }
+        }
+        out
+    }
+
+    /// Collective: fill every element with `v` (each task fills its own
+    /// block; follow with `Ga::sync` before depending on remote values).
+    pub fn fill(&self, v: f64) {
+        let me = self.backend.id();
+        if let Some(b) = self.local_patch() {
+            self.backend
+                .local_write(self.meta.tokens[me], 0, &vec![v; b.elems()]);
+        }
+    }
+
+    /// Collective fill for Int arrays.
+    pub fn fill_int(&self, v: i64) {
+        assert_eq!(self.meta.kind, GaKind::Int);
+        self.fill(f64::from_bits(v as u64));
+    }
+
+    /// Read integer element(s) of an Int array (blocking).
+    pub fn get_int(&self, patch: Patch) -> Vec<i64> {
+        assert_eq!(self.meta.kind, GaKind::Int);
+        self.get(patch).into_iter().map(|v| v.to_bits() as i64).collect()
+    }
+
+    // ------------------------------------------------- whole-array helpers
+    //
+    // The classic GA convenience operations (ga_copy, ga_scale, ga_ddot,
+    // ga_symmetrize). All are collective: every task operates on its own
+    // block; call `Ga::sync` afterwards before depending on remote values
+    // (done internally where the result requires it).
+
+    /// Collective: copy this array into `dst` (same dims/distribution).
+    pub fn copy_to(&self, dst: &GlobalArray) {
+        assert_eq!(self.dims(), dst.dims(), "copy between mismatched arrays");
+        let me = self.backend.id();
+        if let Some(b) = self.local_patch() {
+            let mine = self.backend.local_read(self.meta.tokens[me], 0, b.elems());
+            dst.backend.local_write(dst.meta.tokens[me], 0, &mine);
+            self.backend.clock().advance(self.backend.memcpy_cost(b.elems() * 8));
+        }
+    }
+
+    /// Collective: multiply every element by `alpha` (ga_scale).
+    pub fn scale(&self, alpha: f64) {
+        let me = self.backend.id();
+        if let Some(b) = self.local_patch() {
+            let mut mine = self.backend.local_read(self.meta.tokens[me], 0, b.elems());
+            for v in &mut mine {
+                *v *= alpha;
+            }
+            self.backend.local_write(self.meta.tokens[me], 0, &mine);
+            self.backend
+                .clock()
+                .advance(self.backend.memcpy_cost(b.elems() * 8));
+        }
+    }
+
+    /// Collective: global dot product `sum(self .* other)` (ga_ddot).
+    /// Every task contributes its local block; the reduced value is
+    /// returned on all tasks.
+    pub fn dot(&self, other: &GlobalArray) -> f64 {
+        assert_eq!(self.dims(), other.dims(), "dot between mismatched arrays");
+        let me = self.backend.id();
+        let local = match self.local_patch() {
+            Some(b) => {
+                let a = self.backend.local_read(self.meta.tokens[me], 0, b.elems());
+                let o = other.backend.local_read(other.meta.tokens[me], 0, b.elems());
+                self.backend
+                    .clock()
+                    .advance(self.backend.memcpy_cost(b.elems() * 8));
+                a.iter().zip(&o).map(|(x, y)| x * y).sum()
+            }
+            None => 0.0,
+        };
+        // reduce via the exchange board (MP_REDUCE-style helper)
+        self.backend
+            .exchange(local.to_bits())
+            .into_iter()
+            .map(f64::from_bits)
+            .sum()
+    }
+
+    /// Collective: `A := (A + A^T) / 2` for square arrays (ga_symmetrize —
+    /// a staple of the quantum-chemistry codes the paper targets).
+    /// Remote transposed patches are fetched with `get`, so this exercises
+    /// strided communication; internally synchronizes.
+    pub fn symmetrize(&self) {
+        let (rows, cols) = self.dims();
+        assert_eq!(rows, cols, "symmetrize requires a square array");
+        let me = self.backend.id();
+        let Some(b) = self.local_patch() else {
+            self.backend.sync();
+            self.backend.sync();
+            return;
+        };
+        // fetch the transposed counterpart of the local block
+        let tp = Patch::new((b.lo.1, b.lo.0), (b.hi.1, b.hi.0));
+        let t = self.get(tp); // (cols x rows) of the mirror patch
+        self.backend.sync(); // everyone has read the old values
+        let mine = self.backend.local_read(self.meta.tokens[me], 0, b.elems());
+        // mirror patch is column-major with ld = tp.rows() = b.cols()
+        let mut out = Vec::with_capacity(b.elems());
+        for j in 0..b.cols() {
+            for i in 0..b.rows() {
+                let a_ij = mine[j * b.rows() + i];
+                let a_ji = t[i * tp.rows() + j];
+                out.push(0.5 * (a_ij + a_ji));
+            }
+        }
+        self.backend.local_write(self.meta.tokens[me], 0, &out);
+        self.backend.sync();
+    }
+
+    /// Read this task's local block (no communication), column-major.
+    pub fn local_data(&self) -> Vec<f64> {
+        match self.local_patch() {
+            Some(b) => self.backend.local_read(
+                self.meta.tokens[self.backend.id()],
+                0,
+                b.elems(),
+            ),
+            None => Vec::new(),
+        }
+    }
+
+    /// Group scatter/gather points by owner into length-1 segments (and
+    /// optionally the matching values), owners in ascending id order.
+    fn group_points(
+        &self,
+        points: &[(usize, usize)],
+        values: Option<&[f64]>,
+    ) -> Vec<(NodeId, Vec<Segment>, Option<Vec<f64>>)> {
+        let mut by_owner: std::collections::BTreeMap<NodeId, (Vec<Segment>, Vec<f64>)> =
+            std::collections::BTreeMap::new();
+        for (k, &(i, j)) in points.iter().enumerate() {
+            let owner = self.meta.dist.locate(i, j);
+            let off = self.meta.dist.local_offset(i, j);
+            let e = by_owner.entry(owner).or_default();
+            e.0.push(Segment { off, len: 1 });
+            if let Some(vals) = values {
+                e.1.push(vals[k]);
+            }
+        }
+        by_owner
+            .into_iter()
+            .map(|(o, (segs, vals))| (o, segs, values.map(|_| vals)))
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for GlobalArray {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GlobalArray")
+            .field("name", &self.meta.name)
+            .field("dims", &self.dims())
+            .field("kind", &self.meta.kind)
+            .finish()
+    }
+}
+
+/// Column segments of `inter` within `owner`'s block.
+fn segments(dist: &Distribution, owner: NodeId, inter: &Patch) -> Vec<Segment> {
+    dist.column_segments(owner, inter)
+        .into_iter()
+        .map(|(off, len)| Segment { off, len })
+        .collect()
+}
+
+/// Copy the `inter` sub-patch out of the user's `patch`-shaped buffer
+/// (column-major), charging the packing copy unless it is the whole patch.
+fn extract(backend: &dyn GaBackend, patch: &Patch, inter: &Patch, data: &[f64]) -> Vec<f64> {
+    if inter == patch {
+        return data.to_vec();
+    }
+    backend
+        .clock()
+        .advance(backend.memcpy_cost(inter.elems() * 8));
+    let ld = patch.rows();
+    let mut out = Vec::with_capacity(inter.elems());
+    for j in inter.lo.1..=inter.hi.1 {
+        let col = (j - patch.lo.1) * ld;
+        let r0 = inter.lo.0 - patch.lo.0;
+        out.extend_from_slice(&data[col + r0..col + r0 + inter.rows()]);
+    }
+    out
+}
+
+/// Place `sub` (an `inter`-shaped column-major buffer) into the user's
+/// `patch`-shaped output buffer.
+fn place(backend: &dyn GaBackend, patch: &Patch, inter: &Patch, sub: &[f64], out: &mut [f64]) {
+    if inter == patch {
+        out.copy_from_slice(sub);
+        return;
+    }
+    backend
+        .clock()
+        .advance(backend.memcpy_cost(inter.elems() * 8));
+    let ld = patch.rows();
+    let mut pos = 0;
+    for j in inter.lo.1..=inter.hi.1 {
+        let col = (j - patch.lo.1) * ld;
+        let r0 = inter.lo.0 - patch.lo.0;
+        out[col + r0..col + r0 + inter.rows()].copy_from_slice(&sub[pos..pos + inter.rows()]);
+        pos += inter.rows();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_is_plain_data() {
+        assert_ne!(GaKind::Double, GaKind::Int);
+    }
+}

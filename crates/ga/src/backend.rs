@@ -1,0 +1,127 @@
+//! The backend abstraction: what a communication substrate must provide
+//! for GA to run on it.
+//!
+//! The GA layer decomposes array patches into per-owner **segment lists**
+//! (element offsets into the owner's column-major block) and hands them to
+//! the backend; everything protocol-specific — hybrid AM/RMC switching,
+//! rcvncall requests, fencing — lives behind this trait.
+
+use spsim::{NodeId, StatCounter, VClock, VDur};
+
+/// One contiguous run of elements within a remote block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// Element offset within the owner's local block.
+    pub off: usize,
+    /// Run length in elements.
+    pub len: usize,
+}
+
+impl Segment {
+    /// Total elements across segments.
+    pub fn total(segs: &[Segment]) -> usize {
+        segs.iter().map(|s| s.len).sum()
+    }
+}
+
+/// Counters of GA protocol activity (which protocol served which request —
+/// the hybrid switching the paper describes is observable here).
+#[derive(Clone, Debug, Default)]
+pub struct GaStats {
+    /// Requests served by the AM header-payload (pipelined ≤900 B) path.
+    pub am_requests: StatCounter,
+    /// Requests served by big-`udata` AMs (pool buffers).
+    pub am_bulk_requests: StatCounter,
+    /// Requests served by direct RMC (`LAPI_Put`/`LAPI_Get`).
+    pub direct_rmc: StatCounter,
+    /// Requests served by the §6 vector extension (`putv`/`getv`).
+    pub vector_rmc: StatCounter,
+    /// Per-column RMC transfers (large 2-D patches).
+    pub per_column_rmc: StatCounter,
+    /// MPL request messages (rcvncall path).
+    pub mpl_requests: StatCounter,
+    /// Times the AM buffer pool was empty and heap fallback was used.
+    pub pool_exhausted: StatCounter,
+    /// Atomic accumulates applied at this node.
+    pub accs_applied: StatCounter,
+    /// read_inc operations served.
+    pub read_incs: StatCounter,
+}
+
+/// A communication substrate GA can run on (LAPI or MPL here).
+///
+/// `put`/`acc` return once the *origin buffer is reusable* (GA put is
+/// non-blocking with respect to remote completion — §5.4); `get` and
+/// `read_inc` are blocking. `fence(t)` waits until every put/acc this task
+/// issued toward `t` has been applied remotely, including accumulate
+/// arithmetic (GA's generalized-counter semantics, §5.3.2).
+pub trait GaBackend: Send + Sync {
+    /// This task's id.
+    fn id(&self) -> NodeId;
+    /// Number of tasks.
+    fn tasks(&self) -> usize;
+    /// The node's virtual clock.
+    fn clock(&self) -> &VClock;
+    /// Cost of a protocol memcpy of `bytes` (for the GA layer's own
+    /// packing copies).
+    fn memcpy_cost(&self, bytes: usize) -> VDur;
+    /// Collective u64 exchange (block-token/address exchange at creation).
+    fn exchange(&self, value: u64) -> Vec<u64>;
+    /// Job-wide synchronization: complete all outstanding operations
+    /// everywhere, then barrier (GA `sync`).
+    fn sync(&self);
+
+    /// Allocate a local block of `elems` f64/i64 cells; returns the token
+    /// other tasks use to address it (for LAPI this is the raw arena
+    /// address, exchanged exactly like `LAPI_Address_init` exchanges real
+    /// addresses).
+    fn create_block(&self, elems: usize) -> u64;
+    /// Write into the local block (no communication).
+    fn local_write(&self, token: u64, off: usize, data: &[f64]);
+    /// Read from the local block (no communication).
+    fn local_read(&self, token: u64, off: usize, n: usize) -> Vec<f64>;
+
+    /// Store `data` into `target`'s block at `segs` (in order). Returns
+    /// when the origin buffer is reusable.
+    fn put(&self, target: NodeId, token: u64, segs: &[Segment], data: &[f64]);
+    /// Fetch the elements of `segs` from `target`'s block (blocking).
+    fn get(&self, target: NodeId, token: u64, segs: &[Segment]) -> Vec<f64>;
+    /// Atomically `remote[seg] += alpha * data`. Returns when the origin
+    /// buffer is reusable; remote application is atomic per request.
+    fn acc(&self, target: NodeId, token: u64, segs: &[Segment], alpha: f64, data: &[f64]);
+    /// Atomic integer fetch-and-add on one cell (blocking; returns the
+    /// previous value). Cells hold i64 when used this way.
+    fn read_inc(&self, target: NodeId, token: u64, off: usize, inc: i64) -> i64;
+
+    /// Collective: create `n` global mutexes.
+    fn setup_mutexes(&self, n: usize);
+    /// Acquire global mutex `m` (blocking).
+    fn lock(&self, m: usize);
+    /// Release global mutex `m`.
+    fn unlock(&self, m: usize);
+
+    /// Wait until all put/acc this task issued toward `target` have been
+    /// fully applied there.
+    fn fence(&self, target: NodeId);
+    /// Fence against every task.
+    fn fence_all(&self) {
+        for t in 0..self.tasks() {
+            self.fence(t);
+        }
+    }
+
+    /// Protocol statistics.
+    fn stats(&self) -> &GaStats;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segment_totals() {
+        let segs = [Segment { off: 0, len: 3 }, Segment { off: 10, len: 5 }];
+        assert_eq!(Segment::total(&segs), 8);
+        assert_eq!(Segment::total(&[]), 0);
+    }
+}

@@ -1,0 +1,328 @@
+//! Block distribution and 2-D patch arithmetic.
+//!
+//! GA distributes a `rows × cols` array over the `p` tasks of the job as a
+//! regular 2-D block grid (as square as `p` allows), each task owning one
+//! contiguous block stored **column-major** (GA is Fortran-born; columns
+//! are the contiguous unit — which is why the paper's large 2-D transfers
+//! switch to *per-column* `LAPI_Put`).
+//!
+//! Coordinates follow GA conventions: patches are inclusive `[lo, hi]`
+//! pairs of `(row, col)`.
+
+#![allow(clippy::needless_range_loop)] // index-as-coordinate loops are clearer here
+
+use spsim::NodeId;
+
+/// An inclusive 2-D index range `[lo, hi]` (GA-style patch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Patch {
+    /// Upper-left corner `(row, col)`.
+    pub lo: (usize, usize),
+    /// Lower-right corner `(row, col)`, inclusive.
+    pub hi: (usize, usize),
+}
+
+impl Patch {
+    /// Construct, checking orientation.
+    pub fn new(lo: (usize, usize), hi: (usize, usize)) -> Self {
+        assert!(lo.0 <= hi.0 && lo.1 <= hi.1, "inverted patch {lo:?}..{hi:?}");
+        Patch { lo, hi }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.hi.0 - self.lo.0 + 1
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.hi.1 - self.lo.1 + 1
+    }
+
+    /// Number of elements.
+    pub fn elems(&self) -> usize {
+        self.rows() * self.cols()
+    }
+
+    /// Is this a single row or single column (the paper's "1-D" request)?
+    pub fn is_1d(&self) -> bool {
+        self.rows() == 1 || self.cols() == 1
+    }
+
+    /// Does the patch contain the element?
+    pub fn contains(&self, i: usize, j: usize) -> bool {
+        (self.lo.0..=self.hi.0).contains(&i) && (self.lo.1..=self.hi.1).contains(&j)
+    }
+
+    /// Intersection, if non-empty.
+    pub fn intersect(&self, other: &Patch) -> Option<Patch> {
+        let lo = (self.lo.0.max(other.lo.0), self.lo.1.max(other.lo.1));
+        let hi = (self.hi.0.min(other.hi.0), self.hi.1.min(other.hi.1));
+        if lo.0 <= hi.0 && lo.1 <= hi.1 {
+            Some(Patch { lo, hi })
+        } else {
+            None
+        }
+    }
+}
+
+/// Split `n` items into `parts` near-even chunks; returns `(start, len)` of
+/// chunk `idx` (first `n % parts` chunks get one extra).
+fn split(n: usize, parts: usize, idx: usize) -> (usize, usize) {
+    let base = n / parts;
+    let rem = n % parts;
+    let len = base + usize::from(idx < rem);
+    let start = idx * base + idx.min(rem);
+    (start, len)
+}
+
+/// The regular block distribution of one array.
+#[derive(Debug, Clone)]
+pub struct Distribution {
+    /// Array rows.
+    pub rows: usize,
+    /// Array cols.
+    pub cols: usize,
+    /// Process-grid rows.
+    pub pr: usize,
+    /// Process-grid cols.
+    pub pc: usize,
+}
+
+impl Distribution {
+    /// Distribute `rows × cols` over `p` tasks on an as-square-as-possible
+    /// `pr × pc` grid (`pr * pc == p`).
+    pub fn new(rows: usize, cols: usize, p: usize) -> Self {
+        assert!(p > 0 && rows > 0 && cols > 0);
+        let mut pr = (p as f64).sqrt() as usize;
+        while pr > 1 && !p.is_multiple_of(pr) {
+            pr -= 1;
+        }
+        let pr = pr.max(1);
+        Distribution {
+            rows,
+            cols,
+            pr,
+            pc: p / pr,
+        }
+    }
+
+    /// Number of tasks.
+    pub fn tasks(&self) -> usize {
+        self.pr * self.pc
+    }
+
+    /// Grid coordinates of task `p` (row-major over the grid).
+    pub fn grid_coords(&self, p: NodeId) -> (usize, usize) {
+        assert!(p < self.tasks());
+        (p / self.pc, p % self.pc)
+    }
+
+    /// The block owned by task `p`, or `None` if its block is empty
+    /// (more grid rows/cols than array rows/cols).
+    pub fn block(&self, p: NodeId) -> Option<Patch> {
+        let (gi, gj) = self.grid_coords(p);
+        let (r0, nr) = split(self.rows, self.pr, gi);
+        let (c0, nc) = split(self.cols, self.pc, gj);
+        if nr == 0 || nc == 0 {
+            return None;
+        }
+        Some(Patch::new((r0, c0), (r0 + nr - 1, c0 + nc - 1)))
+    }
+
+    /// Rows of task `p`'s local block (its storage leading dimension).
+    pub fn local_ld(&self, p: NodeId) -> usize {
+        self.block(p).map(|b| b.rows()).unwrap_or(0)
+    }
+
+    /// Elements in task `p`'s local block.
+    pub fn local_elems(&self, p: NodeId) -> usize {
+        self.block(p).map(|b| b.elems()).unwrap_or(0)
+    }
+
+    /// Which task owns element `(i, j)`?
+    pub fn locate(&self, i: usize, j: usize) -> NodeId {
+        assert!(i < self.rows && j < self.cols, "({i},{j}) out of bounds");
+        let gi = locate_1d(self.rows, self.pr, i);
+        let gj = locate_1d(self.cols, self.pc, j);
+        gi * self.pc + gj
+    }
+
+    /// Element offset of `(i, j)` within its owner's column-major block.
+    pub fn local_offset(&self, i: usize, j: usize) -> usize {
+        let p = self.locate(i, j);
+        let b = self.block(p).expect("owner has a block");
+        (j - b.lo.1) * b.rows() + (i - b.lo.0)
+    }
+
+    /// All tasks whose blocks intersect `patch`, with the intersections.
+    pub fn owners(&self, patch: &Patch) -> Vec<(NodeId, Patch)> {
+        assert!(
+            patch.hi.0 < self.rows && patch.hi.1 < self.cols,
+            "patch {patch:?} exceeds array {}x{}",
+            self.rows,
+            self.cols
+        );
+        let mut out = Vec::new();
+        for p in 0..self.tasks() {
+            if let Some(b) = self.block(p) {
+                if let Some(inter) = b.intersect(patch) {
+                    out.push((p, inter));
+                }
+            }
+        }
+        out
+    }
+
+    /// The column segments of `inter` (a sub-patch of `owner`'s block) as
+    /// element offsets within the owner's column-major local storage —
+    /// one [`crate::Segment`]-shaped `(offset, len)` per column.
+    pub fn column_segments(&self, owner: NodeId, inter: &Patch) -> Vec<(usize, usize)> {
+        let b = self.block(owner).expect("owner has a block");
+        debug_assert!(b.intersect(inter) == Some(*inter));
+        let ld = b.rows();
+        let seg_rows = inter.rows();
+        (inter.lo.1..=inter.hi.1)
+            .map(|j| ((j - b.lo.1) * ld + (inter.lo.0 - b.lo.0), seg_rows))
+            .collect()
+    }
+}
+
+fn locate_1d(n: usize, parts: usize, idx: usize) -> usize {
+    let base = n / parts;
+    let rem = n % parts;
+    let big = rem * (base + 1);
+    if idx < big {
+        idx / (base + 1)
+    } else {
+        rem + (idx - big) / base.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_covers_everything() {
+        for n in [1usize, 7, 100, 101, 1024] {
+            for parts in [1usize, 2, 3, 4, 7] {
+                let mut covered = 0;
+                for idx in 0..parts {
+                    let (start, len) = split(n, parts, idx);
+                    assert_eq!(start, covered);
+                    covered += len;
+                }
+                assert_eq!(covered, n);
+            }
+        }
+    }
+
+    #[test]
+    fn grid_is_square_when_possible() {
+        let d = Distribution::new(100, 100, 4);
+        assert_eq!((d.pr, d.pc), (2, 2));
+        let d = Distribution::new(100, 100, 6);
+        assert_eq!((d.pr, d.pc), (2, 3));
+        let d = Distribution::new(100, 100, 7);
+        assert_eq!((d.pr, d.pc), (1, 7));
+        let d = Distribution::new(100, 100, 16);
+        assert_eq!((d.pr, d.pc), (4, 4));
+    }
+
+    #[test]
+    fn blocks_tile_the_array() {
+        let d = Distribution::new(17, 23, 6);
+        let mut seen = vec![vec![false; 23]; 17];
+        for p in 0..6 {
+            let b = d.block(p).expect("non-empty");
+            for i in b.lo.0..=b.hi.0 {
+                for j in b.lo.1..=b.hi.1 {
+                    assert!(!seen[i][j], "overlap at ({i},{j})");
+                    seen[i][j] = true;
+                }
+            }
+        }
+        assert!(seen.iter().flatten().all(|&s| s));
+    }
+
+    #[test]
+    fn locate_agrees_with_blocks() {
+        let d = Distribution::new(31, 19, 4);
+        for i in 0..31 {
+            for j in 0..19 {
+                let p = d.locate(i, j);
+                assert!(d.block(p).expect("block").contains(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn local_offset_is_column_major() {
+        let d = Distribution::new(8, 8, 4); // 2x2 grid, blocks 4x4
+        // task 0 owns rows 0..=3, cols 0..=3 with ld=4
+        assert_eq!(d.local_offset(0, 0), 0);
+        assert_eq!(d.local_offset(1, 0), 1);
+        assert_eq!(d.local_offset(0, 1), 4);
+        assert_eq!(d.local_offset(3, 3), 15);
+        // task 3 owns rows 4..=7, cols 4..=7
+        assert_eq!(d.local_offset(4, 4), 0);
+        assert_eq!(d.local_offset(5, 6), 2 * 4 + 1);
+    }
+
+    #[test]
+    fn owners_decompose_patches() {
+        let d = Distribution::new(10, 10, 4);
+        let patch = Patch::new((3, 3), (7, 7)); // spans all 4 blocks
+        let owners = d.owners(&patch);
+        assert_eq!(owners.len(), 4);
+        let total: usize = owners.iter().map(|(_, p)| p.elems()).sum();
+        assert_eq!(total, patch.elems());
+    }
+
+    #[test]
+    fn column_segments_match_layout() {
+        let d = Distribution::new(8, 8, 4);
+        // patch inside task 0's block: rows 1..=2, cols 1..=2
+        let segs = d.column_segments(0, &Patch::new((1, 1), (2, 2)));
+        assert_eq!(segs, vec![(4 + 1, 2), (8 + 1, 2)]);
+    }
+
+    #[test]
+    fn patch_helpers() {
+        let p = Patch::new((2, 3), (5, 3));
+        assert_eq!(p.rows(), 4);
+        assert_eq!(p.cols(), 1);
+        assert!(p.is_1d());
+        assert_eq!(p.elems(), 4);
+        assert!(p.contains(3, 3));
+        assert!(!p.contains(3, 4));
+        let q = Patch::new((0, 0), (2, 10));
+        assert_eq!(p.intersect(&q), Some(Patch::new((2, 3), (2, 3))));
+        assert_eq!(p.intersect(&Patch::new((6, 0), (7, 7))), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_patch_rejected() {
+        let _ = Patch::new((3, 0), (2, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds array")]
+    fn oob_patch_rejected() {
+        let d = Distribution::new(4, 4, 1);
+        let _ = d.owners(&Patch::new((0, 0), (4, 4)));
+    }
+
+    #[test]
+    fn uneven_distribution_locate_1d() {
+        // 10 rows over 3 parts: 4,3,3
+        assert_eq!(locate_1d(10, 3, 0), 0);
+        assert_eq!(locate_1d(10, 3, 3), 0);
+        assert_eq!(locate_1d(10, 3, 4), 1);
+        assert_eq!(locate_1d(10, 3, 6), 1);
+        assert_eq!(locate_1d(10, 3, 7), 2);
+        assert_eq!(locate_1d(10, 3, 9), 2);
+    }
+}

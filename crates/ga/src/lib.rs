@@ -1,0 +1,49 @@
+//! # ga — the Global Arrays toolkit over LAPI and MPL
+//!
+//! A Rust reproduction of the Global Arrays (GA) library as described in
+//! §5 of the LAPI paper: a portable shared-memory-style view of dense
+//! 2-D arrays block-distributed over the tasks of a message-passing job.
+//! GA operations are *unilateral* — their progress never depends on the
+//! target task making calls — which is why the paper pairs GA with LAPI
+//! and why the older MPL port needed `rcvncall` interrupt handlers.
+//!
+//! Two complete backends are provided, exactly as in the paper's
+//! evaluation:
+//!
+//! * [`backend_lapi::LapiGaBackend`] — the §5.3 design: **hybrid
+//!   protocols** that switch between active messages (small/noncontiguous
+//!   requests ride entirely in the ~900-byte AM user header, pipelined one
+//!   packet each) and direct remote memory copy (`LAPI_Put`/`LAPI_Get` for
+//!   large contiguous data; per-column RMC for ≥0.5 MB 2-D patches);
+//!   **generalized counters** (one per remote task) for fence/ordering;
+//!   a fixed **AM buffer pool** for the large-accumulate path; atomic
+//!   accumulate in handlers; `read_inc` via `LAPI_Rmw`; locks via
+//!   compare-and-swap.
+//! * [`backend_mpl::MplGaBackend`] — the §5.2 design it replaced: request
+//!   messages to `rcvncall` interrupt handlers, with the unavoidable
+//!   extra copies (the request header and data must travel in one message
+//!   because MPL delivery is in-order) and the expensive AIX handler
+//!   context per request.
+//!
+//! The user-facing API ([`Ga`], [`GlobalArray`]) is backend-agnostic:
+//! `put`/`get`/`acc` on 2-D patches, `scatter`/`gather`, atomic
+//! `read_inc`, mutexes, `fence` and `sync` — the operation set §5.1 lists.
+
+#![warn(missing_docs)]
+
+pub mod array;
+pub mod backend;
+pub mod backend_lapi;
+pub mod backend_mpl;
+pub mod config;
+pub mod dist;
+pub mod reqwire;
+pub mod runtime;
+
+pub use array::{GaKind, GlobalArray};
+pub use backend::{GaBackend, GaStats, Segment};
+pub use backend_lapi::LapiGaBackend;
+pub use backend_mpl::MplGaBackend;
+pub use config::GaConfig;
+pub use dist::{Distribution, Patch};
+pub use runtime::Ga;

@@ -1,0 +1,261 @@
+//! Encoding of GA request messages.
+//!
+//! Both backends ship GA requests as byte strings — inside LAPI AM user
+//! headers (≤ `MAX_UHDR_SZ`) or as MPL messages — so the encoding is manual
+//! little-endian (the paper's SP is homogeneous; no cross-endian concerns).
+
+use crate::backend::Segment;
+
+/// Operation codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Op {
+    /// Store the carried elements at the carried segments.
+    Put = 1,
+    /// Fetch the elements of the carried segments and reply.
+    Get = 2,
+    /// Atomically add `alpha *` carried elements at the segments.
+    Acc = 3,
+    /// Atomic fetch-and-add on one cell; reply with the previous value.
+    ReadInc = 4,
+    /// Acquire a mutex (reply = grant).
+    Lock = 5,
+    /// Release a mutex.
+    Unlock = 6,
+    /// Flush marker (MPL backend fence; reply = all prior requests done).
+    Flush = 7,
+}
+
+impl Op {
+    /// Decode an op byte.
+    pub fn from_u8(b: u8) -> Op {
+        match b {
+            1 => Op::Put,
+            2 => Op::Get,
+            3 => Op::Acc,
+            4 => Op::ReadInc,
+            5 => Op::Lock,
+            6 => Op::Unlock,
+            7 => Op::Flush,
+            other => panic!("bad GA op byte {other}"),
+        }
+    }
+}
+
+/// A decoded GA request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaReq {
+    /// Operation.
+    pub op: Op,
+    /// Remote block token (LAPI: target arena address; MPL: block index).
+    pub token: u64,
+    /// Scale factor (Acc) — 1.0 otherwise.
+    pub alpha: f64,
+    /// Reply routing, op-specific:
+    /// Get (LAPI): `(origin reply address, origin counter id)`;
+    /// Get/ReadInc/Lock/Flush (MPL): `(reply tag, 0)`;
+    /// ReadInc: increment is stored in `alpha` as bits? — no: see `inc`.
+    pub reply: (u64, u32),
+    /// Increment for ReadInc / mutex id for Lock/Unlock.
+    pub inc: i64,
+    /// Target segments (element offsets/lengths in the remote block).
+    pub segs: Vec<Segment>,
+    /// Element payload (Put/Acc), in segment order.
+    pub data: Vec<f64>,
+}
+
+impl GaReq {
+    /// Fixed header bytes before the segment list.
+    pub const HEADER_BYTES: usize = 1 + 8 + 8 + 8 + 4 + 8 + 4;
+    /// Bytes per encoded segment.
+    pub const SEG_BYTES: usize = 8 + 4;
+
+    /// Encoded size of a request with `nsegs` segments and `nelems`
+    /// payload elements.
+    pub fn encoded_len(nsegs: usize, nelems: usize) -> usize {
+        Self::HEADER_BYTES + nsegs * Self::SEG_BYTES + nelems * 8
+    }
+
+    /// Serialize.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(Self::encoded_len(self.segs.len(), self.data.len()));
+        out.push(self.op as u8);
+        out.extend_from_slice(&self.token.to_le_bytes());
+        out.extend_from_slice(&self.alpha.to_le_bytes());
+        out.extend_from_slice(&self.reply.0.to_le_bytes());
+        out.extend_from_slice(&self.reply.1.to_le_bytes());
+        out.extend_from_slice(&self.inc.to_le_bytes());
+        out.extend_from_slice(&(self.segs.len() as u32).to_le_bytes());
+        for s in &self.segs {
+            out.extend_from_slice(&(s.off as u64).to_le_bytes());
+            out.extend_from_slice(&(s.len as u32).to_le_bytes());
+        }
+        for v in &self.data {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserialize (panics on malformed input — requests are
+    /// library-generated, so corruption is an internal bug).
+    pub fn decode(bytes: &[u8]) -> GaReq {
+        let mut r = Reader { b: bytes, pos: 0 };
+        let op = Op::from_u8(r.u8());
+        let token = r.u64();
+        let alpha = f64::from_bits(r.u64());
+        let reply0 = r.u64();
+        let reply1 = r.u32();
+        let inc = r.u64() as i64;
+        let nsegs = r.u32() as usize;
+        let mut segs = Vec::with_capacity(nsegs);
+        for _ in 0..nsegs {
+            let off = r.u64() as usize;
+            let len = r.u32() as usize;
+            segs.push(Segment { off, len });
+        }
+        let mut data = Vec::with_capacity(r.remaining() / 8);
+        while r.remaining() >= 8 {
+            data.push(f64::from_bits(r.u64()));
+        }
+        assert_eq!(r.remaining(), 0, "trailing bytes in GA request");
+        GaReq {
+            op,
+            token,
+            alpha,
+            reply: (reply0, reply1),
+            inc,
+            segs,
+            data,
+        }
+    }
+}
+
+struct Reader<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn u8(&mut self) -> u8 {
+        let v = self.b[self.pos];
+        self.pos += 1;
+        v
+    }
+    fn u32(&mut self) -> u32 {
+        let v = u32::from_le_bytes(self.b[self.pos..self.pos + 4].try_into().expect("4"));
+        self.pos += 4;
+        v
+    }
+    fn u64(&mut self) -> u64 {
+        let v = u64::from_le_bytes(self.b[self.pos..self.pos + 8].try_into().expect("8"));
+        self.pos += 8;
+        v
+    }
+    fn remaining(&self) -> usize {
+        self.b.len() - self.pos
+    }
+}
+
+/// Pack f64s as LE bytes (for RMC transfers).
+pub fn f64s_to_bytes(vals: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(vals.len() * 8);
+    for v in vals {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Unpack LE bytes into f64s.
+pub fn bytes_to_f64s(bytes: &[u8]) -> Vec<f64> {
+    assert_eq!(bytes.len() % 8, 0, "ragged f64 byte buffer");
+    bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("8")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(req: &GaReq) {
+        let enc = req.encode();
+        assert_eq!(enc.len(), GaReq::encoded_len(req.segs.len(), req.data.len()));
+        assert_eq!(&GaReq::decode(&enc), req);
+    }
+
+    #[test]
+    fn encode_decode_put() {
+        roundtrip(&GaReq {
+            op: Op::Put,
+            token: 0xabcd_ef01,
+            alpha: 1.0,
+            reply: (0, 0),
+            inc: 0,
+            segs: vec![Segment { off: 5, len: 3 }, Segment { off: 100, len: 1 }],
+            data: vec![1.5, -2.0, 3.0, 4.0],
+        });
+    }
+
+    #[test]
+    fn encode_decode_get() {
+        roundtrip(&GaReq {
+            op: Op::Get,
+            token: 7,
+            alpha: 1.0,
+            reply: (0xdead_beef, 42),
+            inc: 0,
+            segs: vec![Segment { off: 0, len: 1000 }],
+            data: vec![],
+        });
+    }
+
+    #[test]
+    fn encode_decode_read_inc_negative() {
+        roundtrip(&GaReq {
+            op: Op::ReadInc,
+            token: 1,
+            alpha: 1.0,
+            reply: (9, 1),
+            inc: -17,
+            segs: vec![],
+            data: vec![],
+        });
+    }
+
+    #[test]
+    fn encode_decode_acc_alpha() {
+        roundtrip(&GaReq {
+            op: Op::Acc,
+            token: 3,
+            alpha: -0.25,
+            reply: (0, 0),
+            inc: 0,
+            segs: vec![Segment { off: 9, len: 2 }],
+            data: vec![10.0, 20.0],
+        });
+    }
+
+    #[test]
+    fn f64_bytes_roundtrip() {
+        let vals = vec![0.0, 1.5, -3.25, f64::MAX, f64::MIN_POSITIVE];
+        assert_eq!(bytes_to_f64s(&f64s_to_bytes(&vals)), vals);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad GA op")]
+    fn bad_op_rejected() {
+        let mut enc = GaReq {
+            op: Op::Put,
+            token: 0,
+            alpha: 1.0,
+            reply: (0, 0),
+            inc: 0,
+            segs: vec![],
+            data: vec![],
+        }
+        .encode();
+        enc[0] = 99;
+        let _ = GaReq::decode(&enc);
+    }
+}

@@ -1,0 +1,122 @@
+//! The per-task GA runtime: array creation, synchronization, mutexes.
+
+use std::sync::Arc;
+
+use spsim::{NodeId, VDur, VTime};
+
+use crate::array::{ArrayMeta, GaKind, GlobalArray};
+use crate::backend::{GaBackend, GaStats};
+use crate::dist::Distribution;
+
+/// One task's Global Arrays runtime. Cheap to clone (shares the backend).
+#[derive(Clone)]
+pub struct Ga {
+    backend: Arc<dyn GaBackend>,
+    created: Arc<parking_lot::Mutex<u32>>,
+}
+
+impl Ga {
+    /// Wrap a backend (one per task; construction is local, creation of
+    /// arrays is collective).
+    pub fn new(backend: Arc<dyn GaBackend>) -> Ga {
+        Ga {
+            backend,
+            created: Arc::new(parking_lot::Mutex::new(0)),
+        }
+    }
+
+    /// This task's id.
+    pub fn id(&self) -> NodeId {
+        self.backend.id()
+    }
+
+    /// Number of tasks.
+    pub fn tasks(&self) -> usize {
+        self.backend.tasks()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> VTime {
+        self.backend.clock().now()
+    }
+
+    /// Charge local computation (models application work).
+    pub fn compute(&self, cost: VDur) {
+        self.backend.clock().advance(cost);
+    }
+
+    /// The backend (e.g. for protocol statistics).
+    pub fn backend(&self) -> &Arc<dyn GaBackend> {
+        &self.backend
+    }
+
+    /// Protocol statistics.
+    pub fn stats(&self) -> &GaStats {
+        self.backend.stats()
+    }
+
+    /// Collective: create a `rows × cols` global array. Every task must
+    /// call with identical arguments, in the same creation order.
+    pub fn create(&self, name: &str, rows: usize, cols: usize, kind: GaKind) -> GlobalArray {
+        let dist = Distribution::new(rows, cols, self.tasks());
+        let elems = dist.local_elems(self.id());
+        let token = self.backend.create_block(elems.max(1));
+        let tokens = self.backend.exchange(token);
+        let id = {
+            let mut c = self.created.lock();
+            *c += 1;
+            *c - 1
+        };
+        GlobalArray::new(
+            Arc::clone(&self.backend),
+            Arc::new(ArrayMeta {
+                id,
+                name: name.to_string(),
+                kind,
+                dist,
+                tokens,
+            }),
+        )
+    }
+
+    /// Collective: complete all outstanding GA operations everywhere and
+    /// synchronize (GA `ga_sync`).
+    pub fn sync(&self) {
+        self.backend.sync();
+    }
+
+    /// Wait until every store this task issued toward `target` has been
+    /// applied (GA fence, §5.3.2).
+    pub fn fence(&self, target: NodeId) {
+        self.backend.fence(target);
+    }
+
+    /// Fence against all tasks.
+    pub fn fence_all(&self) {
+        self.backend.fence_all();
+    }
+
+    /// Collective: create `n` global mutexes.
+    pub fn create_mutexes(&self, n: usize) {
+        self.backend.setup_mutexes(n);
+    }
+
+    /// Acquire global mutex `m`.
+    pub fn lock(&self, m: usize) {
+        self.backend.lock(m);
+    }
+
+    /// Release global mutex `m`.
+    pub fn unlock(&self, m: usize) {
+        self.backend.unlock(m);
+    }
+}
+
+impl std::fmt::Debug for Ga {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ga")
+            .field("task", &self.id())
+            .field("tasks", &self.tasks())
+            .finish()
+    }
+}

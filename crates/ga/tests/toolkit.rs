@@ -1,0 +1,532 @@
+//! End-to-end Global Arrays tests, run against BOTH backends and
+//! cross-checked element-wise against a sequential reference.
+
+use std::sync::Arc;
+
+use ga::{Ga, GaBackend, GaConfig, GaKind, LapiGaBackend, MplGaBackend, Patch};
+use lapi::{LapiWorld, Mode};
+use mpl::{MplMode, MplWorld};
+use spsim::{run_spmd_with, MachineConfig};
+
+/// Build a GA world on the LAPI backend.
+fn lapi_world(n: usize) -> Vec<Ga> {
+    LapiWorld::init(n, MachineConfig::default(), Mode::Interrupt)
+        .into_iter()
+        .map(|ctx| Ga::new(LapiGaBackend::new(ctx, GaConfig::default()) as Arc<dyn GaBackend>))
+        .collect()
+}
+
+/// Build a GA world on the MPL backend.
+fn mpl_world(n: usize) -> Vec<Ga> {
+    MplWorld::init(n, MachineConfig::default(), MplMode::Interrupt)
+        .into_iter()
+        .map(|ctx| Ga::new(MplGaBackend::new(ctx) as Arc<dyn GaBackend>))
+        .collect()
+}
+
+/// Run the same closure on both backends.
+fn both(n: usize, f: impl Fn(usize, &Ga) + Sync + Send + Copy) {
+    run_spmd_with(lapi_world(n), |rank, ga| f(rank, &ga));
+    run_spmd_with(mpl_world(n), |rank, ga| f(rank, &ga));
+}
+
+fn col_major(patch: &Patch, f: impl Fn(usize, usize) -> f64) -> Vec<f64> {
+    let mut out = Vec::with_capacity(patch.elems());
+    for j in patch.lo.1..=patch.hi.1 {
+        for i in patch.lo.0..=patch.hi.0 {
+            out.push(f(i, j));
+        }
+    }
+    out
+}
+
+#[test]
+fn put_get_roundtrip_single_owner() {
+    both(4, |rank, ga| {
+        let a = ga.create("a", 16, 16, GaKind::Double);
+        ga.sync();
+        if rank == 0 {
+            // patch inside task 3's block (blocks are 8x8 on a 2x2 grid)
+            let p = Patch::new((9, 9), (12, 13));
+            let data = col_major(&p, |i, j| (i * 100 + j) as f64);
+            a.put(p, &data);
+            ga.fence(3);
+            assert_eq!(a.get(p), data);
+        }
+        ga.sync();
+    });
+}
+
+#[test]
+fn put_get_spanning_all_owners() {
+    both(4, |rank, ga| {
+        let a = ga.create("a", 20, 20, GaKind::Double);
+        ga.sync();
+        if rank == 1 {
+            let p = Patch::new((5, 5), (14, 14)); // spans all 4 blocks
+            let data = col_major(&p, |i, j| (i as f64) * 1000.0 + j as f64);
+            a.put(p, &data);
+            ga.fence_all();
+            assert_eq!(a.get(p), data);
+        }
+        ga.sync();
+        // every task verifies its local view
+        if let Some(b) = a.local_patch() {
+            if let Some(inter) = b.intersect(&Patch::new((5, 5), (14, 14))) {
+                let got = a.get(inter);
+                assert_eq!(got, col_major(&inter, |i, j| (i as f64) * 1000.0 + j as f64));
+            }
+        }
+        ga.sync();
+    });
+}
+
+#[test]
+fn one_d_row_and_column_patches() {
+    both(4, |rank, ga| {
+        let a = ga.create("a", 64, 64, GaKind::Double);
+        ga.sync();
+        if rank == 2 {
+            // a full column (contiguous at owners) and a full row (strided)
+            let col = Patch::new((0, 10), (63, 10));
+            let cdata = col_major(&col, |i, _| i as f64 + 0.5);
+            a.put(col, &cdata);
+            // The two patches overlap at (20,10): §5.1 — overlapping stores
+            // need a fence between them or their order is undefined.
+            ga.fence_all();
+            let row = Patch::new((20, 0), (20, 63));
+            let rdata = col_major(&row, |_, j| j as f64 * 2.0);
+            a.put(row, &rdata);
+            ga.fence_all();
+            assert_eq!(a.get(row), rdata);
+            // crossing element got both writes; row came second and the
+            // fence ordered them
+            assert_eq!(a.get(Patch::new((20, 10), (20, 10))), vec![20.0]);
+            // the column keeps its values everywhere except the crossing
+            let col_now = a.get(col);
+            for (k, v) in col_now.iter().enumerate() {
+                let expect = if k == 20 { 20.0 } else { cdata[k] };
+                assert_eq!(*v, expect, "row {k}");
+            }
+        }
+        ga.sync();
+    });
+}
+
+#[test]
+fn large_transfers_use_direct_rmc_on_lapi() {
+    let n = 2;
+    run_spmd_with(lapi_world(n), |rank, ga| {
+        let a = ga.create("big", 1 << 16, 2, GaKind::Double); // 64Ki x 2
+        ga.sync();
+        if rank == 0 {
+            // One full column living on task 1 (blocks split columns).
+            let owner_block = a.distribution(1).expect("block");
+            let p = owner_block; // whole remote block: contiguous columns
+            let data = col_major(&p, |i, j| (i + j) as f64);
+            a.put(p, &data);
+            ga.fence(1);
+            let got = a.get(p);
+            assert_eq!(got.len(), data.len());
+            assert_eq!(got, data);
+            let s = ga.stats();
+            assert!(
+                s.direct_rmc.get() + s.per_column_rmc.get() > 0,
+                "large contiguous transfers should use direct RMC"
+            );
+        }
+        ga.sync();
+    });
+}
+
+#[test]
+fn small_transfers_use_am_on_lapi() {
+    run_spmd_with(lapi_world(2), |rank, ga| {
+        let a = ga.create("small", 32, 32, GaKind::Double);
+        ga.sync();
+        if rank == 0 {
+            let other = a.distribution(1).expect("block");
+            let p = Patch::new(other.lo, other.lo); // one element
+            a.put(p, &[3.25]);
+            ga.fence(1);
+            assert_eq!(a.get(p), vec![3.25]);
+            assert!(ga.stats().am_requests.get() >= 2, "expected the AM path");
+            assert_eq!(ga.stats().direct_rmc.get(), 0);
+        }
+        ga.sync();
+    });
+}
+
+#[test]
+fn accumulate_is_atomic_and_commutative() {
+    both(4, |_rank, ga| {
+        let a = ga.create("acc", 10, 10, GaKind::Double);
+        a.fill(0.0);
+        ga.sync();
+        // Everyone accumulates into the same full array, repeatedly.
+        let p = a.full_patch();
+        let ones = vec![1.0; p.elems()];
+        for _ in 0..5 {
+            a.acc(p, 2.0, &ones);
+        }
+        ga.sync();
+        // 4 tasks x 5 rounds x alpha 2.0 = 40 in every element
+        let got = a.get(p);
+        assert!(got.iter().all(|&v| v == 40.0), "{got:?}");
+        ga.sync();
+    });
+}
+
+#[test]
+fn bulk_accumulate_uses_pool_buffers_on_lapi() {
+    run_spmd_with(lapi_world(2), |rank, ga| {
+        let a = ga.create("bigacc", 256, 256, GaKind::Double); // 512KB total
+        a.fill(1.0);
+        ga.sync();
+        if rank == 0 {
+            let p = a.full_patch();
+            let data = col_major(&p, |i, j| (i + j) as f64);
+            a.acc(p, 1.0, &data); // 512KB ≥ bulk threshold
+            ga.fence_all();
+            let got = a.get(p);
+            for (k, (g, d)) in got.iter().zip(&data).enumerate() {
+                assert_eq!(*g, 1.0 + d, "element {k}");
+            }
+            assert!(ga.stats().am_bulk_requests.get() > 0, "expected the bulk AM path");
+        }
+        ga.sync();
+    });
+}
+
+#[test]
+fn scatter_gather_roundtrip() {
+    both(4, |rank, ga| {
+        let a = ga.create("sg", 40, 40, GaKind::Double);
+        a.fill(0.0);
+        ga.sync();
+        if rank == 3 {
+            let points: Vec<(usize, usize)> =
+                (0..50).map(|k| ((k * 7) % 40, (k * 13) % 40)).collect();
+            // make points unique to avoid overlapping-store ambiguity
+            let mut seen = std::collections::HashSet::new();
+            let points: Vec<(usize, usize)> =
+                points.into_iter().filter(|p| seen.insert(*p)).collect();
+            let values: Vec<f64> = (0..points.len()).map(|k| k as f64 + 0.25).collect();
+            a.scatter(&points, &values);
+            ga.fence_all();
+            assert_eq!(a.gather(&points), values);
+        }
+        ga.sync();
+    });
+}
+
+#[test]
+fn read_inc_is_a_global_atomic_counter() {
+    both(4, |_rank, ga| {
+        let c = ga.create("nxtval", 1, 1, GaKind::Int);
+        c.fill_int(0);
+        ga.sync();
+        // All tasks pull tickets; union must be exactly 0..4*25
+        let mine: Vec<i64> = (0..25).map(|_| c.read_inc(0, 0, 1)).collect();
+        // strictly increasing per task
+        assert!(mine.windows(2).all(|w| w[0] < w[1]));
+        ga.sync();
+        let total = c.get_int(Patch::new((0, 0), (0, 0)))[0];
+        assert_eq!(total, 100);
+        ga.sync();
+    });
+}
+
+#[test]
+fn mutexes_provide_mutual_exclusion() {
+    both(4, |_rank, ga| {
+        ga.create_mutexes(2);
+        let a = ga.create("prot", 1, 1, GaKind::Double);
+        a.fill(0.0);
+        ga.sync();
+        let p = Patch::new((0, 0), (0, 0));
+        // classic non-atomic read-modify-write made safe by the lock
+        for _ in 0..10 {
+            ga.lock(1);
+            let v = a.get(p)[0];
+            a.put(p, &[v + 1.0]);
+            ga.fence(a.locate(0, 0));
+            ga.unlock(1);
+        }
+        ga.sync();
+        assert_eq!(a.get(p), vec![40.0]);
+        ga.sync();
+    });
+}
+
+#[test]
+fn fence_orders_overlapping_puts() {
+    both(2, |rank, ga| {
+        let a = ga.create("ord", 8, 8, GaKind::Double);
+        ga.sync();
+        if rank == 0 {
+            let p = a.distribution(1).expect("block");
+            for round in 1..=10 {
+                a.put(p, &vec![round as f64; p.elems()]);
+                ga.fence(1);
+            }
+        }
+        ga.sync();
+        if rank == 1 {
+            let b = a.local_patch().expect("block");
+            assert!(a.get(b).iter().all(|&v| v == 10.0));
+        }
+        ga.sync();
+    });
+}
+
+#[test]
+fn locality_information_is_exact() {
+    both(4, |rank, ga| {
+        let a = ga.create("loc", 30, 30, GaKind::Double);
+        ga.sync();
+        // locate() agrees with distribution()
+        for i in (0..30).step_by(7) {
+            for j in (0..30).step_by(5) {
+                let owner = a.locate(i, j);
+                assert!(a.distribution(owner).expect("block").contains(i, j));
+            }
+        }
+        // the local block is mine
+        if let Some(b) = a.local_patch() {
+            assert_eq!(a.locate(b.lo.0, b.lo.1), rank);
+        }
+        ga.sync();
+    });
+}
+
+#[test]
+fn local_data_matches_gets() {
+    both(4, |_rank, ga| {
+        let a = ga.create("ld", 12, 12, GaKind::Double);
+        ga.sync();
+        let full = a.full_patch();
+        let data = col_major(&full, |i, j| (i * 31 + j * 17) as f64);
+        // task 0 writes everything
+        if a.locate(0, 0) == 0 {
+            // only one task puts (task owning (0,0) is always 0)
+        }
+        ga.sync();
+        if spsim::NodeId::from(0u8 as usize) == 0 {
+            // no-op; keep structure simple
+        }
+        a.put(full, &data); // everyone puts the same values — idempotent
+        ga.sync();
+        if let Some(b) = a.local_patch() {
+            let mine = a.local_data();
+            let expect = col_major(&b, |i, j| (i * 31 + j * 17) as f64);
+            assert_eq!(mine, expect);
+        }
+        ga.sync();
+    });
+}
+
+#[test]
+fn int_arrays_roundtrip_bits() {
+    both(2, |rank, ga| {
+        let a = ga.create("ints", 4, 4, GaKind::Int);
+        a.fill_int(-7);
+        ga.sync();
+        if rank == 0 {
+            let p = a.full_patch();
+            let got = a.get_int(p);
+            assert!(got.iter().all(|&v| v == -7));
+        }
+        ga.sync();
+    });
+}
+
+#[test]
+fn many_concurrent_writers_disjoint_patches() {
+    both(4, |rank, ga| {
+        let a = ga.create("conc", 32, 32, GaKind::Double);
+        ga.sync();
+        // each task writes a disjoint row band of 8 rows — no ordering
+        // needed for non-overlapping sections (§5.1)
+        let p = Patch::new((rank * 8, 0), (rank * 8 + 7, 31));
+        let data = col_major(&p, |i, j| (rank * 10_000 + i * 100 + j) as f64);
+        a.put(p, &data);
+        ga.sync();
+        // verify someone else's band
+        let other = (rank + 1) % 4;
+        let q = Patch::new((other * 8, 0), (other * 8 + 7, 31));
+        assert_eq!(
+            a.get(q),
+            col_major(&q, |i, j| (other * 10_000 + i * 100 + j) as f64)
+        );
+        ga.sync();
+    });
+}
+
+#[test]
+fn lossy_network_does_not_corrupt_ga() {
+    let cfg = MachineConfig::default().with_drop_prob(0.1);
+    let gas: Vec<Ga> = LapiWorld::init_seeded(3, cfg, Mode::Interrupt, 5)
+        .into_iter()
+        .map(|ctx| Ga::new(LapiGaBackend::new(ctx, GaConfig::default()) as Arc<dyn GaBackend>))
+        .collect();
+    run_spmd_with(gas, |rank, ga| {
+        let a = ga.create("lossy", 24, 24, GaKind::Double);
+        a.fill(0.0);
+        ga.sync();
+        let p = a.full_patch();
+        let ones = vec![1.0; p.elems()];
+        a.acc(p, 1.0, &ones);
+        ga.sync();
+        if rank == 0 {
+            assert!(a.get(p).iter().all(|&v| v == 3.0));
+        }
+        ga.sync();
+    });
+}
+
+#[test]
+fn backends_agree_elementwise() {
+    // The same program must produce identical arrays on both backends.
+    let run = |gas: Vec<Ga>| -> Vec<f64> {
+        let results = run_spmd_with(gas, |rank, ga| {
+            let a = ga.create("agree", 16, 16, GaKind::Double);
+            a.fill(0.5);
+            ga.sync();
+            let p = Patch::new((rank * 4, 0), (rank * 4 + 3, 15));
+            let data = col_major(&p, |i, j| ((i * 16 + j) as f64).sin());
+            a.put(p, &data);
+            ga.sync();
+            a.acc(a.full_patch(), 0.25, &vec![1.0; 256]);
+            ga.sync();
+            let out = if rank == 0 {
+                a.get(a.full_patch())
+            } else {
+                vec![]
+            };
+            // keep every task alive until rank 0's remote gets completed
+            ga.sync();
+            out
+        });
+        results.into_iter().next().expect("rank 0 result")
+    };
+    let lapi_result = run(lapi_world(4));
+    let mpl_result = run(mpl_world(4));
+    assert_eq!(lapi_result, mpl_result);
+}
+
+#[test]
+fn vector_rmc_extension_agrees_with_hybrid_protocols() {
+    // The §6 vector interface must produce identical arrays while using
+    // the putv/getv path for noncontiguous transfers.
+    let run = |cfg: GaConfig| -> (Vec<f64>, u64) {
+        let gas: Vec<Ga> = LapiWorld::init(2, MachineConfig::default(), Mode::Interrupt)
+            .into_iter()
+            .map(|ctx| {
+                let be = ga::LapiGaBackend::new(ctx, cfg.clone());
+                Ga::new(be as Arc<dyn GaBackend>)
+            })
+            .collect();
+        let out = run_spmd_with(gas, |rank, ga| {
+            let a = ga.create("vec", 128, 128, GaKind::Double);
+            a.fill(0.0);
+            ga.sync();
+            let mut result = (Vec::new(), 0);
+            if rank == 0 {
+                let other = a.distribution(1).expect("block");
+                // strided 2-D patch: 40x40 inside the remote block
+                let p = Patch::new(other.lo, (other.lo.0 + 39, other.lo.1 + 39));
+                let data = col_major(&p, |i, j| (i * 131 + j) as f64);
+                a.put(p, &data);
+                ga.fence(1);
+                let got = a.get(p);
+                assert_eq!(got, data);
+                result = (got, ga.stats().vector_rmc.get());
+            }
+            ga.sync();
+            result
+        });
+        out.into_iter().next().expect("rank 0")
+    };
+    let (hybrid_data, hybrid_vec_ops) = run(GaConfig::default());
+    let (vector_data, vector_vec_ops) = run(GaConfig::default().with_vector_rmc());
+    assert_eq!(hybrid_data, vector_data);
+    assert_eq!(hybrid_vec_ops, 0, "hybrid mode must not use putv/getv");
+    assert!(vector_vec_ops > 0, "vector mode must use putv/getv");
+}
+
+#[test]
+fn vector_mode_full_workload_matches_mpl() {
+    let lapi_vec: Vec<Ga> = LapiWorld::init(4, MachineConfig::default(), Mode::Interrupt)
+        .into_iter()
+        .map(|ctx| {
+            Ga::new(ga::LapiGaBackend::new(ctx, GaConfig::default().with_vector_rmc())
+                as Arc<dyn GaBackend>)
+        })
+        .collect();
+    let run = |gas: Vec<Ga>| {
+        let out = run_spmd_with(gas, |rank, ga| {
+            let a = ga.create("w", 32, 32, GaKind::Double);
+            a.fill(1.0);
+            ga.sync();
+            let p = Patch::new((rank * 8, 0), (rank * 8 + 7, 31));
+            a.put(p, &col_major(&p, |i, j| (i + j) as f64));
+            ga.sync();
+            a.acc(a.full_patch(), 2.0, &vec![0.5; 1024]);
+            ga.sync();
+            let r = if rank == 0 { a.get(a.full_patch()) } else { vec![] };
+            ga.sync();
+            r
+        });
+        out.into_iter().next().expect("rank 0")
+    };
+    let vec_result = run(lapi_vec);
+    let mpl_result = run(mpl_world(4));
+    assert_eq!(vec_result, mpl_result);
+}
+
+#[test]
+fn whole_array_helpers_copy_scale_dot() {
+    both(4, |_rank, ga| {
+        let a = ga.create("ha", 12, 12, GaKind::Double);
+        let b = ga.create("hb", 12, 12, GaKind::Double);
+        a.fill(2.0);
+        ga.sync();
+        a.copy_to(&b);
+        ga.sync();
+        b.scale(3.0);
+        ga.sync();
+        // dot(a, b) = sum(2 * 6) over 144 elements
+        let d = a.dot(&b);
+        assert_eq!(d, 144.0 * 12.0);
+        ga.sync();
+    });
+}
+
+#[test]
+fn symmetrize_makes_arrays_symmetric() {
+    both(4, |rank, ga| {
+        let a = ga.create("sym", 16, 16, GaKind::Double);
+        ga.sync();
+        // fill with an asymmetric function, each owner writes its block
+        if let Some(b) = a.local_patch() {
+            let data = col_major(&b, |i, j| (3 * i + 7 * j * j) as f64);
+            a.put(b, &data);
+        }
+        ga.sync();
+        a.symmetrize();
+        if rank == 0 {
+            let full = a.get(a.full_patch());
+            for i in 0..16 {
+                for j in 0..16 {
+                    let ij = full[j * 16 + i];
+                    let ji = full[i * 16 + j];
+                    assert_eq!(ij, ji, "asymmetry at ({i},{j})");
+                    let expect = 0.5 * ((3 * i + 7 * j * j) as f64 + (3 * j + 7 * i * i) as f64);
+                    assert_eq!(ij, expect);
+                }
+            }
+        }
+        ga.sync();
+    });
+}

@@ -1,0 +1,205 @@
+//! Simulated per-node address spaces.
+//!
+//! On the real SP, LAPI operations name raw virtual addresses in the target
+//! process. Our nodes are threads of one host process, so raw pointers would
+//! neither be safe nor faithful (every thread could touch every "remote"
+//! address directly). Instead each node owns an [`AddressSpace`] — a flat,
+//! growable byte arena — and remote memory is named by [`Addr`] offsets into
+//! the *target's* arena. Exactly like real addresses, an `Addr` is only
+//! meaningful on the node it was allocated on, and programs exchange them
+//! with `LAPI_Address_init` before use.
+
+use std::fmt;
+
+/// An address within some node's [`AddressSpace`].
+///
+/// Plain data: addresses travel inside message headers, exactly like the
+/// 64-bit virtual addresses in real LAPI packets.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// Address `off` bytes past `self`.
+    #[inline]
+    pub fn offset(self, off: usize) -> Addr {
+        Addr(self.0 + off as u64)
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:x}", self.0)
+    }
+}
+
+/// A node's memory: a flat byte arena with a bump allocator.
+///
+/// All bounds violations panic — they correspond to wild stores through a
+/// bad address in the real system, which is a program bug, not a
+/// recoverable condition.
+#[derive(Debug, Default)]
+pub struct AddressSpace {
+    mem: Vec<u8>,
+    brk: usize,
+}
+
+impl AddressSpace {
+    /// An empty address space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate `len` bytes, 8-byte aligned, zero-initialized.
+    pub fn alloc(&mut self, len: usize) -> Addr {
+        let start = (self.brk + 7) & !7;
+        let end = start + len;
+        if end > self.mem.len() {
+            self.mem.resize(end.max(self.mem.len() * 2).max(4096), 0);
+        }
+        self.brk = end;
+        Addr(start as u64)
+    }
+
+    /// Bytes currently allocated.
+    pub fn allocated(&self) -> usize {
+        self.brk
+    }
+
+    fn range(&self, addr: Addr, len: usize) -> std::ops::Range<usize> {
+        let start = addr.0 as usize;
+        let end = start
+            .checked_add(len)
+            .unwrap_or_else(|| panic!("address overflow at {addr:?}+{len}"));
+        assert!(
+            end <= self.brk,
+            "out-of-bounds access: {addr:?}+{len} exceeds allocated {} bytes",
+            self.brk
+        );
+        start..end
+    }
+
+    /// Read `len` bytes starting at `addr`.
+    pub fn read(&self, addr: Addr, len: usize) -> &[u8] {
+        &self.mem[self.range(addr, len)]
+    }
+
+    /// Copy bytes into `out` starting from `addr`.
+    pub fn read_into(&self, addr: Addr, out: &mut [u8]) {
+        out.copy_from_slice(self.read(addr, out.len()));
+    }
+
+    /// Write `data` starting at `addr`.
+    pub fn write(&mut self, addr: Addr, data: &[u8]) {
+        let r = self.range(addr, data.len());
+        self.mem[r].copy_from_slice(data);
+    }
+
+    /// Read one little-endian u64 cell.
+    pub fn read_u64(&self, addr: Addr) -> u64 {
+        let mut b = [0u8; 8];
+        self.read_into(addr, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Write one little-endian u64 cell.
+    pub fn write_u64(&mut self, addr: Addr, v: u64) {
+        self.write(addr, &v.to_le_bytes());
+    }
+
+    /// Read `n` f64 values starting at `addr`.
+    pub fn read_f64s(&self, addr: Addr, n: usize) -> Vec<f64> {
+        self.read(addr, n * 8)
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("chunk of 8")))
+            .collect()
+    }
+
+    /// Write f64 values starting at `addr`.
+    pub fn write_f64s(&mut self, addr: Addr, vals: &[f64]) {
+        let mut bytes = Vec::with_capacity(vals.len() * 8);
+        for v in vals {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        self.write(addr, &bytes);
+    }
+
+    /// Apply a read-modify-write on the u64 cell at `addr`, returning the
+    /// previous value. Callers must hold the arena lock for atomicity (the
+    /// engine does).
+    pub fn rmw_u64(&mut self, addr: Addr, f: impl FnOnce(u64) -> u64) -> u64 {
+        let prev = self.read_u64(addr);
+        self.write_u64(addr, f(prev));
+        prev
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_is_aligned_and_zeroed() {
+        let mut a = AddressSpace::new();
+        let p = a.alloc(3);
+        let q = a.alloc(8);
+        assert_eq!(p.0 % 8, 0);
+        assert_eq!(q.0 % 8, 0);
+        assert!(q.0 >= p.0 + 3);
+        assert_eq!(a.read(q, 8), &[0u8; 8]);
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut a = AddressSpace::new();
+        let p = a.alloc(16);
+        a.write(p, b"hello world!!!!!");
+        assert_eq!(a.read(p, 5), b"hello");
+        assert_eq!(a.read(p.offset(6), 5), b"world");
+    }
+
+    #[test]
+    fn u64_cells() {
+        let mut a = AddressSpace::new();
+        let p = a.alloc(8);
+        a.write_u64(p, 0xdead_beef);
+        assert_eq!(a.read_u64(p), 0xdead_beef);
+        let prev = a.rmw_u64(p, |v| v + 1);
+        assert_eq!(prev, 0xdead_beef);
+        assert_eq!(a.read_u64(p), 0xdead_bef0);
+    }
+
+    #[test]
+    fn f64_roundtrip() {
+        let mut a = AddressSpace::new();
+        let p = a.alloc(4 * 8);
+        a.write_f64s(p, &[1.5, -2.5, 3.25, 0.0]);
+        assert_eq!(a.read_f64s(p, 4), vec![1.5, -2.5, 3.25, 0.0]);
+        assert_eq!(a.read_f64s(p.offset(8), 2), vec![-2.5, 3.25]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-bounds")]
+    fn oob_read_panics() {
+        let mut a = AddressSpace::new();
+        let p = a.alloc(8);
+        let _ = a.read(p, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-bounds")]
+    fn unallocated_access_panics() {
+        let a = AddressSpace::new();
+        let _ = a.read(Addr(0), 1);
+    }
+
+    #[test]
+    fn grows_on_demand() {
+        let mut a = AddressSpace::new();
+        let p = a.alloc(10_000);
+        let q = a.alloc(100_000);
+        a.write(p, &vec![7u8; 10_000]);
+        a.write(q, &vec![9u8; 100_000]);
+        assert_eq!(a.read(q, 3), &[9, 9, 9]);
+        assert!(a.allocated() >= 110_000);
+    }
+}

@@ -1,0 +1,71 @@
+//! LAPI error codes.
+
+use std::fmt;
+
+/// Errors returned by LAPI calls (program-visible conditions; internal
+/// invariant violations panic instead, as they would corrupt the simulated
+/// machine).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LapiError {
+    /// Target task id out of range.
+    BadTarget {
+        /// The offending id.
+        target: usize,
+        /// Number of tasks in the job.
+        ntasks: usize,
+    },
+    /// The user header exceeds `LAPI_Qenv(MAX_UHDR_SZ)`.
+    UhdrTooLarge {
+        /// Requested header size.
+        len: usize,
+        /// The queryable maximum.
+        max: usize,
+    },
+    /// Unknown active-message handler id at the target.
+    UnknownHandler(u32),
+    /// A `putv`/`getv` vector table exceeds one packet's descriptor room.
+    TooManyVecs {
+        /// Requested vector count.
+        nvecs: usize,
+        /// Per-message maximum.
+        max: usize,
+    },
+    /// The context has been terminated (`LAPI_Term`).
+    Terminated,
+    /// Unknown `LAPI_Qenv`/`LAPI_Senv` selector.
+    BadQuery,
+}
+
+impl fmt::Display for LapiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LapiError::BadTarget { target, ntasks } => {
+                write!(f, "target task {target} out of range (job has {ntasks} tasks)")
+            }
+            LapiError::UhdrTooLarge { len, max } => {
+                write!(f, "user header of {len} bytes exceeds MAX_UHDR_SZ={max}")
+            }
+            LapiError::UnknownHandler(id) => write!(f, "unregistered AM handler {id}"),
+            LapiError::TooManyVecs { nvecs, max } => {
+                write!(f, "vector table of {nvecs} entries exceeds the per-message maximum {max}")
+            }
+            LapiError::Terminated => write!(f, "LAPI context already terminated"),
+            LapiError::BadQuery => write!(f, "unknown Qenv/Senv selector"),
+        }
+    }
+}
+
+impl std::error::Error for LapiError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = LapiError::BadTarget { target: 9, ntasks: 4 };
+        assert!(e.to_string().contains("task 9"));
+        let e = LapiError::UhdrTooLarge { len: 2000, max: 900 };
+        assert!(e.to_string().contains("900"));
+    }
+}

@@ -1,0 +1,190 @@
+//! Active-message handler types.
+//!
+//! `LAPI_Amsend` names a *header handler* registered at the target. When the
+//! first packet of the message arrives, the dispatcher invokes it with the
+//! user header; the handler returns where the message data should land and,
+//! optionally, a *completion handler* to run once every packet has been
+//! deposited (§2.1 of the paper). Header handlers execute on the dispatcher
+//! — one at a time per context, exactly as LAPI guarantees — so they must be
+//! short and non-blocking; completion handlers run on the completion
+//! thread(s) and may do real work (GA's `accumulate` runs there).
+
+use crate::addr::Addr;
+use crate::engine::Engine;
+use spsim::NodeId;
+
+/// What the dispatcher tells a header handler about the arriving message.
+#[derive(Debug)]
+pub struct AmInfo<'a> {
+    /// The origin task.
+    pub src: NodeId,
+    /// The user header the origin attached.
+    pub uhdr: &'a [u8],
+    /// Total user-data length of the message (0 for header-only messages).
+    pub data_len: usize,
+}
+
+/// A completion handler: runs after the whole message has been deposited.
+pub type CompletionFn = Box<dyn FnOnce(&HandlerCtx<'_>) + Send>;
+
+/// What a header handler returns to the dispatcher.
+pub struct HdrOutcome {
+    /// Where the message data must be deposited. Required whenever
+    /// `data_len > 0` — LAPI forbids returning no buffer for a data-bearing
+    /// message (the dispatcher cannot block, §5.3.1).
+    pub buffer: Option<Addr>,
+    /// Optional completion handler.
+    pub completion: Option<CompletionFn>,
+}
+
+impl HdrOutcome {
+    /// No buffer, no completion handler (header-only messages).
+    pub fn none() -> Self {
+        HdrOutcome {
+            buffer: None,
+            completion: None,
+        }
+    }
+
+    /// Deposit into `buffer`, no completion handler.
+    pub fn into_buffer(buffer: Addr) -> Self {
+        HdrOutcome {
+            buffer: Some(buffer),
+            completion: None,
+        }
+    }
+
+    /// Attach a completion handler.
+    pub fn with_completion(mut self, f: CompletionFn) -> Self {
+        self.completion = Some(f);
+        self
+    }
+}
+
+/// A header handler, registered under a small integer id which origins name
+/// in `amsend` (function *addresses* on the homogeneous SP; a registry id
+/// here).
+pub type HeaderHandlerFn =
+    Box<dyn Fn(&HandlerCtx<'_>, AmInfo<'_>) -> HdrOutcome + Send + Sync>;
+
+/// The restricted view of the local LAPI context that handlers receive.
+///
+/// Handlers run in the target's address space with the target's clock; they
+/// can touch target memory, charge CPU cost for the work they model, and
+/// issue replies (at the cheaper in-handler issue cost — no user-to-library
+/// transition). They must **not** block.
+pub struct HandlerCtx<'a> {
+    pub(crate) engine: &'a Engine,
+}
+
+impl HandlerCtx<'_> {
+    /// The local task id (where this handler runs).
+    pub fn id(&self) -> NodeId {
+        self.engine.id()
+    }
+
+    /// Number of tasks in the job.
+    pub fn tasks(&self) -> usize {
+        self.engine.tasks()
+    }
+
+    /// Current virtual time of this node.
+    pub fn now(&self) -> spsim::VTime {
+        self.engine.clock().now()
+    }
+
+    /// The simulated machine's cost model.
+    pub fn machine(&self) -> &spsim::MachineConfig {
+        self.engine.config()
+    }
+
+    /// Charge extra CPU cost for work the handler models (e.g. GA's
+    /// per-element accumulate arithmetic).
+    pub fn charge(&self, cost: spsim::VDur) {
+        self.engine.clock().advance(cost);
+    }
+
+    /// Allocate local memory.
+    pub fn alloc(&self, len: usize) -> Addr {
+        self.engine.alloc(len)
+    }
+
+    /// Read local memory.
+    pub fn mem_read(&self, addr: Addr, len: usize) -> Vec<u8> {
+        self.engine.mem_read(addr, len)
+    }
+
+    /// Write local memory.
+    pub fn mem_write(&self, addr: Addr, data: &[u8]) {
+        self.engine.mem_write(addr, data)
+    }
+
+    /// Read f64 values from local memory.
+    pub fn mem_read_f64s(&self, addr: Addr, n: usize) -> Vec<f64> {
+        self.engine.with_space(|s| s.read_f64s(addr, n))
+    }
+
+    /// Write f64 values to local memory.
+    pub fn mem_write_f64s(&self, addr: Addr, vals: &[f64]) {
+        self.engine.with_space_mut(|s| s.write_f64s(addr, vals))
+    }
+
+    /// Atomically update local memory under the arena lock (e.g. a GA
+    /// accumulate: read, combine, write as one critical section).
+    pub fn mem_update(&self, f: impl FnOnce(&mut crate::addr::AddressSpace)) {
+        self.engine.with_space_mut(f)
+    }
+
+    /// Issue a put *from inside the handler* (reply path): same semantics
+    /// as `LapiContext::put` but charged at the in-handler issue cost.
+    #[allow(clippy::too_many_arguments)]
+    pub fn reply_put(
+        &self,
+        target: NodeId,
+        tgt_addr: Addr,
+        data: &[u8],
+        tgt_cntr: Option<crate::counter::RemoteCounter>,
+        org_cntr: Option<&crate::counter::Counter>,
+        cmpl_cntr: Option<&crate::counter::Counter>,
+    ) -> crate::LapiResult {
+        self.engine.issue_put(
+            self.engine.config().lapi_handler_issue,
+            target,
+            tgt_addr,
+            data,
+            tgt_cntr,
+            org_cntr,
+            cmpl_cntr,
+        )
+    }
+
+    /// Issue an active message from inside the handler (reply path).
+    #[allow(clippy::too_many_arguments)]
+    pub fn reply_am(
+        &self,
+        target: NodeId,
+        handler: u32,
+        uhdr: &[u8],
+        udata: &[u8],
+        tgt_cntr: Option<crate::counter::RemoteCounter>,
+        org_cntr: Option<&crate::counter::Counter>,
+        cmpl_cntr: Option<&crate::counter::Counter>,
+    ) -> crate::LapiResult {
+        self.engine.issue_am(
+            self.engine.config().lapi_handler_issue,
+            target,
+            handler,
+            uhdr,
+            udata,
+            tgt_cntr,
+            org_cntr,
+            cmpl_cntr,
+        )
+    }
+
+    /// Increment a *local* counter as a user-visible event at the current
+    /// virtual time (handlers signaling the application).
+    pub fn signal(&self, counter: &crate::counter::Counter) {
+        counter.incr_at(self.engine.clock().now());
+    }
+}

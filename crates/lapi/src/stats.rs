@@ -1,0 +1,43 @@
+//! Per-context LAPI statistics.
+
+use spsim::StatCounter;
+
+/// Counters of protocol activity, exposed for tests and the bench harness.
+#[derive(Clone, Debug, Default)]
+pub struct LapiStats {
+    /// `LAPI_Put` calls issued.
+    pub puts: StatCounter,
+    /// `LAPI_Get` calls issued.
+    pub gets: StatCounter,
+    /// `LAPI_Amsend` calls issued.
+    pub amsends: StatCounter,
+    /// `LAPI_Rmw` calls issued.
+    pub rmws: StatCounter,
+    /// Data/AM packets processed by the dispatcher.
+    pub packets_dispatched: StatCounter,
+    /// Hardware interrupts taken to kick the dispatcher (interrupt mode).
+    pub interrupts: StatCounter,
+    /// Header handlers executed.
+    pub hdr_handlers: StatCounter,
+    /// Completion handlers executed.
+    pub cmpl_handlers: StatCounter,
+    /// `Done` acknowledgements sent back to origins.
+    pub done_sent: StatCounter,
+    /// Data packets that arrived before their AM header (out-of-order
+    /// arrivals that had to be stashed).
+    pub early_am_data: StatCounter,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zero_and_shared() {
+        let s = LapiStats::default();
+        assert_eq!(s.puts.get(), 0);
+        let t = s.clone();
+        t.puts.incr();
+        assert_eq!(s.puts.get(), 1);
+    }
+}

@@ -1,0 +1,274 @@
+//! LAPI wire formats.
+//!
+//! Every LAPI packet carries a 48-byte protocol header on the wire (the
+//! paper's explanation for LAPI's lower peak bandwidth versus MPI's 16-byte
+//! headers: the origin must ship all target-side parameters with the data).
+//! Here the header fields are the enum payloads below; the 48-byte tax is
+//! charged via `MachineConfig::lapi_header_bytes` when sizing packets.
+
+use crate::addr::Addr;
+use crate::counter::CounterId;
+
+/// One run of a noncontiguous transfer (the §6 "non-contiguous interface
+/// to LAPI_Put and LAPI_Get" extension).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IoVec {
+    /// Start address (in the target's space for putv/getv).
+    pub addr: Addr,
+    /// Run length in bytes.
+    pub len: usize,
+}
+
+impl IoVec {
+    /// Total bytes across a vector list.
+    pub fn total(vecs: &[IoVec]) -> usize {
+        vecs.iter().map(|v| v.len).sum()
+    }
+
+    /// Bytes each descriptor occupies in a packet header.
+    pub const DESC_BYTES: usize = 12;
+}
+
+/// A message id, unique per origin node (the pair `(src, MsgId)` is
+/// globally unique and keys reassembly at the target).
+pub type MsgId = u64;
+
+/// The four atomic read-modify-write operations of `LAPI_Rmw`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RmwOp {
+    /// Unconditionally store `in_val`, return the previous value.
+    Swap,
+    /// If the cell equals `cmp_val`, store `in_val`; always return previous.
+    CompareAndSwap,
+    /// Add `in_val`, return the previous value.
+    FetchAndAdd,
+    /// Bitwise-or `in_val`, return the previous value.
+    FetchAndOr,
+}
+
+impl RmwOp {
+    /// Apply the operation to `prev`, producing the new cell value.
+    pub fn apply(self, prev: u64, in_val: u64, cmp_val: u64) -> u64 {
+        match self {
+            RmwOp::Swap => in_val,
+            RmwOp::CompareAndSwap => {
+                if prev == cmp_val {
+                    in_val
+                } else {
+                    prev
+                }
+            }
+            RmwOp::FetchAndAdd => prev.wrapping_add(in_val),
+            RmwOp::FetchAndOr => prev | in_val,
+        }
+    }
+}
+
+/// Where a data packet's payload lands and what its completion signals.
+#[derive(Debug, Clone)]
+pub enum DataKind {
+    /// A `LAPI_Put` fragment: deposit at `tgt_addr + offset` in the
+    /// target's space.
+    Put {
+        /// Base target address of the whole message.
+        tgt_addr: Addr,
+        /// Target counter to bump when the full message has landed.
+        tgt_cntr: Option<CounterId>,
+        /// Origin counter to bump (via a `Done` ack) after landing.
+        cmpl_cntr: Option<CounterId>,
+    },
+    /// The data flowing back for a `LAPI_Get`: deposit at `org_addr +
+    /// offset` in the *origin's* space (the packet's destination).
+    GetReply {
+        /// Base origin address of the whole message.
+        org_addr: Addr,
+        /// Origin counter to bump when the full reply has landed.
+        org_cntr: Option<CounterId>,
+    },
+    /// A fragment of `LAPI_Amsend` user data: the landing buffer is chosen
+    /// by the header handler, found via reassembly state.
+    AmData,
+    /// A fragment of a `LAPI_Putv` stream: scattered across the vector
+    /// table carried by the message's `PutVHeader`.
+    VecData,
+}
+
+/// Body of one LAPI packet on the simulated switch.
+#[derive(Debug, Clone)]
+pub enum LapiBody {
+    /// A payload-bearing fragment (put data, get-reply data, AM data).
+    Data {
+        /// Message this fragment belongs to.
+        msg_id: MsgId,
+        /// Byte offset of this fragment within the message.
+        offset: usize,
+        /// Total message length (every fragment repeats it; packets can
+        /// arrive in any order so each must be self-describing).
+        total_len: usize,
+        /// Fragment payload.
+        data: Vec<u8>,
+        /// Deposit/completion routing.
+        kind: DataKind,
+    },
+    /// First packet of a `LAPI_Amsend`: carries the user header and as much
+    /// user data as fits after it.
+    AmHeader {
+        /// Message id (shared with its `Data`/`AmData` fragments).
+        msg_id: MsgId,
+        /// Registered header-handler to invoke at the target.
+        handler: u32,
+        /// The user header (≤ `MAX_UHDR_SZ`).
+        uhdr: Vec<u8>,
+        /// Total user-data length of the message.
+        total_len: usize,
+        /// Data carried in this first packet, if any.
+        chunk: Vec<u8>,
+        /// Target counter to bump at completion.
+        tgt_cntr: Option<CounterId>,
+        /// Origin counter to bump (via `Done`) after the completion handler
+        /// has finished.
+        cmpl_cntr: Option<CounterId>,
+    },
+    /// A `LAPI_Get` request: ships target-side parameters to the target,
+    /// which replies with `GetReply` fragments.
+    GetReq {
+        /// Message id for the reply data stream.
+        msg_id: MsgId,
+        /// Where to read at the target.
+        tgt_addr: Addr,
+        /// How many bytes.
+        len: usize,
+        /// Where the reply lands at the origin.
+        org_addr: Addr,
+        /// Origin counter bumped when the reply has fully landed.
+        org_cntr: Option<CounterId>,
+        /// Target counter bumped when the data has been copied out.
+        tgt_cntr: Option<CounterId>,
+    },
+    /// A `LAPI_Rmw` request on the u64 cell at `tgt_addr`.
+    RmwReq {
+        /// Ticket correlating the reply to the origin's waiting slot.
+        ticket: u64,
+        /// Operation.
+        op: RmwOp,
+        /// The cell.
+        tgt_addr: Addr,
+        /// Operand.
+        in_val: u64,
+        /// Comparand (CompareAndSwap only).
+        cmp_val: u64,
+    },
+    /// Reply to an `RmwReq` with the previous cell value.
+    RmwReply {
+        /// Ticket of the originating request.
+        ticket: u64,
+        /// Previous value of the cell.
+        prev: u64,
+    },
+    /// First packet of a `LAPI_Putv` (§6 extension): ships the target
+    /// vector table plus as much data as fits; remaining fragments follow
+    /// as `Data`/`VecData`.
+    PutVHeader {
+        /// Message id (shared with `VecData` fragments).
+        msg_id: MsgId,
+        /// Target vector table (scatter destinations, in stream order).
+        vecs: Vec<IoVec>,
+        /// Total stream length (= sum of vector lengths).
+        total_len: usize,
+        /// Data carried in this first packet.
+        chunk: Vec<u8>,
+        /// Target counter bumped at completion.
+        tgt_cntr: Option<CounterId>,
+        /// Origin counter bumped (via `Done`) after landing.
+        cmpl_cntr: Option<CounterId>,
+    },
+    /// A `LAPI_Getv` request: gather the target vectors and reply into the
+    /// contiguous origin buffer (reuses `GetReply` fragments).
+    GetVReq {
+        /// Message id for the reply stream.
+        msg_id: MsgId,
+        /// Target vector table (gather sources, in stream order).
+        vecs: Vec<IoVec>,
+        /// Where the gathered stream lands at the origin.
+        org_addr: Addr,
+        /// Origin counter bumped when the reply has fully landed.
+        org_cntr: Option<CounterId>,
+        /// Target counter bumped when the data has been copied out.
+        tgt_cntr: Option<CounterId>,
+    },
+    /// Message-completion acknowledgement flowing back to the origin.
+    Done {
+        /// Decrement the origin's outstanding-operation count for the
+        /// sending node (fence accounting / data-has-landed).
+        fence_decr: bool,
+        /// Origin counter to bump (`cmpl_cntr` semantics: at put this means
+        /// data landed; at amsend it additionally means the completion
+        /// handler finished).
+        cmpl_cntr: Option<CounterId>,
+    },
+}
+
+impl LapiBody {
+    /// Payload bytes this packet carries (for wire sizing).
+    pub fn payload_len(&self) -> usize {
+        match self {
+            LapiBody::Data { data, .. } => data.len(),
+            LapiBody::AmHeader { uhdr, chunk, .. } => uhdr.len() + chunk.len(),
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmw_swap() {
+        assert_eq!(RmwOp::Swap.apply(5, 9, 0), 9);
+    }
+
+    #[test]
+    fn rmw_cas_matches() {
+        assert_eq!(RmwOp::CompareAndSwap.apply(5, 9, 5), 9);
+        assert_eq!(RmwOp::CompareAndSwap.apply(5, 9, 4), 5);
+    }
+
+    #[test]
+    fn rmw_fetch_add_wraps() {
+        assert_eq!(RmwOp::FetchAndAdd.apply(u64::MAX, 2, 0), 1);
+        assert_eq!(RmwOp::FetchAndAdd.apply(10, 5, 0), 15);
+    }
+
+    #[test]
+    fn rmw_fetch_or() {
+        assert_eq!(RmwOp::FetchAndOr.apply(0b0101, 0b0011, 0), 0b0111);
+    }
+
+    #[test]
+    fn payload_lengths() {
+        let d = LapiBody::Data {
+            msg_id: 0,
+            offset: 0,
+            total_len: 4,
+            data: vec![0; 4],
+            kind: DataKind::AmData,
+        };
+        assert_eq!(d.payload_len(), 4);
+        let h = LapiBody::AmHeader {
+            msg_id: 0,
+            handler: 0,
+            uhdr: vec![0; 10],
+            total_len: 0,
+            chunk: vec![0; 5],
+            tgt_cntr: None,
+            cmpl_cntr: None,
+        };
+        assert_eq!(h.payload_len(), 15);
+        let done = LapiBody::Done {
+            fence_decr: true,
+            cmpl_cntr: None,
+        };
+        assert_eq!(done.payload_len(), 0);
+    }
+}

@@ -1,0 +1,215 @@
+//! Stress and contention tests: many nodes, floods, mixed operation soup,
+//! and the single-header-handler guarantee under pressure.
+
+#![allow(clippy::needless_range_loop)] // index-as-coordinate loops are clearer here
+
+use std::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use lapi::{HdrOutcome, LapiWorld, Mode};
+use spsim::{run_spmd_with, MachineConfig};
+
+#[test]
+fn all_to_all_puts_eight_nodes() {
+    let n = 8;
+    let ctxs = LapiWorld::init(n, MachineConfig::default(), Mode::Interrupt);
+    run_spmd_with(ctxs, |rank, ctx| {
+        // everyone owns one slot per peer
+        let buf = ctx.alloc(8 * n);
+        let addrs = ctx.address_init(buf);
+        for round in 0..5u64 {
+            for t in 0..n {
+                let val = (round << 32) | ((rank as u64) << 8) | t as u64;
+                ctx.put(t, addrs[t].offset(8 * rank), &val.to_le_bytes(), None, None, None)
+                    .expect("put");
+            }
+            ctx.gfence().expect("gfence");
+            for s in 0..n {
+                let got = u64::from_le_bytes(
+                    ctx.mem_read(buf.offset(8 * s), 8).try_into().expect("8"),
+                );
+                assert_eq!(got, (round << 32) | ((s as u64) << 8) | rank as u64);
+            }
+            ctx.gfence().expect("gfence");
+        }
+    });
+}
+
+#[test]
+fn header_handlers_never_run_concurrently() {
+    // §2.1: "At any given instance LAPI ensures that only one header
+    // handler per LAPI context is allowed to execute." Flood one node
+    // from three others and watch for overlap.
+    let n = 4;
+    let ctxs = LapiWorld::init(n, MachineConfig::default(), Mode::Interrupt);
+    let overlap = Arc::new(AtomicUsize::new(0));
+    let inside = Arc::new(AtomicUsize::new(0));
+    let ov = Arc::clone(&overlap);
+    let ins = Arc::clone(&inside);
+    run_spmd_with(ctxs, move |rank, ctx| {
+        let done = ctx.new_counter();
+        let remotes = ctx.counter_init(&done);
+        if rank == 0 {
+            let ov = Arc::clone(&ov);
+            let ins = Arc::clone(&ins);
+            ctx.register_handler(3, move |hctx, info| {
+                if ins.fetch_add(1, Ordering::SeqCst) > 0 {
+                    ov.fetch_add(1, Ordering::SeqCst);
+                }
+                let buf = hctx.alloc(info.data_len.max(1));
+                // linger a little in real time to give overlap a chance
+                std::thread::sleep(std::time::Duration::from_micros(200));
+                ins.fetch_sub(1, Ordering::SeqCst);
+                HdrOutcome::into_buffer(buf)
+            });
+        }
+        ctx.gfence().expect("gfence");
+        if rank != 0 {
+            for i in 0..40 {
+                ctx.amsend(0, 3, &[rank as u8, i], &[7u8; 128], Some(remotes[0]), None, None)
+                    .expect("amsend");
+            }
+            ctx.fence(0).expect("fence");
+        } else {
+            ctx.waitcntr(&done, 3 * 40);
+        }
+        ctx.gfence().expect("gfence");
+    });
+    assert_eq!(overlap.load(Ordering::SeqCst), 0, "header handlers overlapped");
+}
+
+#[test]
+fn mixed_operation_soup_settles_consistently() {
+    // Every node fires a random mix of puts, rmws and AMs at shared
+    // state; invariants must hold after a global fence regardless of the
+    // interleaving.
+    let n = 4;
+    let per_node = 60u64;
+    let ctxs = LapiWorld::init(n, MachineConfig::default(), Mode::Interrupt);
+    let am_sum = Arc::new(AtomicI64::new(0));
+    let am_sum2 = Arc::clone(&am_sum);
+    run_spmd_with(ctxs, move |rank, ctx| {
+        // shared state on node 0: an rmw cell + a put slot per node
+        let cell = ctx.alloc(8);
+        let slots = ctx.alloc(8 * n);
+        let cells = ctx.address_init(cell);
+        let slot_bases = ctx.address_init(slots);
+        let am_sum = Arc::clone(&am_sum2);
+        if rank == 0 {
+            let sink = Arc::clone(&am_sum);
+            ctx.register_handler(9, move |_hctx, info| {
+                let v = i64::from_le_bytes(info.uhdr.try_into().expect("8 bytes"));
+                sink.fetch_add(v, Ordering::SeqCst);
+                HdrOutcome::none()
+            });
+        }
+        ctx.gfence().expect("gfence");
+        let mut rmws = 0u64;
+        let mut am_total = 0i64;
+        for i in 0..per_node {
+            match (i + rank as u64) % 3 {
+                0 => {
+                    ctx.put(
+                        0,
+                        slot_bases[0].offset(8 * rank),
+                        &(i + 1).to_le_bytes(),
+                        None,
+                        None,
+                        None,
+                    )
+                    .expect("put");
+                }
+                1 => {
+                    let f = ctx
+                        .rmw(0, lapi::RmwOp::FetchAndAdd, cells[0], 3, 0)
+                        .expect("rmw");
+                    let _ = f.wait();
+                    rmws += 1;
+                }
+                _ => {
+                    let v = (rank as i64 + 1) * (i as i64 + 1);
+                    am_total += v;
+                    ctx.amsend(0, 9, &v.to_le_bytes(), &[], None, None, None)
+                        .expect("amsend");
+                }
+            }
+        }
+        ctx.gfence().expect("gfence");
+        // collect per-node contributions for the invariants
+        let total_rmws: u64 = ctx.exchange(rmws).iter().sum();
+        let total_am: i64 = ctx.exchange(am_total as u64).iter().map(|&v| v as i64).sum();
+        if rank == 0 {
+            assert_eq!(ctx.mem_read_u64(cell), total_rmws * 3, "rmw adds lost or doubled");
+            assert_eq!(
+                am_sum.load(Ordering::SeqCst),
+                total_am,
+                "active-message sum diverged"
+            );
+            // each node's last put is the last fenced value (puts to a
+            // node's own slot are ordered only by the final gfence; the
+            // slot must hold *some* value that node wrote)
+            for s in 0..n {
+                let got = u64::from_le_bytes(
+                    ctx.mem_read(slots.offset(8 * s), 8).try_into().expect("8"),
+                );
+                assert!(got == 0 || got <= per_node, "slot {s} corrupted: {got}");
+            }
+        }
+        ctx.gfence().expect("gfence");
+    });
+}
+
+#[test]
+fn flood_with_loss_and_reordering_converges() {
+    let mut cfg = MachineConfig::default().with_drop_prob(0.15);
+    cfg.route_skew = spsim::VDur::from_us(20);
+    let n = 5;
+    let ctxs = LapiWorld::init_seeded(n, cfg, Mode::Interrupt, 4242);
+    run_spmd_with(ctxs, |rank, ctx| {
+        let buf = ctx.alloc(20_000 * n);
+        let addrs = ctx.address_init(buf);
+        // every node streams a 20KB block to every other node
+        let data: Vec<u8> = (0..20_000).map(|i| ((i + rank * 7) % 256) as u8).collect();
+        for t in 0..n {
+            if t != rank {
+                ctx.put(t, addrs[t].offset(20_000 * rank), &data, None, None, None)
+                    .expect("put");
+            }
+        }
+        ctx.gfence().expect("gfence");
+        for s in 0..n {
+            if s != rank {
+                let got = ctx.mem_read(buf.offset(20_000 * s), 20_000);
+                assert!(
+                    got.iter().enumerate().all(|(i, &b)| b == ((i + s * 7) % 256) as u8),
+                    "stream from {s} corrupted"
+                );
+            }
+        }
+        // loss really happened and was recovered
+        let retr: u64 = ctx.wire_stats().retransmits.get();
+        let total = ctx.exchange(retr).iter().sum::<u64>();
+        assert!(total > 0, "expected retransmissions under 15% loss");
+        ctx.gfence().expect("gfence");
+    });
+}
+
+#[test]
+fn sixteen_node_job_runs() {
+    let n = 16;
+    let ctxs = LapiWorld::init(n, MachineConfig::default(), Mode::Interrupt);
+    run_spmd_with(ctxs, |rank, ctx| {
+        let cell = ctx.alloc(8);
+        let cells = ctx.address_init(cell);
+        // ring reduce via rmw on node 0
+        let f = ctx
+            .rmw(0, lapi::RmwOp::FetchAndAdd, cells[0], rank as u64, 0)
+            .expect("rmw");
+        let _ = f.wait();
+        ctx.gfence().expect("gfence");
+        if rank == 0 {
+            assert_eq!(ctx.mem_read_u64(cell), (0..n as u64).sum());
+        }
+        ctx.gfence().expect("gfence");
+    });
+}

@@ -1,0 +1,760 @@
+//! The MPL matching engine: eager/rendezvous protocols, tag matching,
+//! non-overtaking delivery, and `rcvncall` dispatch.
+//!
+//! Like the LAPI engine, one `MplEngine` exists per node and is shared by
+//! the application thread (which drives progress from inside blocking calls
+//! in polling mode) and a dispatcher thread (interrupt mode / `rcvncall`).
+//! All CPU costs are charged to the node's single virtual clock.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+use spsim::{MachineConfig, NodeId, Stamped, StatCounter, VClock, VTime};
+use spswitch::{Adapter, WirePacket};
+
+use crate::context::{MplHandlerCtx, MplMode, Status};
+use crate::wire::{MplBody, Seq, Tag};
+
+/// How long polling waits spin on real time per step.
+const POLL_TICK: Duration = Duration::from_millis(2);
+/// How often the parked dispatcher re-checks mode/termination.
+const DISPATCH_TICK: Duration = Duration::from_millis(10);
+
+/// Protocol statistics.
+#[derive(Clone, Debug, Default)]
+pub struct MplStats {
+    /// Messages sent.
+    pub sends: StatCounter,
+    /// Receives completed.
+    pub recvs: StatCounter,
+    /// Messages that used the eager protocol.
+    pub eager_msgs: StatCounter,
+    /// Messages that used the rendezvous protocol.
+    pub rndv_msgs: StatCounter,
+    /// Messages that arrived before a matching receive was posted
+    /// (buffered, paying the receive-side copy).
+    pub unexpected: StatCounter,
+    /// `rcvncall` handler invocations (each pays the AIX context cost).
+    pub rcvncall_invocations: StatCounter,
+    /// Packets processed.
+    pub packets: StatCounter,
+}
+
+/// A `rcvncall` handler: invoked with the completed message.
+pub type RcvncallFn = Arc<dyn Fn(&MplHandlerCtx<'_>, Vec<u8>, Status) + Send + Sync>;
+
+/// Completion state of one receive.
+pub(crate) struct RecvState {
+    st: Mutex<RecvInner>,
+    cv: Condvar,
+}
+
+struct RecvInner {
+    buf: Vec<u8>,
+    done: bool,
+    done_at: VTime,
+    status: Status,
+}
+
+impl RecvState {
+    fn new() -> Arc<Self> {
+        Arc::new(RecvState {
+            st: Mutex::new(RecvInner {
+                buf: Vec::new(),
+                done: false,
+                done_at: VTime::ZERO,
+                status: Status {
+                    src: 0,
+                    tag: 0,
+                    len: 0,
+                },
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    pub(crate) fn is_done(&self) -> bool {
+        self.st.lock().done
+    }
+
+    pub(crate) fn take_if_done(&self, clock: &VClock) -> Option<(Vec<u8>, Status)> {
+        let mut st = self.st.lock();
+        if st.done {
+            clock.merge(st.done_at);
+            Some((std::mem::take(&mut st.buf), st.status))
+        } else {
+            None
+        }
+    }
+
+    pub(crate) fn wait_done(&self, clock: &VClock, escape: Duration) -> (Vec<u8>, Status) {
+        let mut st = self.st.lock();
+        let deadline = Instant::now() + escape;
+        while !st.done {
+            if self.cv.wait_until(&mut st, deadline).timed_out() {
+                panic!("MPL receive never completed — simulated deadlock");
+            }
+        }
+        clock.merge(st.done_at);
+        (std::mem::take(&mut st.buf), st.status)
+    }
+}
+
+/// Completion state of one send (buffer-reusable semantics).
+pub(crate) struct SendState {
+    st: Mutex<(bool, VTime)>,
+    cv: Condvar,
+}
+
+impl SendState {
+    fn new() -> Arc<Self> {
+        Arc::new(SendState {
+            st: Mutex::new((false, VTime::ZERO)),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn complete(&self, at: VTime) {
+        let mut st = self.st.lock();
+        st.0 = true;
+        st.1 = st.1.max(at);
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    pub(crate) fn merge_if_done(&self, clock: &VClock) -> bool {
+        let st = self.st.lock();
+        if st.0 {
+            clock.merge(st.1);
+            true
+        } else {
+            false
+        }
+    }
+
+    pub(crate) fn wait_done(&self, clock: &VClock, escape: Duration) {
+        let mut st = self.st.lock();
+        let deadline = Instant::now() + escape;
+        while !st.0 {
+            if self.cv.wait_until(&mut st, deadline).timed_out() {
+                panic!("MPL send never completed (no CTS?) — simulated deadlock");
+            }
+        }
+        clock.merge(st.1);
+    }
+}
+
+/// A deferred `rcvncall` invocation, executed outside the state lock.
+struct HandlerFire {
+    h: RcvncallFn,
+    buf: Vec<u8>,
+    status: Status,
+}
+
+/// A posted receive (or a persistent `rcvncall` registration).
+struct Posted {
+    src: Option<NodeId>,
+    tag: Option<Tag>,
+    state: Arc<RecvState>,
+    handler: Option<RcvncallFn>,
+}
+
+/// One inbound message being matched/assembled.
+struct InMsg {
+    tag: Tag,
+    total: usize,
+    rndv: bool,
+    received: usize,
+    /// Fragments seen so far (a zero-length message still has one empty
+    /// fragment; completion requires at least one).
+    frags_seen: usize,
+    /// Fragments buffered before the message was matched.
+    frags: Vec<(usize, Vec<u8>)>,
+    /// Set at match time.
+    dest: Option<MatchedDest>,
+}
+
+struct MatchedDest {
+    state: Arc<RecvState>,
+    handler: Option<RcvncallFn>,
+}
+
+/// Inbound stream from one source (seq-ordered).
+///
+/// Non-overtaking delivery requires that a message's envelope only become
+/// *visible for matching* once every lower-sequence message from the same
+/// source has been seen — otherwise a late first message could be
+/// overtaken by a second one that happened to arrive first. `contig`
+/// tracks the first sequence number not yet seen; only `seq < contig`
+/// envelopes may match.
+#[derive(Default)]
+struct StreamIn {
+    msgs: BTreeMap<Seq, InMsg>,
+    /// First sequence number whose envelope has NOT yet been seen.
+    contig: Seq,
+    /// Envelopes seen out of order (≥ `contig`).
+    seen: BTreeSet<Seq>,
+}
+
+impl StreamIn {
+    /// Record that `seq`'s envelope has arrived; advance the contiguous
+    /// prefix.
+    fn note_seen(&mut self, seq: Seq) {
+        if seq >= self.contig {
+            self.seen.insert(seq);
+            while self.seen.remove(&self.contig) {
+                self.contig += 1;
+            }
+        }
+    }
+
+    /// May `seq` participate in matching yet?
+    fn visible(&self, seq: Seq) -> bool {
+        seq < self.contig
+    }
+}
+
+/// A rendezvous send parked until its CTS.
+struct RndvSend {
+    data: Vec<u8>,
+    state: Arc<SendState>,
+}
+
+struct MatchState {
+    posted: VecDeque<Posted>,
+    streams: Vec<StreamIn>,
+    send_seq: Vec<Seq>,
+    rndv_sends: HashMap<(NodeId, Seq), RndvSend>,
+}
+
+/// Per-node MPL machinery.
+pub(crate) struct MplEngine {
+    adapter: Adapter<MplBody>,
+    state: Mutex<MatchState>,
+    mode: Mutex<MplMode>,
+    mode_cv: Condvar,
+    pub(crate) stats: MplStats,
+    pub(crate) escape: Duration,
+    terminated: AtomicBool,
+}
+
+impl MplEngine {
+    pub(crate) fn new(adapter: Adapter<MplBody>, mode: MplMode, escape: Duration) -> Arc<Self> {
+        let n = adapter.nodes();
+        Arc::new(MplEngine {
+            adapter,
+            state: Mutex::new(MatchState {
+                posted: VecDeque::new(),
+                streams: (0..n).map(|_| StreamIn::default()).collect(),
+                send_seq: vec![0; n],
+                rndv_sends: HashMap::new(),
+            }),
+            mode: Mutex::new(mode),
+            mode_cv: Condvar::new(),
+            stats: MplStats::default(),
+            escape,
+            terminated: AtomicBool::new(false),
+        })
+    }
+
+    pub(crate) fn id(&self) -> NodeId {
+        self.adapter.id()
+    }
+
+    pub(crate) fn tasks(&self) -> usize {
+        self.adapter.nodes()
+    }
+
+    pub(crate) fn clock(&self) -> &VClock {
+        self.adapter.clock()
+    }
+
+    pub(crate) fn config(&self) -> &MachineConfig {
+        self.adapter.config()
+    }
+
+    pub(crate) fn adapter(&self) -> &Adapter<MplBody> {
+        &self.adapter
+    }
+
+    pub(crate) fn mode(&self) -> MplMode {
+        *self.mode.lock()
+    }
+
+    pub(crate) fn set_mode(&self, m: MplMode) {
+        *self.mode.lock() = m;
+        self.mode_cv.notify_all();
+    }
+
+    pub(crate) fn is_terminated(&self) -> bool {
+        self.terminated.load(Ordering::Acquire)
+    }
+
+    // ----------------------------------------------------------- sending
+
+    /// Send `data` to `dst` with `tag`; returns the completion state
+    /// (already complete for eager sends — buffer was copied out).
+    pub(crate) fn isend(&self, dst: NodeId, tag: Tag, data: &[u8]) -> Arc<SendState> {
+        assert!(dst < self.tasks(), "MPL send: destination {dst} out of range");
+        self.stats.sends.incr();
+        let cfg = self.config();
+        let clock = self.clock();
+        let seq = {
+            let mut st = self.state.lock();
+            let s = st.send_seq[dst];
+            st.send_seq[dst] += 1;
+            s
+        };
+        let state = SendState::new();
+        clock.advance(cfg.mpl_send_issue);
+        if data.len() <= cfg.mpl_eager_limit {
+            // Eager: copy into protocol buffers (the extra copy), inject,
+            // and the user buffer is immediately reusable.
+            self.stats.eager_msgs.incr();
+            clock.advance(cfg.memcpy_time(data.len()));
+            self.inject_fragments(dst, data, |offset, chunk| MplBody::Eager {
+                seq,
+                tag,
+                total_len: data.len(),
+                offset,
+                data: chunk.to_vec(),
+            });
+            state.complete(clock.now());
+        } else {
+            // Rendezvous: ship the envelope, park the data until the CTS.
+            self.stats.rndv_msgs.incr();
+            self.state.lock().rndv_sends.insert(
+                (dst, seq),
+                RndvSend {
+                    data: data.to_vec(),
+                    state: Arc::clone(&state),
+                },
+            );
+            self.adapter.send_at(
+                clock.now(),
+                dst,
+                cfg.mpl_header_bytes,
+                MplBody::Rts {
+                    seq,
+                    tag,
+                    total_len: data.len(),
+                },
+            );
+        }
+        state
+    }
+
+    /// Fragment a buffer onto the wire (16-byte headers). Returns the time
+    /// the last fragment finished injecting (when the source buffer has
+    /// been fully read by the adapter).
+    fn inject_fragments(
+        &self,
+        dst: NodeId,
+        data: &[u8],
+        mk: impl Fn(usize, &[u8]) -> MplBody,
+    ) -> VTime {
+        let cfg = self.config();
+        let clock = self.clock();
+        let cap = cfg.payload_per_packet(cfg.mpl_header_bytes);
+        let chunks: Vec<&[u8]> = if data.is_empty() {
+            vec![&[][..]]
+        } else {
+            data.chunks(cap).collect()
+        };
+        let mut offset = 0;
+        let mut last = clock.now();
+        for (i, chunk) in chunks.iter().enumerate() {
+            if i > 0 {
+                clock.advance(cfg.lapi_pkt_issue);
+            }
+            let r = self.adapter.send_at(
+                clock.now(),
+                dst,
+                cfg.mpl_header_bytes + chunk.len(),
+                mk(offset, chunk),
+            );
+            last = r.injected_at;
+            offset += chunk.len();
+        }
+        last
+    }
+
+    // ---------------------------------------------------------- receiving
+
+    /// Post a receive (optionally with a `rcvncall` handler); returns its
+    /// completion state. Matching against already-buffered messages happens
+    /// immediately.
+    pub(crate) fn post_recv(
+        &self,
+        src: Option<NodeId>,
+        tag: Option<Tag>,
+        handler: Option<RcvncallFn>,
+    ) -> Arc<RecvState> {
+        let state = RecvState::new();
+        let posted = Posted {
+            src,
+            tag,
+            state: Arc::clone(&state),
+            handler,
+        };
+        let mut fires = Vec::new();
+        let mut st = self.state.lock();
+        self.post_locked(&mut st, posted, &mut fires);
+        drop(st);
+        self.run_handlers(fires);
+        state
+    }
+
+    /// Post under the state lock: match against an already-arrived
+    /// (unexpected) message — lowest sequence number first per source,
+    /// sources in id order — or queue the receive.
+    fn post_locked(&self, st: &mut MatchState, posted: Posted, fires: &mut Vec<HandlerFire>) {
+        let mut found: Option<(NodeId, Seq)> = None;
+        'outer: for (s, stream) in st.streams.iter().enumerate() {
+            if let Some(want) = posted.src {
+                if want != s {
+                    continue;
+                }
+            }
+            for (&seq, msg) in &stream.msgs {
+                if stream.visible(seq)
+                    && msg.dest.is_none()
+                    && posted.tag.map(|t| t == msg.tag).unwrap_or(true)
+                {
+                    found = Some((s, seq));
+                    break 'outer;
+                }
+            }
+        }
+        match found {
+            Some((s, seq)) => {
+                self.stats.unexpected.incr();
+                self.match_msg(st, s, seq, posted, fires);
+            }
+            None => st.posted.push_back(posted),
+        }
+    }
+
+    /// Bind message `(src, seq)` to `posted`. Charges the receive-side copy
+    /// for buffered fragments, sends the CTS for rendezvous messages, and
+    /// finishes the receive if all data is already here.
+    fn match_msg(
+        &self,
+        st: &mut MatchState,
+        src: NodeId,
+        seq: Seq,
+        posted: Posted,
+        fires: &mut Vec<HandlerFire>,
+    ) {
+        let cfg = self.config();
+        let clock = self.clock();
+        let msg = st.streams[src].msgs.get_mut(&seq).expect("message exists");
+        debug_assert!(msg.dest.is_none());
+        {
+            let mut ri = posted.state.st.lock();
+            ri.buf = vec![0; msg.total];
+            ri.status = Status {
+                src,
+                tag: msg.tag,
+                len: msg.total,
+            };
+        }
+        // Deposit (and pay for) fragments that arrived before the match.
+        let frags = std::mem::take(&mut msg.frags);
+        if !frags.is_empty() {
+            let bytes: usize = frags.iter().map(|(_, d)| d.len()).sum();
+            clock.advance(cfg.memcpy_time(bytes));
+            let mut ri = posted.state.st.lock();
+            for (off, d) in frags {
+                ri.buf[off..off + d.len()].copy_from_slice(&d);
+            }
+        }
+        msg.dest = Some(MatchedDest {
+            state: posted.state,
+            handler: posted.handler,
+        });
+        if msg.rndv {
+            // Negotiate: tell the sender to go ahead.
+            clock.advance(cfg.mpl_rndv_setup);
+            self.adapter
+                .send_at(clock.now(), src, cfg.mpl_header_bytes, MplBody::Cts { seq });
+        }
+        if msg.frags_seen > 0 && msg.received >= msg.total {
+            self.finish_recv(st, src, seq, fires);
+        }
+    }
+
+    /// All bytes of `(src, seq)` are in its destination buffer: complete
+    /// the receive. Queues the `rcvncall` firing (run after the state lock
+    /// is released — handlers may call back into the engine) and re-arms
+    /// persistent handlers through the normal posting path, so requests
+    /// that arrived while the handler slot was consumed get matched.
+    fn finish_recv(&self, st: &mut MatchState, src: NodeId, seq: Seq, fires: &mut Vec<HandlerFire>) {
+        let cfg = self.config();
+        let clock = self.clock();
+        let msg = st.streams[src].msgs.remove(&seq).expect("message exists");
+        let dest = msg.dest.expect("finished message was matched");
+        clock.advance(cfg.mpl_recv_match);
+        self.stats.recvs.incr();
+        {
+            let mut ri = dest.state.st.lock();
+            ri.done = true;
+            ri.done_at = clock.now();
+        }
+        dest.state.cv.notify_all();
+        let Some(h) = dest.handler else { return };
+        let (buf, status) = {
+            let mut ri = dest.state.st.lock();
+            (std::mem::take(&mut ri.buf), ri.status)
+        };
+        fires.push(HandlerFire {
+            h: Arc::clone(&h),
+            buf,
+            status,
+        });
+        // Persistent rcvncall (as GA uses it): re-arm for the same tag via
+        // the normal posting path so an unmatched request that arrived
+        // while this slot was consumed gets matched immediately (it may
+        // already be complete, queueing a further firing).
+        self.post_locked(
+            st,
+            Posted {
+                src: None,
+                tag: Some(status.tag),
+                state: RecvState::new(),
+                handler: Some(h),
+            },
+            fires,
+        );
+    }
+
+    /// Run deferred `rcvncall` firings (no engine locks held): charge the
+    /// AIX handler-context creation cost, then the user handler.
+    fn run_handlers(&self, fires: Vec<HandlerFire>) {
+        for HandlerFire { h, buf, status } in fires {
+            self.clock().advance(self.config().rcvncall_ctx);
+            self.stats.rcvncall_invocations.incr();
+            let hctx = MplHandlerCtx { engine: self };
+            h(&hctx, buf, status);
+        }
+    }
+
+    // ---------------------------------------------------------- progress
+
+    /// Process one arrived packet.
+    pub(crate) fn process_packet(&self, s: Stamped<WirePacket<MplBody>>) {
+        let cfg = self.config();
+        let clock = self.clock();
+        clock.merge(s.at);
+        clock.advance(cfg.mpl_pkt_dispatch);
+        self.stats.packets.incr();
+        let src = s.item.src;
+        let mut fires = Vec::new();
+        let mut st = self.state.lock();
+        match s.item.body {
+            MplBody::Eager {
+                seq,
+                tag,
+                total_len,
+                offset,
+                data,
+            } => {
+                self.note_envelope(&mut st, src, seq, tag, total_len, false, &mut fires);
+                self.deposit(&mut st, src, seq, offset, data, &mut fires);
+            }
+            MplBody::Rts {
+                seq,
+                tag,
+                total_len,
+            } => self.note_envelope(&mut st, src, seq, tag, total_len, true, &mut fires),
+            MplBody::Cts { seq } => {
+                let rndv = st
+                    .rndv_sends
+                    .remove(&(src, seq))
+                    .expect("CTS for unknown rendezvous send");
+                drop(st);
+                // Inject the parked data straight from the user buffer
+                // (no extra copy — the rendezvous advantage). The send only
+                // completes when the adapter has read the user buffer out,
+                // i.e. when the last fragment is on the wire.
+                let injected = self.inject_fragments(src, &rndv.data, |offset, chunk| {
+                    MplBody::RndvData {
+                        seq,
+                        offset,
+                        total_len: rndv.data.len(),
+                        data: chunk.to_vec(),
+                    }
+                });
+                rndv.state.complete(injected);
+                return;
+            }
+            MplBody::RndvData {
+                seq,
+                offset,
+                total_len,
+                data,
+            } => {
+                debug_assert!(total_len > 0);
+                self.deposit(&mut st, src, seq, offset, data, &mut fires);
+            }
+        }
+        drop(st);
+        self.run_handlers(fires);
+    }
+
+    /// Record the envelope of `(src, seq)` and attempt matching on arrival.
+    #[allow(clippy::too_many_arguments)]
+    fn note_envelope(
+        &self,
+        st: &mut MatchState,
+        src: NodeId,
+        seq: Seq,
+        tag: Tag,
+        total: usize,
+        rndv: bool,
+        fires: &mut Vec<HandlerFire>,
+    ) {
+        let stream = &mut st.streams[src];
+        let was_contig = stream.contig;
+        stream.msgs.entry(seq).or_insert(InMsg {
+            tag,
+            total,
+            rndv,
+            received: 0,
+            frags_seen: 0,
+            frags: Vec::new(),
+            dest: None,
+        });
+        stream.note_seen(seq);
+        let now_contig = stream.contig;
+        if now_contig > was_contig {
+            // This arrival extended the visible prefix: every unmatched
+            // message that just became visible may now match.
+            let newly: Vec<Seq> = st.streams[src]
+                .msgs
+                .range(..now_contig)
+                .filter(|(_, m)| m.dest.is_none())
+                .map(|(&s, _)| s)
+                .collect();
+            for s_seq in newly {
+                self.try_match_arrival(st, src, s_seq, fires);
+            }
+        }
+    }
+
+    /// Match a newly-arrived message against the posted queue, respecting
+    /// non-overtaking: it may only match if no earlier unmatched message
+    /// from the same source also matches the same posted receive.
+    fn try_match_arrival(
+        &self,
+        st: &mut MatchState,
+        src: NodeId,
+        seq: Seq,
+        fires: &mut Vec<HandlerFire>,
+    ) {
+        if !st.streams[src].visible(seq) {
+            // An earlier message from this source hasn't even been seen
+            // yet; matching now could overtake it.
+            return;
+        }
+        let msg = &st.streams[src].msgs[&seq];
+        if msg.dest.is_some() {
+            return;
+        }
+        let tag = msg.tag;
+        // Non-overtaking guard: an earlier unmatched message with the same
+        // tag from this source must match first.
+        let overtaken = st.streams[src]
+            .msgs
+            .range(..seq)
+            .any(|(_, m)| m.dest.is_none() && m.tag == tag);
+        if overtaken {
+            return;
+        }
+        let idx = st.posted.iter().position(|p| {
+            p.src.map(|s| s == src).unwrap_or(true) && p.tag.map(|t| t == tag).unwrap_or(true)
+        });
+        if let Some(idx) = idx {
+            let posted = st.posted.remove(idx).expect("index valid");
+            self.match_msg(st, src, seq, posted, fires);
+        }
+    }
+
+    /// Deposit a fragment (into the matched buffer, or the stash).
+    fn deposit(
+        &self,
+        st: &mut MatchState,
+        src: NodeId,
+        seq: Seq,
+        offset: usize,
+        data: Vec<u8>,
+        fires: &mut Vec<HandlerFire>,
+    ) {
+        let msg = st.streams[src].msgs.get_mut(&seq).expect("envelope seen");
+        msg.received += data.len();
+        msg.frags_seen += 1;
+        let complete = msg.received >= msg.total;
+        match &msg.dest {
+            Some(d) => {
+                let mut ri = d.state.st.lock();
+                ri.buf[offset..offset + data.len()].copy_from_slice(&data);
+            }
+            None => msg.frags.push((offset, data)),
+        }
+        if complete && msg.dest.is_some() {
+            self.finish_recv(st, src, seq, fires);
+        }
+    }
+
+    /// One polling step (bounded real-time block).
+    pub(crate) fn poll_step(&self, deadline: Instant) {
+        match self.adapter.rx().recv_timeout(POLL_TICK) {
+            Ok(Some(s)) => self.process_packet(s),
+            Ok(None) => {
+                if Instant::now() > deadline {
+                    panic!(
+                        "MPL made no progress for {:?} of real time — simulated deadlock",
+                        self.escape
+                    );
+                }
+            }
+            Err(_) => panic!("MPL adapter queue closed while waiting for progress"),
+        }
+    }
+
+    /// Interrupt-mode dispatcher loop.
+    pub(crate) fn dispatcher_loop(&self) {
+        loop {
+            if self.is_terminated() {
+                return;
+            }
+            {
+                let mut mode = self.mode.lock();
+                if *mode == MplMode::Polling {
+                    self.mode_cv.wait_for(&mut mode, DISPATCH_TICK);
+                    continue;
+                }
+            }
+            match self.adapter.rx().recv_timeout(DISPATCH_TICK) {
+                Err(_) => return,
+                Ok(None) => continue,
+                Ok(Some(s)) => {
+                    self.clock().merge(s.at);
+                    self.process_packet(s);
+                    while let Ok(Some(next)) = self.adapter.rx().try_recv() {
+                        self.process_packet(next);
+                    }
+                }
+            }
+        }
+    }
+
+    pub(crate) fn terminate(&self) {
+        self.terminated.store(true, Ordering::Release);
+        self.adapter.shutdown();
+        self.mode_cv.notify_all();
+    }
+}

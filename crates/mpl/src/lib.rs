@@ -1,0 +1,37 @@
+//! # mpl — the MPI/MPL two-sided message-passing baseline
+//!
+//! The paper evaluates LAPI against the SP's MPI/MPL message-passing stack;
+//! this crate reproduces the protocol features those comparisons hinge on:
+//!
+//! * **tag/source matching** with non-overtaking delivery per source
+//!   (the in-order guarantee MPL must enforce on a switch that reorders
+//!   packets — state LAPI explicitly refuses to keep, §4);
+//! * the **eager protocol** for messages up to `MP_EAGER_LIMIT`: the sender
+//!   copies into protocol buffers (the "extra copy" the paper blames for
+//!   MPI's mid-range bandwidth gap) so the send returns immediately;
+//!   receivers deposit directly when a matching receive is already posted
+//!   and buffer + re-copy otherwise;
+//! * the **rendezvous protocol** beyond the eager limit: an RTS/CTS round
+//!   trip negotiates buffer space, after which data moves without the extra
+//!   copy — the source of the bandwidth-curve flattening above the 4 KB
+//!   default eager limit in Figure 2;
+//! * **`rcvncall`** — the interrupt-driven receive-and-call used by the old
+//!   Global Arrays implementation (§5.2), whose AIX handler-context cost
+//!   (≈57 µs here) explains MPL's 200 µs interrupt round trip in Table 2;
+//! * 16-byte packet headers (vs LAPI's 48), giving MPI its slightly higher
+//!   peak bandwidth.
+//!
+//! The public API is deliberately small: `send`/`recv` (+ nonblocking
+//! variants), `rcvncall`, a barrier and an allreduce — what the paper's
+//! benchmarks and the GA-over-MPL port actually use.
+
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod engine;
+pub mod wire;
+pub mod world;
+
+pub use context::{MplContext, MplHandlerCtx, MplMode, RecvReq, SendReq, Status};
+pub use engine::MplStats;
+pub use world::MplWorld;

@@ -1,0 +1,85 @@
+//! MPL wire formats (16-byte packet headers on the wire).
+
+/// Per-source message sequence number: MPL restores in-order, non-overtaking
+/// delivery on top of the reordering switch by sequencing every message.
+pub type Seq = u64;
+
+/// Message tag.
+pub type Tag = i32;
+
+/// Body of one MPL packet.
+#[derive(Debug, Clone)]
+pub enum MplBody {
+    /// An eager-protocol fragment. Every fragment repeats the envelope
+    /// (tag, total length) so matching can begin with whichever fragment
+    /// arrives first.
+    Eager {
+        /// Per-source message sequence number.
+        seq: Seq,
+        /// Message tag.
+        tag: Tag,
+        /// Total message length.
+        total_len: usize,
+        /// Fragment offset.
+        offset: usize,
+        /// Fragment payload.
+        data: Vec<u8>,
+    },
+    /// Rendezvous request-to-send: the envelope only.
+    Rts {
+        /// Per-source message sequence number.
+        seq: Seq,
+        /// Message tag.
+        tag: Tag,
+        /// Total message length.
+        total_len: usize,
+    },
+    /// Clear-to-send: the receiver has a matching receive and buffer space.
+    Cts {
+        /// Sequence of the send being cleared.
+        seq: Seq,
+    },
+    /// Rendezvous data fragment (flows only after a `Cts`).
+    RndvData {
+        /// Sequence of the cleared send.
+        seq: Seq,
+        /// Fragment offset.
+        offset: usize,
+        /// Total message length.
+        total_len: usize,
+        /// Fragment payload.
+        data: Vec<u8>,
+    },
+}
+
+impl MplBody {
+    /// Payload bytes carried (for wire sizing).
+    pub fn payload_len(&self) -> usize {
+        match self {
+            MplBody::Eager { data, .. } | MplBody::RndvData { data, .. } => data.len(),
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_sizing() {
+        assert_eq!(
+            MplBody::Eager {
+                seq: 0,
+                tag: 1,
+                total_len: 10,
+                offset: 0,
+                data: vec![0; 10]
+            }
+            .payload_len(),
+            10
+        );
+        assert_eq!(MplBody::Rts { seq: 0, tag: 0, total_len: 99 }.payload_len(), 0);
+        assert_eq!(MplBody::Cts { seq: 0 }.payload_len(), 0);
+    }
+}

@@ -1,0 +1,160 @@
+//! A virtual-time barrier.
+//!
+//! Experiments need all nodes to start from an agreed virtual instant;
+//! [`VBarrier::wait`] blocks until every participant arrives and then sets
+//! every participant's clock to the maximum arrival time plus a configurable
+//! barrier cost. This mirrors what a real `LAPI_Gfence`/`MP_SYNC` does to
+//! wall-clock alignment on the SP, and makes measurements deterministic.
+
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::clock::VClock;
+use crate::time::{VDur, VTime};
+
+struct State {
+    arrived: usize,
+    generation: u64,
+    max_time: VTime,
+    release_time: VTime,
+}
+
+struct Inner {
+    n: usize,
+    cost: VDur,
+    state: Mutex<State>,
+    cond: Condvar,
+}
+
+/// A reusable barrier over `n` participants that aligns virtual clocks.
+#[derive(Clone)]
+pub struct VBarrier {
+    inner: Arc<Inner>,
+}
+
+impl VBarrier {
+    /// A barrier for `n` participants charging `cost` per crossing.
+    pub fn new(n: usize, cost: VDur) -> Self {
+        assert!(n > 0, "barrier needs at least one participant");
+        VBarrier {
+            inner: Arc::new(Inner {
+                n,
+                cost,
+                state: Mutex::new(State {
+                    arrived: 0,
+                    generation: 0,
+                    max_time: VTime::ZERO,
+                    release_time: VTime::ZERO,
+                }),
+                cond: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Number of participants.
+    pub fn participants(&self) -> usize {
+        self.inner.n
+    }
+
+    /// Enter the barrier; returns the aligned virtual time (which `clock`
+    /// has been set to).
+    ///
+    /// Panics if the other participants fail to arrive within a generous
+    /// real-time bound — that means a peer died or deadlocked, and hanging
+    /// the whole job would mask the failure.
+    pub fn wait(&self, clock: &VClock) -> VTime {
+        let mut st = self.inner.state.lock();
+        let my_gen = st.generation;
+        st.max_time = st.max_time.max(clock.now());
+        st.arrived += 1;
+        if st.arrived == self.inner.n {
+            st.release_time = st.max_time + self.inner.cost;
+            st.arrived = 0;
+            st.max_time = VTime::ZERO;
+            st.generation += 1;
+            let release = st.release_time;
+            drop(st);
+            self.inner.cond.notify_all();
+            clock.merge(release);
+            return release;
+        }
+        while st.generation == my_gen {
+            if self
+                .inner
+                .cond
+                .wait_for(&mut st, std::time::Duration::from_secs(60))
+                .timed_out()
+            {
+                panic!(
+                    "VBarrier: only {}/{} participants arrived within 60s of real \
+                     time — a peer died or deadlocked",
+                    st.arrived, self.inner.n
+                );
+            }
+        }
+        let release = st.release_time;
+        drop(st);
+        clock.merge(release);
+        release
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn aligns_clocks_to_max_plus_cost() {
+        let b = VBarrier::new(3, VDur::from_us(2));
+        let clocks: Vec<VClock> = (0..3)
+            .map(|i| VClock::starting_at(VTime::from_us(10 * i as u64)))
+            .collect();
+        thread::scope(|s| {
+            for c in &clocks {
+                let b = b.clone();
+                s.spawn(move || b.wait(c));
+            }
+        });
+        for c in &clocks {
+            assert_eq!(c.now(), VTime::from_us(22));
+        }
+    }
+
+    #[test]
+    fn is_reusable_across_generations() {
+        let b = VBarrier::new(2, VDur::ZERO);
+        let c0 = VClock::new();
+        let c1 = VClock::new();
+        for round in 1..=5u64 {
+            let (r0, r1) = thread::scope(|s| {
+                let b0 = b.clone();
+                let b1 = b.clone();
+                let c0 = &c0;
+                let c1 = &c1;
+                let h0 = s.spawn(move || {
+                    c0.advance(VDur::from_us(3));
+                    b0.wait(c0)
+                });
+                let h1 = s.spawn(move || b1.wait(c1));
+                (h0.join().unwrap(), h1.join().unwrap())
+            });
+            assert_eq!(r0, r1);
+            assert_eq!(r0, VTime::from_us(3 * round));
+        }
+    }
+
+    #[test]
+    fn single_participant_is_trivial() {
+        let b = VBarrier::new(1, VDur::from_us(1));
+        let c = VClock::starting_at(VTime::from_us(9));
+        assert_eq!(b.wait(&c), VTime::from_us(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_participants_rejected() {
+        let _ = VBarrier::new(0, VDur::ZERO);
+    }
+}

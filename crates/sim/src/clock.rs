@@ -1,0 +1,129 @@
+//! Per-node virtual clocks.
+//!
+//! A [`VClock`] is shared between the application thread of a simulated node
+//! and the library machinery acting on its behalf (the LAPI dispatcher
+//! thread, completion-handler threads, the adapter model). It only ever moves
+//! forward; concurrent writers race monotonically via `fetch_max`, which is
+//! exactly the "merge" semantics virtual time needs: observing an event that
+//! happened at time `t` pulls the local clock up to `t`, never back.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::time::{VDur, VTime};
+
+/// A shareable, monotonically advancing virtual clock.
+///
+/// Cloning a `VClock` yields a handle to the *same* clock.
+#[derive(Clone, Debug, Default)]
+pub struct VClock {
+    ns: Arc<AtomicU64>,
+}
+
+impl VClock {
+    /// A new clock starting at virtual time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A new clock starting at `t`.
+    pub fn starting_at(t: VTime) -> Self {
+        VClock {
+            ns: Arc::new(AtomicU64::new(t.as_ns())),
+        }
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> VTime {
+        VTime(self.ns.load(Ordering::Acquire))
+    }
+
+    /// Charge `cost` of CPU work to this clock; returns the new time.
+    ///
+    /// Concurrent `advance`s serialize (both costs are charged); this models
+    /// the single CPU of a (uniprocessor P2SC) node being shared by the
+    /// application and the communication subsystem.
+    #[inline]
+    pub fn advance(&self, cost: VDur) -> VTime {
+        VTime(self.ns.fetch_add(cost.as_ns(), Ordering::AcqRel) + cost.as_ns())
+    }
+
+    /// Pull the clock forward to at least `t` (no-op if already later).
+    /// Returns the resulting time.
+    #[inline]
+    pub fn merge(&self, t: VTime) -> VTime {
+        let prev = self.ns.fetch_max(t.as_ns(), Ordering::AcqRel);
+        VTime(prev.max(t.as_ns()))
+    }
+
+    /// Merge to `t` and then charge `cost`: the common pattern for
+    /// "observe an event, then spend CPU processing it".
+    #[inline]
+    pub fn merge_and_advance(&self, t: VTime, cost: VDur) -> VTime {
+        self.merge(t);
+        self.advance(cost)
+    }
+
+    /// Do two clocks share the same underlying counter?
+    pub fn same_clock(&self, other: &VClock) -> bool {
+        Arc::ptr_eq(&self.ns, &other.ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn advance_accumulates() {
+        let c = VClock::new();
+        assert_eq!(c.now(), VTime::ZERO);
+        c.advance(VDur::from_us(3));
+        c.advance(VDur::from_us(4));
+        assert_eq!(c.now(), VTime::from_us(7));
+    }
+
+    #[test]
+    fn merge_is_monotone() {
+        let c = VClock::starting_at(VTime::from_us(10));
+        c.merge(VTime::from_us(5));
+        assert_eq!(c.now(), VTime::from_us(10));
+        c.merge(VTime::from_us(15));
+        assert_eq!(c.now(), VTime::from_us(15));
+    }
+
+    #[test]
+    fn merge_and_advance_charges_after_merge() {
+        let c = VClock::new();
+        let t = c.merge_and_advance(VTime::from_us(100), VDur::from_us(2));
+        assert_eq!(t, VTime::from_us(102));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = VClock::new();
+        let b = a.clone();
+        a.advance(VDur::from_us(1));
+        assert_eq!(b.now(), VTime::from_us(1));
+        assert!(a.same_clock(&b));
+        assert!(!a.same_clock(&VClock::new()));
+    }
+
+    #[test]
+    fn concurrent_advances_both_charge() {
+        let c = VClock::new();
+        let c2 = c.clone();
+        let h = thread::spawn(move || {
+            for _ in 0..1000 {
+                c2.advance(VDur::from_ns(3));
+            }
+        });
+        for _ in 0..1000 {
+            c.advance(VDur::from_ns(5));
+        }
+        h.join().unwrap();
+        assert_eq!(c.now().as_ns(), 1000 * 3 + 1000 * 5);
+    }
+}

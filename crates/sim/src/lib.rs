@@ -1,0 +1,48 @@
+//! # spsim — virtual-time simulation kernel for the simulated RS/6000 SP
+//!
+//! This crate provides the substrate on which the LAPI reproduction runs:
+//! every simulated SP *node* is a real OS thread, but time is **virtual**.
+//! Each node owns a [`VClock`] — a monotonically advancing virtual-nanosecond
+//! counter. CPU work performed by the communication libraries is charged to
+//! the clock with [`VClock::advance`]; messages carry virtual timestamps, and
+//! a receiver that observes an event *merges* the event time into its own
+//! clock ([`VClock::merge`]). A node that is blocked waiting does **not**
+//! advance its clock, which makes latency and bandwidth measurements
+//! deterministic and independent of the host machine.
+//!
+//! The pieces:
+//!
+//! * [`VTime`] / [`VDur`] — virtual instants and durations (nanoseconds).
+//! * [`VClock`] — a shareable per-node clock.
+//! * [`MachineConfig`] — the calibrated cost model of the simulated SP
+//!   (packet sizes, wire bandwidth, software overheads, interrupt costs).
+//! * [`TimedQueue`] — a blocking queue whose elements carry virtual
+//!   timestamps; receiving merges the element's timestamp into the caller's
+//!   clock. This is how packet arrival times propagate between node threads.
+//! * [`VBarrier`] — a barrier that aligns the virtual clocks of all
+//!   participants (to the maximum, plus a configurable cost).
+//! * [`run_spmd`] — spawn `n` node threads running the same closure
+//!   (single-program-multiple-data, like a parallel job on the SP), with
+//!   panic propagation.
+//! * [`SimRng`] — a tiny deterministic RNG (SplitMix64) used for route
+//!   selection and drop injection in the switch model.
+
+#![warn(missing_docs)]
+
+pub mod barrier;
+pub mod clock;
+pub mod config;
+pub mod queue;
+pub mod rng;
+pub mod runtime;
+pub mod stats;
+pub mod time;
+
+pub use barrier::VBarrier;
+pub use clock::VClock;
+pub use config::MachineConfig;
+pub use queue::{QueueClosed, Stamped, TimedQueue};
+pub use rng::SimRng;
+pub use runtime::{run_spmd, run_spmd_with, NodeId};
+pub use stats::{Histogram, StatCounter};
+pub use time::{VDur, VTime};

@@ -1,0 +1,430 @@
+//! Blocking queues that carry virtual timestamps.
+//!
+//! A [`TimedQueue`] connects node threads: the producer stamps each element
+//! with the virtual time at which the corresponding event becomes visible
+//! (e.g. a packet's arrival at an adapter), and the consumer's clock is
+//! pulled forward to that time when it takes the element out. Elements are
+//! delivered in *timestamp order* among those currently enqueued — a
+//! min-heap, not FIFO — so a packet that took a faster route is handed to
+//! the dispatcher first even if it was pushed later in real time.
+//!
+//! Blocking receives carry a real-time escape hatch: a simulated deadlock
+//! (e.g. polling-mode LAPI with nobody polling) would otherwise hang the
+//! test suite forever. Hitting the escape is always a bug in the simulated
+//! program and panics with a diagnostic.
+
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::clock::VClock;
+use crate::time::VTime;
+
+/// Default real-time escape for blocking receives.
+pub const DEFAULT_ESCAPE: Duration = Duration::from_secs(30);
+
+/// Error returned when the queue has been closed and drained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueClosed;
+
+/// An element stamped with the virtual time at which it becomes visible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stamped<T> {
+    /// Virtual time of the event this element represents.
+    pub at: VTime,
+    /// The payload.
+    pub item: T,
+}
+
+struct Entry<T> {
+    at: VTime,
+    seq: u64,
+    item: T,
+}
+
+// BinaryHeap is a max-heap; invert ordering to pop the earliest timestamp,
+// breaking ties by insertion sequence for determinism.
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+struct Inner<T> {
+    heap: Mutex<HeapState<T>>,
+    cond: Condvar,
+}
+
+struct HeapState<T> {
+    heap: BinaryHeap<Entry<T>>,
+    next_seq: u64,
+    closed: bool,
+}
+
+/// A blocking min-heap queue ordered by virtual timestamp.
+///
+/// Cloning yields another handle to the same queue.
+pub struct TimedQueue<T> {
+    inner: Arc<Inner<T>>,
+    escape: Duration,
+}
+
+impl<T> Clone for TimedQueue<T> {
+    fn clone(&self) -> Self {
+        TimedQueue {
+            inner: Arc::clone(&self.inner),
+            escape: self.escape,
+        }
+    }
+}
+
+impl<T> Default for TimedQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> TimedQueue<T> {
+    /// New empty queue with the default real-time escape.
+    pub fn new() -> Self {
+        Self::with_escape(DEFAULT_ESCAPE)
+    }
+
+    /// New empty queue with a custom real-time escape for blocking receives.
+    pub fn with_escape(escape: Duration) -> Self {
+        TimedQueue {
+            inner: Arc::new(Inner {
+                heap: Mutex::new(HeapState {
+                    heap: BinaryHeap::new(),
+                    next_seq: 0,
+                    closed: false,
+                }),
+                cond: Condvar::new(),
+            }),
+            escape,
+        }
+    }
+
+    /// Enqueue `item` as an event occurring at virtual time `at`.
+    ///
+    /// Pushing to a closed queue is a silent no-op (late packets after
+    /// shutdown are dropped on the floor, like a powered-off adapter).
+    pub fn push(&self, at: VTime, item: T) {
+        let mut st = self.inner.heap.lock();
+        if st.closed {
+            return;
+        }
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        st.heap.push(Entry { at, seq, item });
+        drop(st);
+        self.inner.cond.notify_all();
+    }
+
+    /// Close the queue: blocked and future receivers get [`QueueClosed`]
+    /// once the remaining elements are drained.
+    pub fn close(&self) {
+        self.inner.heap.lock().closed = true;
+        self.inner.cond.notify_all();
+    }
+
+    /// Has `close` been called?
+    pub fn is_closed(&self) -> bool {
+        self.inner.heap.lock().closed
+    }
+
+    /// Number of elements currently enqueued.
+    pub fn len(&self) -> usize {
+        self.inner.heap.lock().heap.len()
+    }
+
+    /// Is the queue currently empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Nonblocking: take the earliest-stamped element, regardless of its
+    /// timestamp. Returns `Ok(None)` when empty and open.
+    pub fn try_recv(&self) -> Result<Option<Stamped<T>>, QueueClosed> {
+        let mut st = self.inner.heap.lock();
+        match st.heap.pop() {
+            Some(e) => Ok(Some(Stamped { at: e.at, item: e.item })),
+            None if st.closed => Err(QueueClosed),
+            None => Ok(None),
+        }
+    }
+
+    /// Nonblocking poll at virtual time `now`: take the earliest element
+    /// only if its timestamp is `<= now` — i.e. only events that have
+    /// already happened from the poller's perspective.
+    pub fn try_recv_ready(&self, now: VTime) -> Result<Option<Stamped<T>>, QueueClosed> {
+        let mut st = self.inner.heap.lock();
+        if let Some(top) = st.heap.peek() {
+            if top.at <= now {
+                let e = st.heap.pop().expect("peeked");
+                return Ok(Some(Stamped { at: e.at, item: e.item }));
+            }
+            return Ok(None);
+        }
+        if st.closed {
+            Err(QueueClosed)
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Blocking: wait for the earliest element, merging its timestamp into
+    /// `clock`. This models "spin/park until the event arrives" — the
+    /// waiter's virtual clock jumps to the event time rather than burning
+    /// virtual CPU.
+    ///
+    /// Panics if the real-time escape elapses (simulated deadlock).
+    pub fn recv_merge(&self, clock: &VClock) -> Result<Stamped<T>, QueueClosed> {
+        let mut st = self.inner.heap.lock();
+        loop {
+            if let Some(e) = st.heap.pop() {
+                drop(st);
+                clock.merge(e.at);
+                return Ok(Stamped { at: e.at, item: e.item });
+            }
+            if st.closed {
+                return Err(QueueClosed);
+            }
+            if self
+                .inner
+                .cond
+                .wait_for(&mut st, self.escape)
+                .timed_out()
+            {
+                panic!(
+                    "TimedQueue::recv_merge: no event within {:?} of real time — \
+                     the simulated program is deadlocked (is anyone making progress? \
+                     polling-mode LAPI requires the target to poll)",
+                    self.escape
+                );
+            }
+        }
+    }
+
+    /// Blocking receive bounded by `dur` of *real* time: `Ok(None)` on
+    /// timeout. Used by service loops that must periodically re-check
+    /// control state (e.g. the LAPI dispatcher watching for mode changes).
+    pub fn recv_timeout(&self, dur: Duration) -> Result<Option<Stamped<T>>, QueueClosed> {
+        let deadline = std::time::Instant::now() + dur;
+        let mut st = self.inner.heap.lock();
+        loop {
+            if let Some(e) = st.heap.pop() {
+                return Ok(Some(Stamped { at: e.at, item: e.item }));
+            }
+            if st.closed {
+                return Err(QueueClosed);
+            }
+            if self.inner.cond.wait_until(&mut st, deadline).timed_out() {
+                return Ok(None);
+            }
+        }
+    }
+
+    /// Blocking receive without a clock (used by service threads that own
+    /// no clock of their own; the timestamp is returned for manual merging).
+    pub fn recv(&self) -> Result<Stamped<T>, QueueClosed> {
+        let mut st = self.inner.heap.lock();
+        loop {
+            if let Some(e) = st.heap.pop() {
+                return Ok(Stamped { at: e.at, item: e.item });
+            }
+            if st.closed {
+                return Err(QueueClosed);
+            }
+            if self
+                .inner
+                .cond
+                .wait_for(&mut st, self.escape)
+                .timed_out()
+            {
+                panic!(
+                    "TimedQueue::recv: no event within {:?} of real time — \
+                     the simulated program is deadlocked",
+                    self.escape
+                );
+            }
+        }
+    }
+
+    /// Drain every element whose timestamp is `<= now`, in timestamp order.
+    pub fn drain_ready(&self, now: VTime) -> Vec<Stamped<T>> {
+        let mut out = Vec::new();
+        let mut st = self.inner.heap.lock();
+        while let Some(top) = st.heap.peek() {
+            if top.at > now {
+                break;
+            }
+            let e = st.heap.pop().expect("peeked");
+            out.push(Stamped { at: e.at, item: e.item });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::VDur;
+    use std::thread;
+
+    #[test]
+    fn pops_in_timestamp_order() {
+        let q = TimedQueue::new();
+        q.push(VTime::from_us(30), "c");
+        q.push(VTime::from_us(10), "a");
+        q.push(VTime::from_us(20), "b");
+        let clock = VClock::new();
+        assert_eq!(q.recv_merge(&clock).unwrap().item, "a");
+        assert_eq!(q.recv_merge(&clock).unwrap().item, "b");
+        assert_eq!(q.recv_merge(&clock).unwrap().item, "c");
+        assert_eq!(clock.now(), VTime::from_us(30));
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let q = TimedQueue::new();
+        for i in 0..10 {
+            q.push(VTime::from_us(5), i);
+        }
+        let clock = VClock::new();
+        for i in 0..10 {
+            assert_eq!(q.recv_merge(&clock).unwrap().item, i);
+        }
+    }
+
+    #[test]
+    fn merge_does_not_move_clock_backwards() {
+        let q = TimedQueue::new();
+        q.push(VTime::from_us(5), ());
+        let clock = VClock::starting_at(VTime::from_us(100));
+        let s = q.recv_merge(&clock).unwrap();
+        assert_eq!(s.at, VTime::from_us(5));
+        assert_eq!(clock.now(), VTime::from_us(100));
+    }
+
+    #[test]
+    fn try_recv_ready_respects_now() {
+        let q = TimedQueue::new();
+        q.push(VTime::from_us(50), ());
+        assert!(q.try_recv_ready(VTime::from_us(10)).unwrap().is_none());
+        assert!(q.try_recv_ready(VTime::from_us(50)).unwrap().is_some());
+        assert!(q.try_recv_ready(VTime::from_us(99)).unwrap().is_none());
+    }
+
+    #[test]
+    fn close_unblocks_and_reports() {
+        let q: TimedQueue<()> = TimedQueue::new();
+        let q2 = q.clone();
+        let h = thread::spawn(move || q2.recv());
+        thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(h.join().unwrap(), Err(QueueClosed));
+        // push after close is dropped
+        q.push(VTime::ZERO, ());
+        assert_eq!(q.try_recv(), Err(QueueClosed));
+    }
+
+    #[test]
+    fn close_drains_remaining_first() {
+        let q = TimedQueue::new();
+        q.push(VTime::from_us(1), 7);
+        q.close();
+        let clock = VClock::new();
+        assert_eq!(q.recv_merge(&clock).unwrap().item, 7);
+        assert!(q.recv_merge(&clock).is_err());
+    }
+
+    #[test]
+    fn cross_thread_delivery_merges_time() {
+        let q = TimedQueue::new();
+        let q2 = q.clone();
+        let h = thread::spawn(move || {
+            let clock = VClock::new();
+            let s = q2.recv_merge(&clock).unwrap();
+            (s.item, clock.now())
+        });
+        thread::sleep(std::time::Duration::from_millis(10));
+        q.push(VTime::from_us(42), "pkt");
+        let (item, t) = h.join().unwrap();
+        assert_eq!(item, "pkt");
+        assert_eq!(t, VTime::from_us(42));
+    }
+
+    #[test]
+    fn drain_ready_takes_prefix() {
+        let q = TimedQueue::new();
+        for i in 0..5u64 {
+            q.push(VTime::from_us(i * 10), i);
+        }
+        let got = q.drain_ready(VTime::from_us(25));
+        assert_eq!(got.iter().map(|s| s.item).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlocked")]
+    fn escape_hatch_panics() {
+        let q: TimedQueue<()> = TimedQueue::with_escape(Duration::from_millis(30));
+        let clock = VClock::new();
+        let _ = q.recv_merge(&clock);
+    }
+
+    #[test]
+    fn recv_timeout_times_out_and_delivers() {
+        let q: TimedQueue<u8> = TimedQueue::new();
+        assert_eq!(q.recv_timeout(Duration::from_millis(10)), Ok(None));
+        q.push(VTime::from_us(4), 9);
+        let got = q.recv_timeout(Duration::from_millis(10)).unwrap().unwrap();
+        assert_eq!(got.item, 9);
+        q.close();
+        assert_eq!(q.recv_timeout(Duration::from_millis(10)), Err(QueueClosed));
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let q = TimedQueue::new();
+        assert!(q.is_empty());
+        q.push(VTime::ZERO, 1);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn clock_advance_vs_queue_interleaving() {
+        // A consumer that alternates polling and working sees events only
+        // once its virtual time passes their stamps.
+        let q = TimedQueue::new();
+        q.push(VTime::from_us(12), ());
+        let clock = VClock::new();
+        let mut polls = 0;
+        loop {
+            match q.try_recv_ready(clock.now()).unwrap() {
+                Some(_) => break,
+                None => {
+                    clock.advance(VDur::from_us(5));
+                    polls += 1;
+                }
+            }
+        }
+        assert_eq!(polls, 3); // at t=5,10 nothing; ready at t=15
+    }
+}

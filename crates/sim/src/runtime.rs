@@ -1,0 +1,136 @@
+//! SPMD node runtime.
+//!
+//! A parallel job on the SP is `n` copies of the same program, one per node.
+//! [`run_spmd`] reproduces that: it spawns `n` OS threads, runs the given
+//! closure with each node's rank, and collects the per-node results. Panics
+//! in any node are propagated to the caller (after all nodes have finished
+//! or hit their queue escape hatches), so a failing simulated program fails
+//! the test that ran it.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::thread;
+
+/// Rank of a simulated node within its job, `0..n`.
+pub type NodeId = usize;
+
+/// Run `f(rank)` on `n` threads and collect results in rank order.
+///
+/// # Panics
+/// Propagates the first node panic once every node has terminated.
+pub fn run_spmd<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(NodeId) -> R + Sync,
+{
+    assert!(n > 0, "SPMD job needs at least one node");
+    let f = &f;
+    let mut outcomes: Vec<thread::Result<R>> = Vec::with_capacity(n);
+    thread::scope(|s| {
+        let handles: Vec<_> = (0..n)
+            .map(|rank| {
+                thread::Builder::new()
+                    .name(format!("sp-node-{rank}"))
+                    .spawn_scoped(s, move || catch_unwind(AssertUnwindSafe(|| f(rank))))
+                    .expect("spawn node thread")
+            })
+            .collect();
+        for h in handles {
+            outcomes.push(h.join().expect("node thread itself must not die"));
+        }
+    });
+    collect_or_panic(outcomes)
+}
+
+/// Like [`run_spmd`], but each node consumes a pre-built, possibly
+/// non-`Clone` context (e.g. its endpoint of a network built up front).
+pub fn run_spmd_with<C, R, F>(ctxs: Vec<C>, f: F) -> Vec<R>
+where
+    C: Send,
+    R: Send,
+    F: Fn(NodeId, C) -> R + Sync,
+{
+    assert!(!ctxs.is_empty(), "SPMD job needs at least one node");
+    let f = &f;
+    let mut outcomes: Vec<thread::Result<R>> = Vec::with_capacity(ctxs.len());
+    thread::scope(|s| {
+        let handles: Vec<_> = ctxs
+            .into_iter()
+            .enumerate()
+            .map(|(rank, ctx)| {
+                thread::Builder::new()
+                    .name(format!("sp-node-{rank}"))
+                    .spawn_scoped(s, move || {
+                        catch_unwind(AssertUnwindSafe(move || f(rank, ctx)))
+                    })
+                    .expect("spawn node thread")
+            })
+            .collect();
+        for h in handles {
+            outcomes.push(h.join().expect("node thread itself must not die"));
+        }
+    });
+    collect_or_panic(outcomes)
+}
+
+fn collect_or_panic<R>(outcomes: Vec<thread::Result<R>>) -> Vec<R> {
+    let mut results = Vec::with_capacity(outcomes.len());
+    let mut first_panic = None;
+    for o in outcomes {
+        match o {
+            Ok(r) => results.push(r),
+            Err(p) => {
+                if first_panic.is_none() {
+                    first_panic = Some(p);
+                }
+            }
+        }
+    }
+    if let Some(p) = first_panic {
+        resume_unwind(p);
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_in_rank_order() {
+        let out = run_spmd(8, |rank| rank * 2);
+        assert_eq!(out, vec![0, 2, 4, 6, 8, 10, 12, 14]);
+    }
+
+    #[test]
+    fn all_nodes_actually_run() {
+        let counter = AtomicUsize::new(0);
+        run_spmd(16, |_| {
+            counter.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn with_contexts_moves_them_in() {
+        let ctxs: Vec<String> = (0..4).map(|i| format!("ctx{i}")).collect();
+        let out = run_spmd_with(ctxs, |rank, c| format!("{rank}:{c}"));
+        assert_eq!(out[3], "3:ctx3");
+    }
+
+    #[test]
+    #[should_panic(expected = "node 2 exploded")]
+    fn panics_propagate() {
+        run_spmd(4, |rank| {
+            if rank == 2 {
+                panic!("node 2 exploded");
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        run_spmd(0, |_| ());
+    }
+}

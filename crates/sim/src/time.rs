@@ -1,0 +1,262 @@
+//! Virtual instants and durations.
+//!
+//! All simulated time in this workspace is kept in integer nanoseconds.
+//! The paper reports microseconds; nanosecond resolution lets the cost model
+//! express sub-microsecond quantities (e.g. per-byte wire time at ~102 MB/s
+//! is ≈ 9.8 ns/byte) without floating-point drift in the hot paths.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A virtual instant, in nanoseconds since the start of the simulation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VTime(pub u64);
+
+/// A virtual duration, in nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VDur(pub u64);
+
+impl VTime {
+    /// The origin of virtual time.
+    pub const ZERO: VTime = VTime(0);
+
+    /// Construct from whole microseconds.
+    #[inline]
+    pub const fn from_us(us: u64) -> Self {
+        VTime(us * 1_000)
+    }
+
+    /// Nanoseconds since the simulation epoch.
+    #[inline]
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// Microseconds since the simulation epoch (fractional).
+    #[inline]
+    pub fn as_us(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// The later of two instants.
+    #[inline]
+    pub fn max(self, other: VTime) -> VTime {
+        VTime(self.0.max(other.0))
+    }
+
+    /// Duration since `earlier`, saturating to zero if `earlier` is later.
+    #[inline]
+    pub fn since(self, earlier: VTime) -> VDur {
+        VDur(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl VDur {
+    /// Zero-length duration.
+    pub const ZERO: VDur = VDur(0);
+
+    /// Construct from whole nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
+        VDur(ns)
+    }
+
+    /// Construct from whole microseconds.
+    #[inline]
+    pub const fn from_us(us: u64) -> Self {
+        VDur(us * 1_000)
+    }
+
+    /// Construct from fractional microseconds (rounds to nearest ns).
+    #[inline]
+    pub fn from_us_f64(us: f64) -> Self {
+        VDur((us * 1_000.0).round().max(0.0) as u64)
+    }
+
+    /// Nanoseconds.
+    #[inline]
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// Microseconds (fractional).
+    #[inline]
+    pub fn as_us(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Seconds (fractional).
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// The longer of two durations.
+    #[inline]
+    pub fn max(self, other: VDur) -> VDur {
+        VDur(self.0.max(other.0))
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, other: VDur) -> VDur {
+        VDur(self.0.saturating_sub(other.0))
+    }
+
+    /// Transfer rate implied by moving `bytes` in this duration, in MB/s
+    /// (decimal megabytes, as used by the paper's figures).
+    pub fn rate_mb_s(self, bytes: u64) -> f64 {
+        if self.0 == 0 {
+            return f64::INFINITY;
+        }
+        (bytes as f64 / 1e6) / self.as_secs()
+    }
+}
+
+impl Add<VDur> for VTime {
+    type Output = VTime;
+    #[inline]
+    fn add(self, rhs: VDur) -> VTime {
+        VTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<VDur> for VTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: VDur) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<VTime> for VTime {
+    type Output = VDur;
+    #[inline]
+    fn sub(self, rhs: VTime) -> VDur {
+        VDur(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for VDur {
+    type Output = VDur;
+    #[inline]
+    fn add(self, rhs: VDur) -> VDur {
+        VDur(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for VDur {
+    #[inline]
+    fn add_assign(&mut self, rhs: VDur) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for VDur {
+    type Output = VDur;
+    #[inline]
+    fn sub(self, rhs: VDur) -> VDur {
+        VDur(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for VDur {
+    #[inline]
+    fn sub_assign(&mut self, rhs: VDur) {
+        self.0 = self.0.saturating_sub(rhs.0);
+    }
+}
+
+impl Mul<u64> for VDur {
+    type Output = VDur;
+    #[inline]
+    fn mul(self, rhs: u64) -> VDur {
+        VDur(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for VDur {
+    type Output = VDur;
+    #[inline]
+    fn div(self, rhs: u64) -> VDur {
+        VDur(self.0 / rhs)
+    }
+}
+
+impl Sum for VDur {
+    fn sum<I: Iterator<Item = VDur>>(iter: I) -> VDur {
+        VDur(iter.map(|d| d.0).sum())
+    }
+}
+
+impl fmt::Debug for VTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.3}us", self.as_us())
+    }
+}
+
+impl fmt::Display for VTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}us", self.as_us())
+    }
+}
+
+impl fmt::Debug for VDur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}us", self.as_us())
+    }
+}
+
+impl fmt::Display for VDur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}us", self.as_us())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic_roundtrips() {
+        let t = VTime::from_us(10);
+        let d = VDur::from_us(5);
+        assert_eq!((t + d).as_ns(), 15_000);
+        assert_eq!((t + d) - t, d);
+        assert_eq!(t.max(t + d), t + d);
+    }
+
+    #[test]
+    fn sub_is_saturating() {
+        let a = VTime::from_us(1);
+        let b = VTime::from_us(2);
+        assert_eq!(a - b, VDur::ZERO);
+        assert_eq!(b.since(a), VDur::from_us(1));
+        assert_eq!(a.since(b), VDur::ZERO);
+    }
+
+    #[test]
+    fn fractional_us_rounds() {
+        assert_eq!(VDur::from_us_f64(0.5).as_ns(), 500);
+        assert_eq!(VDur::from_us_f64(0.0004).as_ns(), 0);
+        assert_eq!(VDur::from_us_f64(-3.0).as_ns(), 0);
+    }
+
+    #[test]
+    fn rate_mb_s() {
+        // 1 MB in 10_000 us => 100 MB/s
+        let d = VDur::from_us(10_000);
+        let r = d.rate_mb_s(1_000_000);
+        assert!((r - 100.0).abs() < 1e-9);
+        assert!(VDur::ZERO.rate_mb_s(1).is_infinite());
+    }
+
+    #[test]
+    fn dur_scalar_ops() {
+        let d = VDur::from_us(4);
+        assert_eq!((d * 3).as_us(), 12.0);
+        assert_eq!((d / 2).as_us(), 2.0);
+        let total: VDur = [d, d, d].into_iter().sum();
+        assert_eq!(total.as_us(), 12.0);
+    }
+}

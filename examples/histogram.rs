@@ -1,0 +1,83 @@
+//! Distributed histogram with irregular updates — the "sparse, indirect,
+//! dynamically balanced" access pattern the paper's introduction gives as
+//! the motivation for one-sided communication (send/receive is painful
+//! when communication patterns can't be determined a priori).
+//!
+//! Each task draws random samples, bins them, and applies the counts to a
+//! distributed histogram with atomic `acc` (scatter-style); a global GA
+//! mutex protects a shared "epoch summary" cell that several tasks update
+//! with a read-modify-write sequence.
+//!
+//! Run with: `cargo run --release --example histogram`
+
+use std::sync::Arc;
+
+use lapi_sp::ga::{Ga, GaBackend, GaConfig, GaKind, LapiGaBackend, Patch};
+use lapi_sp::lapi::{LapiWorld, Mode};
+use lapi_sp::sim::{run_spmd_with, MachineConfig};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+const NODES: usize = 4;
+const BINS: usize = 256;
+const SAMPLES_PER_TASK: usize = 20_000;
+
+fn main() {
+    let gas: Vec<Ga> = LapiWorld::init(NODES, MachineConfig::sp_p2sc_120(), Mode::Interrupt)
+        .into_iter()
+        .map(|c| Ga::new(LapiGaBackend::new(c, GaConfig::default()) as Arc<dyn GaBackend>))
+        .collect();
+
+    let rows = run_spmd_with(gas, |rank, ga| {
+        let hist = ga.create("hist", 1, BINS, GaKind::Double);
+        let summary = ga.create("summary", 1, 2, GaKind::Double); // [max_bin, max_count]
+        ga.create_mutexes(1);
+        hist.fill(0.0);
+        summary.fill(0.0);
+        ga.sync();
+
+        // Sample a skewed distribution and bin locally.
+        let mut rng = StdRng::seed_from_u64(42 + rank as u64);
+        let mut local = vec![0.0f64; BINS];
+        for _ in 0..SAMPLES_PER_TASK {
+            let x: f64 = rng.gen::<f64>();
+            let bin = ((x * x) * BINS as f64) as usize; // quadratic skew
+            local[bin.min(BINS - 1)] += 1.0;
+        }
+
+        // One atomic accumulate merges the whole local histogram — the
+        // one-sided equivalent of a reduction, no receiver code needed.
+        hist.acc(Patch::new((0, 0), (0, BINS - 1)), 1.0, &local);
+        ga.sync();
+
+        // Find the global mode and publish it under a GA mutex (a classic
+        // check-then-update critical section).
+        let counts = hist.get(Patch::new((0, 0), (0, BINS - 1)));
+        let (best_bin, best_count) = counts
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaNs"))
+            .expect("non-empty");
+        ga.lock(0);
+        let cur = summary.get(Patch::new((0, 0), (0, 1)));
+        if *best_count > cur[1] {
+            summary.put(Patch::new((0, 0), (0, 1)), &[best_bin as f64, *best_count]);
+            ga.fence(summary.locate(0, 0));
+        }
+        ga.unlock(0);
+        ga.sync();
+
+        let total: f64 = counts.iter().sum();
+        (total, ga.now().as_us())
+    });
+
+    let (total, elapsed) = rows
+        .iter()
+        .fold((0.0f64, 0.0f64), |acc, r| (r.0.max(acc.0), r.1.max(acc.1)));
+    assert_eq!(total as usize, NODES * SAMPLES_PER_TASK);
+    println!(
+        "histogram of {} samples across {BINS} bins on {NODES} simulated nodes",
+        NODES * SAMPLES_PER_TASK
+    );
+    println!("virtual time: {:.2} ms", elapsed / 1e3);
+    println!("all counts accounted for — atomic accumulates lost nothing");
+}

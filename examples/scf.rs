@@ -1,0 +1,148 @@
+//! A self-consistent-field (SCF) style electronic-structure mock — the
+//! application class the paper's Global Arrays users ran (§5.4: SCF, DFT,
+//! MP2, multi-reference CI), built on the GA idioms those codes share:
+//!
+//! * distributed density/Fock matrices (`GlobalArray`),
+//! * **dynamic load balancing** with an atomic ticket counter
+//!   (`read_inc` — the classic NWChem `nxtval`),
+//! * block `get` of the density, local "integral" work, atomic `acc` of
+//!   Fock contributions,
+//! * `sync` between iterations and a convergence check via a local trace.
+//!
+//! Runs the same program on the LAPI and MPL backends and reports the
+//! virtual-time improvement — the paper saw 10–50 %.
+//!
+//! Run with: `cargo run --release --example scf`
+
+use std::sync::Arc;
+
+use lapi_sp::ga::{Ga, GaBackend, GaConfig, GaKind, LapiGaBackend, MplGaBackend, Patch};
+use lapi_sp::lapi::{LapiWorld, Mode};
+use lapi_sp::mpl::{MplMode, MplWorld};
+use lapi_sp::sim::{run_spmd_with, MachineConfig, VDur};
+
+const NODES: usize = 4;
+const NBLOCK: usize = 6; // blocks per matrix dimension
+const BLOCK: usize = 12; // block edge
+const N: usize = NBLOCK * BLOCK;
+const ITERS: usize = 4;
+/// Virtual cost of "computing integrals" for one block pair.
+const FLOP_US: u64 = 300;
+
+/// One SCF run; returns (per-iteration traces, max virtual time in µs).
+fn scf(gas: Vec<Ga>) -> (Vec<f64>, f64) {
+    let out = run_spmd_with(gas, |rank, ga| {
+        let density = ga.create("density", N, N, GaKind::Double);
+        let fock = ga.create("fock", N, N, GaKind::Double);
+        let tickets = ga.create("nxtval", 1, 1, GaKind::Int);
+
+        // Initial guess: identity-ish density, written by its owners.
+        if let Some(b) = density.local_patch() {
+            let data: Vec<f64> = (b.lo.1..=b.hi.1)
+                .flat_map(|j| (b.lo.0..=b.hi.0).map(move |i| if i == j { 1.0 } else { 0.0 }))
+                .collect();
+            density.put(b, &data);
+        }
+        ga.sync();
+
+        let t0 = ga.now();
+        let mut traces = Vec::with_capacity(ITERS);
+        for _iter in 0..ITERS {
+            fock.fill(0.0);
+            tickets.fill_int(0);
+            ga.sync();
+
+            // Dynamically scheduled Fock build: each ticket is one block.
+            loop {
+                let t = tickets.read_inc(0, 0, 1) as usize;
+                if t >= NBLOCK * NBLOCK {
+                    break;
+                }
+                let (bi, bj) = (t / NBLOCK, t % NBLOCK);
+                let p = Patch::new(
+                    (bi * BLOCK, bj * BLOCK),
+                    (bi * BLOCK + BLOCK - 1, bj * BLOCK + BLOCK - 1),
+                );
+                let d = density.get(p);
+                ga.compute(VDur::from_us(FLOP_US)); // the "integrals"
+                let contrib: Vec<f64> = d.iter().map(|v| 0.5 * v + 0.01).collect();
+                fock.acc(p, 1.0, &contrib);
+            }
+            ga.sync();
+
+            // "Diagonalize": damp the density toward the Fock matrix.
+            if let Some(b) = density.local_patch() {
+                let f = fock.get(b);
+                let d = density.get(b);
+                let mixed: Vec<f64> =
+                    d.iter().zip(&f).map(|(d, f)| 0.7 * d + 0.3 * f).collect();
+                density.put(b, &mixed);
+            }
+            ga.sync();
+
+            // Convergence metric: trace of the global density.
+            let mut local_trace = 0.0;
+            if let Some(b) = density.local_patch() {
+                let d = density.get(b);
+                for j in b.lo.1..=b.hi.1 {
+                    for i in b.lo.0..=b.hi.0 {
+                        if i == j {
+                            local_trace += d[(j - b.lo.1) * b.rows() + (i - b.lo.0)];
+                        }
+                    }
+                }
+            }
+            // cheap reduction via the integer ticket array is overkill;
+            // every task recomputes from rank 0's gather instead
+            traces.push(local_trace);
+            ga.sync();
+        }
+        let elapsed = (ga.now() - t0).as_us();
+        let _ = rank;
+        (traces, elapsed)
+    });
+    let elapsed = out.iter().map(|(_, e)| *e).fold(0.0, f64::max);
+    // sum the per-task partial traces per iteration
+    let mut traces = vec![0.0; ITERS];
+    for (t, _) in &out {
+        for (k, v) in t.iter().enumerate() {
+            traces[k] += v;
+        }
+    }
+    (traces, elapsed)
+}
+
+fn main() {
+    println!("SCF mock: {N}x{N} matrices, {NBLOCK}x{NBLOCK} blocks, {ITERS} iterations, {NODES} nodes");
+
+    let lapi_gas: Vec<Ga> = LapiWorld::init(NODES, MachineConfig::sp_p2sc_120(), Mode::Interrupt)
+        .into_iter()
+        .map(|c| Ga::new(LapiGaBackend::new(c, GaConfig::default()) as Arc<dyn GaBackend>))
+        .collect();
+    let (traces_lapi, us_lapi) = scf(lapi_gas);
+
+    let mpl_gas: Vec<Ga> = MplWorld::init(NODES, MachineConfig::sp_p2sc_120(), MplMode::Interrupt)
+        .into_iter()
+        .map(|c| Ga::new(MplGaBackend::new(c) as Arc<dyn GaBackend>))
+        .collect();
+    let (traces_mpl, us_mpl) = scf(mpl_gas);
+
+    println!("density traces per iteration (LAPI): {traces_lapi:.3?}");
+    assert_eq!(
+        traces_lapi
+            .iter()
+            .map(|v| (v * 1e9).round())
+            .collect::<Vec<_>>(),
+        traces_mpl
+            .iter()
+            .map(|v| (v * 1e9).round())
+            .collect::<Vec<_>>(),
+        "both backends must compute identical physics"
+    );
+    println!("virtual time, GA over LAPI: {:.1} ms", us_lapi / 1e3);
+    println!("virtual time, GA over MPL:  {:.1} ms", us_mpl / 1e3);
+    println!(
+        "LAPI improvement: {:.1}% (paper: 10-50% depending on comm/compute ratio)",
+        (us_mpl - us_lapi) / us_mpl * 100.0
+    );
+}

@@ -1,0 +1,24 @@
+//! # lapi-sp — facade crate for the LAPI (IPPS 1998) reproduction
+//!
+//! This workspace reproduces *"Performance and Experience with LAPI — a New
+//! High-Performance Communication Library for the IBM RS/6000 SP"* (Shah et
+//! al., IPPS 1998) in Rust, on a simulated SP: a packet-level switch model
+//! with virtual time instead of the real P2SC/SP-switch hardware.
+//!
+//! The facade simply re-exports the member crates so examples and downstream
+//! users can depend on one package:
+//!
+//! * [`sim`] (`spsim`) — virtual-time simulation kernel.
+//! * [`switch`] (`spswitch`) — SP switch + adapter packet model.
+//! * [`lapi`] — the paper's contribution: the LAPI one-sided library.
+//! * [`mpl`] — the MPI/MPL two-sided baseline.
+//! * [`ga`] — the Global Arrays toolkit over both backends.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` / `EXPERIMENTS.md` for
+//! the reproduction methodology and results.
+
+pub use ga;
+pub use lapi;
+pub use mpl;
+pub use spsim as sim;
+pub use spswitch as switch;

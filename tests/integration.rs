@@ -1,0 +1,218 @@
+//! Cross-crate integration tests: the full stack (switch → LAPI/MPL → GA)
+//! exercised together, plus determinism guarantees the experiments rely on.
+
+use std::sync::Arc;
+
+use lapi_sp::ga::{Ga, GaBackend, GaConfig, GaKind, LapiGaBackend, MplGaBackend, Patch};
+use lapi_sp::lapi::{HdrOutcome, LapiWorld, Mode};
+use lapi_sp::mpl::{MplMode, MplWorld};
+use lapi_sp::sim::{run_spmd_with, MachineConfig};
+
+#[test]
+fn polling_lapi_runs_are_virtually_deterministic() {
+    // Same seed, polling mode (no dispatcher-thread races): bit-identical
+    // virtual timings run to run.
+    let run = || {
+        let ctxs = LapiWorld::init_seeded(2, MachineConfig::default(), Mode::Polling, 7);
+        run_spmd_with(ctxs, |rank, ctx| {
+            let buf = ctx.alloc(4096);
+            let tgt = ctx.new_counter();
+            let addrs = ctx.address_init(buf);
+            let remotes = ctx.counter_init(&tgt);
+            if rank == 0 {
+                let cmpl = ctx.new_counter();
+                for i in 0..10u8 {
+                    ctx.put(1, addrs[1], &vec![i; 4096], Some(remotes[1]), None, Some(&cmpl))
+                        .expect("put");
+                    ctx.waitcntr(&cmpl, 1);
+                }
+            } else {
+                ctx.waitcntr(&tgt, 10);
+            }
+            ctx.gfence().expect("gfence");
+            ctx.now().as_ns()
+        })
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "virtual time must not depend on host scheduling");
+}
+
+#[test]
+fn different_seeds_change_route_timings_not_results() {
+    let run = |seed: u64| {
+        let ctxs = LapiWorld::init_seeded(2, MachineConfig::default(), Mode::Polling, seed);
+        run_spmd_with(ctxs, |rank, ctx| {
+            let buf = ctx.alloc(64);
+            let tgt = ctx.new_counter();
+            let addrs = ctx.address_init(buf);
+            let remotes = ctx.counter_init(&tgt);
+            if rank == 0 {
+                let cmpl = ctx.new_counter();
+                ctx.put(1, addrs[1], &[9u8; 64], Some(remotes[1]), None, Some(&cmpl))
+                    .expect("put");
+                ctx.waitcntr(&cmpl, 1);
+            } else {
+                // polling mode: the target's wait is what makes progress
+                ctx.waitcntr(&tgt, 1);
+            }
+            ctx.gfence().expect("gfence");
+            (ctx.mem_read(buf, 64), ctx.now().as_ns())
+        })
+    };
+    let a = run(1);
+    let b = run(2);
+    assert_eq!(a[1].0, b[1].0, "data identical");
+    assert_ne!(a[1].1, b[1].1, "route choices shift timings");
+}
+
+#[test]
+fn lapi_and_ga_share_one_context_cleanly() {
+    // GA is a library client of LAPI, not its owner: a program can use raw
+    // LAPI handlers next to GA on the same context world. Here the GA
+    // world is built and a side-channel AM handler is registered on the
+    // underlying contexts through the backend accessor.
+    let backends: Vec<Arc<LapiGaBackend>> =
+        LapiWorld::init(2, MachineConfig::default(), Mode::Interrupt)
+            .into_iter()
+            .map(|c| LapiGaBackend::new(c, GaConfig::default()))
+            .collect();
+    run_spmd_with(backends, |rank, be| {
+        let ping = be.lapi().new_counter();
+        let remotes = be.lapi().counter_init(&ping);
+        be.lapi().register_handler(77, |_h, info| {
+            assert_eq!(info.uhdr, b"side-channel");
+            HdrOutcome::none()
+        });
+        let ga = Ga::new(Arc::clone(&be) as Arc<dyn GaBackend>);
+        let a = ga.create("x", 8, 8, GaKind::Double);
+        a.fill(1.0);
+        ga.sync();
+        if rank == 0 {
+            // interleave raw AM traffic with GA traffic
+            be.lapi()
+                .amsend(1, 77, b"side-channel", &[], Some(remotes[1]), None, None)
+                .expect("amsend");
+            a.acc(a.full_patch(), 1.0, &vec![1.0; 64]);
+        } else {
+            be.lapi().waitcntr(&ping, 1);
+        }
+        ga.sync();
+        if rank == 1 {
+            assert!(a.get(a.full_patch()).iter().all(|&v| v == 2.0));
+        }
+        ga.sync();
+    });
+}
+
+#[test]
+fn ga_backends_survive_network_loss_and_agree() {
+    let reference: Vec<f64> = {
+        let cfg = MachineConfig::default();
+        let gas: Vec<Ga> = LapiWorld::init_seeded(3, cfg, Mode::Interrupt, 11)
+            .into_iter()
+            .map(|c| Ga::new(LapiGaBackend::new(c, GaConfig::default()) as Arc<dyn GaBackend>))
+            .collect();
+        workload(gas)
+    };
+    // same workload under 10% packet loss on both backends
+    let lossy_lapi: Vec<f64> = {
+        let cfg = MachineConfig::default().with_drop_prob(0.1);
+        let gas: Vec<Ga> = LapiWorld::init_seeded(3, cfg, Mode::Interrupt, 11)
+            .into_iter()
+            .map(|c| Ga::new(LapiGaBackend::new(c, GaConfig::default()) as Arc<dyn GaBackend>))
+            .collect();
+        workload(gas)
+    };
+    let lossy_mpl: Vec<f64> = {
+        let cfg = MachineConfig::default().with_drop_prob(0.1);
+        let gas: Vec<Ga> = MplWorld::init_seeded(3, cfg, MplMode::Interrupt, 11)
+            .into_iter()
+            .map(|c| Ga::new(MplGaBackend::new(c) as Arc<dyn GaBackend>))
+            .collect();
+        workload(gas)
+    };
+    assert_eq!(reference, lossy_lapi);
+    assert_eq!(reference, lossy_mpl);
+}
+
+/// A deterministic mixed workload returning the final array contents.
+fn workload(gas: Vec<Ga>) -> Vec<f64> {
+    let out = run_spmd_with(gas, |rank, ga| {
+        let a = ga.create("w", 12, 12, GaKind::Double);
+        a.fill(0.0);
+        ga.sync();
+        // disjoint row bands
+        let rows_per = 12 / ga.tasks();
+        let band = Patch::new((rank * rows_per, 0), (rank * rows_per + rows_per - 1, 11));
+        let data: Vec<f64> = (0..band.elems()).map(|k| (rank * 1000 + k) as f64).collect();
+        a.put(band, &data);
+        ga.sync();
+        a.acc(a.full_patch(), 1.0, &vec![0.5; 144]);
+        ga.sync();
+        let out = if rank == 0 {
+            a.get(a.full_patch())
+        } else {
+            Vec::new()
+        };
+        // keep every task alive until rank 0's remote gets completed
+        ga.sync();
+        out
+    });
+    out.into_iter().next().expect("rank 0")
+}
+
+#[test]
+fn the_whole_stack_under_one_roof() {
+    // The re-export facade: everything reachable through `lapi_sp`.
+    let cfg = lapi_sp::sim::MachineConfig::sp_p2sc_120();
+    assert_eq!(cfg.lapi_header_bytes, 48);
+    let net: lapi_sp::switch::Network<u8> =
+        lapi_sp::switch::Network::new(2, Arc::new(cfg), 0);
+    assert_eq!(net.nodes(), 2);
+}
+
+#[test]
+fn mixed_protocol_sizes_converge_on_correct_state() {
+    // One task sprays every protocol path (AM-inline, AM-stream, direct
+    // RMC, per-column RMC, bulk acc) at one array; final state must be
+    // exact.
+    let gas: Vec<Ga> = LapiWorld::init(2, MachineConfig::default(), Mode::Interrupt)
+        .into_iter()
+        .map(|c| Ga::new(LapiGaBackend::new(c, GaConfig::default()) as Arc<dyn GaBackend>))
+        .collect();
+    run_spmd_with(gas, |rank, ga| {
+        let a = ga.create("mix", 512, 256, GaKind::Double); // 1MB total
+        a.fill(0.0);
+        ga.sync();
+        if rank == 0 {
+            let other = a.distribution(1).expect("block");
+            // tiny put (AM inline path)
+            a.put(Patch::new(other.lo, other.lo), &[1.0]);
+            ga.fence(1); // the following ops overlap: order them
+            // medium 2-D put (AM stream path)
+            let med = Patch::new(other.lo, (other.lo.0 + 19, other.lo.1 + 19));
+            a.put(med, &vec![2.0; 400]);
+            ga.fence(1);
+            // large 1-D put (direct RMC path) — one full column
+            let col = Patch::new((other.lo.0, other.lo.1 + 30), (other.hi.0, other.lo.1 + 30));
+            a.put(col, &vec![3.0; col.elems()]);
+            ga.fence(1);
+            // bulk accumulate (pool-buffer path)
+            let big = Patch::new(other.lo, (other.lo.0 + 127, other.lo.1 + 99));
+            a.acc(big, 1.0, &vec![10.0; big.elems()]);
+            ga.fence(1);
+            // spot checks: med (2.0) then +10 acc at the corner…
+            assert_eq!(a.get(Patch::new(other.lo, other.lo)), vec![12.0]);
+            // …direct-RMC column outside the acc region keeps its 3.0…
+            let tail = Patch::new((other.hi.0, other.lo.1 + 30), (other.hi.0, other.lo.1 + 30));
+            assert_eq!(a.get(tail), vec![3.0]);
+            // …and the hybrid switching really exercised several paths.
+            let s = ga.stats();
+            assert!(s.am_requests.get() > 0);
+            assert!(s.direct_rmc.get() > 0);
+            assert!(s.am_bulk_requests.get() > 0);
+        }
+        ga.sync();
+    });
+}

@@ -1,0 +1,241 @@
+//! Property-based tests (proptest) over the core invariants:
+//!
+//! * GA patch operations agree element-wise with a sequential reference
+//!   array for arbitrary patch sequences;
+//! * LAPI message reassembly is exact for arbitrary sizes under arbitrary
+//!   route skew and loss;
+//! * RMW ticket draws are a permutation (atomicity/linearizability);
+//! * the distribution tiles arbitrary arrays exactly.
+
+use std::sync::Arc;
+
+use lapi_sp::ga::{Distribution, Ga, GaBackend, GaConfig, GaKind, LapiGaBackend, Patch};
+use lapi_sp::lapi::{LapiWorld, Mode, RmwOp};
+use lapi_sp::sim::{run_spmd_with, MachineConfig, VDur};
+use proptest::prelude::*;
+
+/// Sequential reference model of a 2-D column-major array.
+#[derive(Clone)]
+struct RefArray {
+    rows: usize,
+    data: Vec<f64>,
+}
+
+impl RefArray {
+    fn new(rows: usize, cols: usize) -> Self {
+        RefArray {
+            rows,
+            data: vec![0.0; rows * cols],
+        }
+    }
+    fn put(&mut self, p: &Patch, vals: &[f64]) {
+        let mut k = 0;
+        for j in p.lo.1..=p.hi.1 {
+            for i in p.lo.0..=p.hi.0 {
+                self.data[j * self.rows + i] = vals[k];
+                k += 1;
+            }
+        }
+    }
+    fn acc(&mut self, p: &Patch, alpha: f64, vals: &[f64]) {
+        let mut k = 0;
+        for j in p.lo.1..=p.hi.1 {
+            for i in p.lo.0..=p.hi.0 {
+                self.data[j * self.rows + i] += alpha * vals[k];
+                k += 1;
+            }
+        }
+    }
+    fn get(&self, p: &Patch) -> Vec<f64> {
+        let mut out = Vec::with_capacity(p.elems());
+        for j in p.lo.1..=p.hi.1 {
+            for i in p.lo.0..=p.hi.0 {
+                out.push(self.data[j * self.rows + i]);
+            }
+        }
+        out
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(Patch, f64),
+    Acc(Patch, f64),
+    Get(Patch),
+}
+
+fn arb_patch(rows: usize, cols: usize) -> impl Strategy<Value = Patch> {
+    (0..rows, 0..cols)
+        .prop_flat_map(move |(i0, j0)| {
+            (Just(i0), Just(j0), i0..rows, j0..cols)
+        })
+        .prop_map(|(i0, j0, i1, j1)| Patch::new((i0, j0), (i1, j1)))
+}
+
+fn arb_op(rows: usize, cols: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (arb_patch(rows, cols), -10.0..10.0f64).prop_map(|(p, v)| Op::Put(p, v)),
+        (arb_patch(rows, cols), -2.0..2.0f64).prop_map(|(p, a)| Op::Acc(p, a)),
+        arb_patch(rows, cols).prop_map(Op::Get),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn ga_matches_sequential_reference(ops in proptest::collection::vec(arb_op(17, 13), 1..12)) {
+        let rows = 17;
+        let cols = 13;
+        let gas: Vec<Ga> = LapiWorld::init(3, MachineConfig::default(), Mode::Interrupt)
+            .into_iter()
+            .map(|c| Ga::new(LapiGaBackend::new(c, GaConfig::default()) as Arc<dyn GaBackend>))
+            .collect();
+        let ops2 = ops.clone();
+        let results = run_spmd_with(gas, move |rank, ga| {
+            let a = ga.create("prop", rows, cols, GaKind::Double);
+            a.fill(0.0);
+            ga.sync();
+            let mut mismatches = 0usize;
+            if rank == 0 {
+                let mut reference = RefArray::new(rows, cols);
+                for (k, op) in ops2.iter().enumerate() {
+                    match op {
+                        Op::Put(p, base) => {
+                            let vals: Vec<f64> =
+                                (0..p.elems()).map(|e| base + e as f64 + k as f64).collect();
+                            a.put(*p, &vals);
+                            ga.fence_all(); // overlapping stores must be ordered
+                            reference.put(p, &vals);
+                        }
+                        Op::Acc(p, alpha) => {
+                            let vals: Vec<f64> = (0..p.elems()).map(|e| e as f64 * 0.25).collect();
+                            a.acc(*p, *alpha, &vals);
+                            ga.fence_all();
+                            reference.acc(p, *alpha, &vals);
+                        }
+                        Op::Get(p) => {
+                            if a.get(*p) != reference.get(p) {
+                                mismatches += 1;
+                            }
+                        }
+                    }
+                }
+                let full = Patch::new((0, 0), (rows - 1, cols - 1));
+                if a.get(full) != reference.get(&full) {
+                    mismatches += 1;
+                }
+            }
+            ga.sync();
+            mismatches
+        });
+        prop_assert_eq!(results[0], 0, "GA diverged from the sequential reference");
+    }
+
+    #[test]
+    fn reassembly_is_exact_under_skew_and_loss(
+        len in 0usize..20_000,
+        skew_us in 0u64..30,
+        drop_pct in 0u32..25,
+        seed in 0u64..1000,
+    ) {
+        let mut cfg = MachineConfig::default().with_drop_prob(drop_pct as f64 / 100.0);
+        cfg.route_skew = VDur::from_us(skew_us);
+        let ctxs = LapiWorld::init_seeded(2, cfg, Mode::Interrupt, seed);
+        let ok = run_spmd_with(ctxs, move |rank, ctx| {
+            let buf = ctx.alloc(len.max(1));
+            let addrs = ctx.address_init(buf);
+            if rank == 0 {
+                let data: Vec<u8> = (0..len).map(|i| (i * 31 % 256) as u8).collect();
+                ctx.put_wait(1, addrs[1], &data).expect("put");
+            }
+            ctx.gfence().expect("gfence");
+            let check = if rank == 1 {
+                ctx.mem_read(buf, len)
+                    .iter()
+                    .enumerate()
+                    .all(|(i, &b)| b == (i * 31 % 256) as u8)
+            } else {
+                true
+            };
+            ctx.gfence().expect("gfence");
+            check
+        });
+        prop_assert!(ok.iter().all(|&b| b), "payload corrupted in transit");
+    }
+
+    #[test]
+    fn rmw_tickets_form_a_permutation(per_task in 1usize..30, seed in 0u64..100) {
+        let n = 3;
+        let ctxs = LapiWorld::init_seeded(n, MachineConfig::default(), Mode::Interrupt, seed);
+        let draws = run_spmd_with(ctxs, move |_rank, ctx| {
+            let cell = ctx.alloc(8);
+            let addrs = ctx.address_init(cell);
+            let mine: Vec<u64> = (0..per_task)
+                .map(|_| {
+                    ctx.rmw(0, RmwOp::FetchAndAdd, addrs[0], 1, 0)
+                        .expect("rmw")
+                        .wait()
+                })
+                .collect();
+            ctx.gfence().expect("gfence");
+            mine
+        });
+        let mut all: Vec<u64> = draws.into_iter().flatten().collect();
+        all.sort_unstable();
+        let expect: Vec<u64> = (0..(n * per_task) as u64).collect();
+        prop_assert_eq!(all, expect, "tickets must be a permutation of 0..n*k");
+    }
+
+    #[test]
+    fn distribution_tiles_exactly(rows in 1usize..60, cols in 1usize..60, p in 1usize..9) {
+        let d = Distribution::new(rows, cols, p);
+        let mut seen = vec![false; rows * cols];
+        for task in 0..p {
+            if let Some(b) = d.block(task) {
+                for i in b.lo.0..=b.hi.0 {
+                    for j in b.lo.1..=b.hi.1 {
+                        prop_assert!(!seen[i * cols + j], "overlap at ({}, {})", i, j);
+                        seen[i * cols + j] = true;
+                        prop_assert_eq!(d.locate(i, j), task);
+                    }
+                }
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "uncovered elements");
+    }
+
+    #[test]
+    fn counters_balance_for_any_mix(puts in 1i64..20, seed in 0u64..50) {
+        let ctxs = LapiWorld::init_seeded(2, MachineConfig::default(), Mode::Interrupt, seed);
+        run_spmd_with(ctxs, move |rank, ctx| {
+            let buf = ctx.alloc(64);
+            let tgt = ctx.new_counter();
+            let addrs = ctx.address_init(buf);
+            let remotes = ctx.counter_init(&tgt);
+            if rank == 0 {
+                let cmpl = ctx.new_counter();
+                let org = ctx.new_counter();
+                for i in 0..puts {
+                    ctx.put(
+                        1,
+                        addrs[1],
+                        &[i as u8; 64],
+                        Some(remotes[1]),
+                        Some(&org),
+                        Some(&cmpl),
+                    )
+                    .expect("put");
+                }
+                ctx.waitcntr(&org, puts);
+                ctx.waitcntr(&cmpl, puts);
+                assert_eq!(ctx.getcntr(&org), 0);
+                assert_eq!(ctx.getcntr(&cmpl), 0);
+            } else {
+                ctx.waitcntr(&tgt, puts);
+                assert_eq!(ctx.getcntr(&tgt), 0);
+            }
+            ctx.gfence().expect("gfence");
+        });
+    }
+}
