@@ -26,8 +26,10 @@ fn ga_lapi_vector(n: usize) -> Vec<Ga> {
     worlds::lapi(n, Mode::Interrupt)
         .into_iter()
         .map(|ctx| {
-            Ga::new(LapiGaBackend::new(ctx, GaConfig::default().with_vector_rmc())
-                as Arc<dyn GaBackend>)
+            Ga::new(
+                LapiGaBackend::new(ctx, GaConfig::default().with_vector_rmc())
+                    as Arc<dyn GaBackend>,
+            )
         })
         .collect()
 }
@@ -37,14 +39,38 @@ fn vector_rmc_ablation(quick: bool, r: &mut Report) {
         .into_iter()
         .filter(|&s| (4096..=1 << 20).contains(&s))
         .collect();
-    let hybrid_put =
-        bandwidth_series("2-D put, 1998 hybrid AM", || worlds::ga_lapi(4), GaOp::Put, Shape::TwoD, &sizes, quick);
-    let vector_put =
-        bandwidth_series("2-D put, §6 vector RMC", || ga_lapi_vector(4), GaOp::Put, Shape::TwoD, &sizes, quick);
-    let hybrid_get =
-        bandwidth_series("2-D get, 1998 hybrid AM", || worlds::ga_lapi(4), GaOp::Get, Shape::TwoD, &sizes, quick);
-    let vector_get =
-        bandwidth_series("2-D get, §6 vector RMC", || ga_lapi_vector(4), GaOp::Get, Shape::TwoD, &sizes, quick);
+    let hybrid_put = bandwidth_series(
+        "2-D put, 1998 hybrid AM",
+        || worlds::ga_lapi(4),
+        GaOp::Put,
+        Shape::TwoD,
+        &sizes,
+        quick,
+    );
+    let vector_put = bandwidth_series(
+        "2-D put, §6 vector RMC",
+        || ga_lapi_vector(4),
+        GaOp::Put,
+        Shape::TwoD,
+        &sizes,
+        quick,
+    );
+    let hybrid_get = bandwidth_series(
+        "2-D get, 1998 hybrid AM",
+        || worlds::ga_lapi(4),
+        GaOp::Get,
+        Shape::TwoD,
+        &sizes,
+        quick,
+    );
+    let vector_get = bandwidth_series(
+        "2-D get, §6 vector RMC",
+        || ga_lapi_vector(4),
+        GaOp::Get,
+        Shape::TwoD,
+        &sizes,
+        quick,
+    );
     let gain = |a: &Series, b: &Series, x: usize| {
         b.y_at(x as f64).unwrap_or(0.0) / a.y_at(x as f64).unwrap_or(f64::INFINITY)
     };
@@ -58,7 +84,8 @@ fn vector_rmc_ablation(quick: bool, r: &mut Report) {
         gain(&hybrid_get, &vector_get, 65536),
         "x",
     ));
-    r.series.extend([hybrid_put, vector_put, hybrid_get, vector_get]);
+    r.series
+        .extend([hybrid_put, vector_put, hybrid_get, vector_get]);
 }
 
 fn header_tax_ablation(quick: bool, r: &mut Report) {
@@ -140,8 +167,16 @@ fn interrupt_vs_polling(quick: bool, r: &mut Report) {
     };
     let polling = one_way(Mode::Polling);
     let interrupt = one_way(Mode::Interrupt);
-    r.rows.push(Measurement::plain("one-way latency, polling", polling, "us"));
-    r.rows.push(Measurement::plain("one-way latency, interrupt", interrupt, "us"));
+    r.rows.push(Measurement::plain(
+        "one-way latency, polling",
+        polling,
+        "us",
+    ));
+    r.rows.push(Measurement::plain(
+        "one-way latency, interrupt",
+        interrupt,
+        "us",
+    ));
     r.rows.push(Measurement::plain(
         "interrupt-mode latency penalty",
         interrupt - polling,

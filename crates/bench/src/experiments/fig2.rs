@@ -138,7 +138,9 @@ pub fn run(quick: bool) -> Report {
     }
     r.series = vec![lapi, mpi_def, mpi_64k];
     r.note("per-message completion (LAPI cmpl counter / MPI 0-byte ack), polling mode");
-    r.note("paper: MPI default flattens past the 4K eager limit (rendezvous round trip); \
-            eager=64K removes it at the price of the extra copy");
+    r.note(
+        "paper: MPI default flattens past the 4K eager limit (rendezvous round trip); \
+            eager=64K removes it at the price of the extra copy",
+    );
     r
 }

@@ -18,10 +18,38 @@ use crate::worlds;
 /// Run the Figure 3 reproduction.
 pub fn run(quick: bool) -> Report {
     let sizes = ga_size_sweep();
-    let lapi_1d = bandwidth_series("GA put LAPI 1-D", || worlds::ga_lapi(4), GaOp::Put, Shape::OneD, &sizes, quick);
-    let lapi_2d = bandwidth_series("GA put LAPI 2-D", || worlds::ga_lapi(4), GaOp::Put, Shape::TwoD, &sizes, quick);
-    let mpl_1d = bandwidth_series("GA put MPL 1-D", || worlds::ga_mpl(4), GaOp::Put, Shape::OneD, &sizes, quick);
-    let mpl_2d = bandwidth_series("GA put MPL 2-D", || worlds::ga_mpl(4), GaOp::Put, Shape::TwoD, &sizes, quick);
+    let lapi_1d = bandwidth_series(
+        "GA put LAPI 1-D",
+        || worlds::ga_lapi(4),
+        GaOp::Put,
+        Shape::OneD,
+        &sizes,
+        quick,
+    );
+    let lapi_2d = bandwidth_series(
+        "GA put LAPI 2-D",
+        || worlds::ga_lapi(4),
+        GaOp::Put,
+        Shape::TwoD,
+        &sizes,
+        quick,
+    );
+    let mpl_1d = bandwidth_series(
+        "GA put MPL 1-D",
+        || worlds::ga_mpl(4),
+        GaOp::Put,
+        Shape::OneD,
+        &sizes,
+        quick,
+    );
+    let mpl_2d = bandwidth_series(
+        "GA put MPL 2-D",
+        || worlds::ga_mpl(4),
+        GaOp::Put,
+        Shape::TwoD,
+        &sizes,
+        quick,
+    );
 
     let mut r = Report::new("fig3", "GA put bandwidth under LAPI and MPL (Figure 3)");
     // Paper landmark checks, reported as measurements:

@@ -14,10 +14,38 @@ use crate::worlds;
 /// Run the Figure 4 reproduction.
 pub fn run(quick: bool) -> Report {
     let sizes = ga_size_sweep();
-    let lapi_1d = bandwidth_series("GA get LAPI 1-D", || worlds::ga_lapi(4), GaOp::Get, Shape::OneD, &sizes, quick);
-    let lapi_2d = bandwidth_series("GA get LAPI 2-D", || worlds::ga_lapi(4), GaOp::Get, Shape::TwoD, &sizes, quick);
-    let mpl_1d = bandwidth_series("GA get MPL 1-D", || worlds::ga_mpl(4), GaOp::Get, Shape::OneD, &sizes, quick);
-    let mpl_2d = bandwidth_series("GA get MPL 2-D", || worlds::ga_mpl(4), GaOp::Get, Shape::TwoD, &sizes, quick);
+    let lapi_1d = bandwidth_series(
+        "GA get LAPI 1-D",
+        || worlds::ga_lapi(4),
+        GaOp::Get,
+        Shape::OneD,
+        &sizes,
+        quick,
+    );
+    let lapi_2d = bandwidth_series(
+        "GA get LAPI 2-D",
+        || worlds::ga_lapi(4),
+        GaOp::Get,
+        Shape::TwoD,
+        &sizes,
+        quick,
+    );
+    let mpl_1d = bandwidth_series(
+        "GA get MPL 1-D",
+        || worlds::ga_mpl(4),
+        GaOp::Get,
+        Shape::OneD,
+        &sizes,
+        quick,
+    );
+    let mpl_2d = bandwidth_series(
+        "GA get MPL 2-D",
+        || worlds::ga_mpl(4),
+        GaOp::Get,
+        Shape::TwoD,
+        &sizes,
+        quick,
+    );
 
     let mut r = Report::new("fig4", "GA get bandwidth under LAPI and MPL (Figure 4)");
     // LAPI should win at every point of both shapes.

@@ -44,13 +44,24 @@ fn array_2d(ga: &Ga) -> GlobalArray {
 
 /// Pick the `rep`-th fresh patch of ~`bytes` inside `target`'s block.
 /// Returns the patch and its actual byte size.
-fn pick_patch(a: &GlobalArray, shape: Shape, target: usize, bytes: usize, rep: usize) -> (Patch, usize) {
+fn pick_patch(
+    a: &GlobalArray,
+    shape: Shape,
+    target: usize,
+    bytes: usize,
+    rep: usize,
+) -> (Patch, usize) {
     let b = a.distribution(target).expect("owner block");
     match shape {
         Shape::OneD => {
             let elems = (bytes / 8).clamp(1, b.rows());
             let max_start = b.rows() - elems;
-            let i0 = b.lo.0 + if max_start == 0 { 0 } else { (rep * 4099) % (max_start + 1) };
+            let i0 = b.lo.0
+                + if max_start == 0 {
+                    0
+                } else {
+                    (rep * 4099) % (max_start + 1)
+                };
             let j = b.lo.1 + rep % b.cols();
             (Patch::new((i0, j), (i0 + elems - 1, j)), elems * 8)
         }
@@ -58,8 +69,18 @@ fn pick_patch(a: &GlobalArray, shape: Shape, target: usize, bytes: usize, rep: u
             let s = (((bytes / 8) as f64).sqrt().round() as usize).clamp(1, b.rows().min(b.cols()));
             let max_i = b.rows() - s;
             let max_j = b.cols() - s;
-            let i0 = b.lo.0 + if max_i == 0 { 0 } else { (rep * 257) % (max_i + 1) };
-            let j0 = b.lo.1 + if max_j == 0 { 0 } else { (rep * 131) % (max_j + 1) };
+            let i0 = b.lo.0
+                + if max_i == 0 {
+                    0
+                } else {
+                    (rep * 257) % (max_i + 1)
+                };
+            let j0 = b.lo.1
+                + if max_j == 0 {
+                    0
+                } else {
+                    (rep * 131) % (max_j + 1)
+                };
             (Patch::new((i0, j0), (i0 + s - 1, j0 + s - 1)), s * s * 8)
         }
     }

@@ -56,14 +56,26 @@ pub fn run(quick: bool) -> Report {
         "ga_latency",
         "GA single-element (8B) latency, LAPI vs MPL (§5.4)",
     );
-    r.rows
-        .push(Measurement::with_paper("GA put (LAPI)", lapi_put, "us", 49.6));
+    r.rows.push(Measurement::with_paper(
+        "GA put (LAPI)",
+        lapi_put,
+        "us",
+        49.6,
+    ));
     r.rows
         .push(Measurement::with_paper("GA put (MPL)", mpl_put, "us", 54.6));
-    r.rows
-        .push(Measurement::with_paper("GA get (LAPI)", lapi_get, "us", 94.2));
-    r.rows
-        .push(Measurement::with_paper("GA get (MPL)", mpl_get, "us", 221.0));
+    r.rows.push(Measurement::with_paper(
+        "GA get (LAPI)",
+        lapi_get,
+        "us",
+        94.2,
+    ));
+    r.rows.push(Measurement::with_paper(
+        "GA get (MPL)",
+        mpl_get,
+        "us",
+        221.0,
+    ));
     r.rows.push(Measurement::plain(
         "get speedup LAPI over MPL",
         mpl_get / lapi_get,

@@ -3,9 +3,9 @@
 pub mod ablation;
 pub mod app_speedup;
 pub mod fig2;
-pub mod ga_bw;
 pub mod fig3;
 pub mod fig4;
+pub mod ga_bw;
 pub mod ga_latency;
 pub mod pipeline;
 pub mod table2;

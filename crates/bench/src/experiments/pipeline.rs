@@ -24,8 +24,15 @@ pub fn run(quick: bool) -> Report {
                     .expect("put");
                 put_total += (ctx.now() - t0).as_us();
                 let t0 = ctx.now();
-                ctx.get(1, addrs[1].offset(8 * i), 8, buf.offset(8 * i), None, Some(&org))
-                    .expect("get");
+                ctx.get(
+                    1,
+                    addrs[1].offset(8 * i),
+                    8,
+                    buf.offset(8 * i),
+                    None,
+                    Some(&org),
+                )
+                .expect("get");
                 get_total += (ctx.now() - t0).as_us();
             }
             // drain everything before terminating
@@ -40,10 +47,18 @@ pub fn run(quick: bool) -> Report {
         "pipeline_latency",
         "Pipeline latency: nonblocking call-return time (§4)",
     );
-    r.rows
-        .push(Measurement::with_paper("LAPI_Put call return", put_us, "us", 16.0));
-    r.rows
-        .push(Measurement::with_paper("LAPI_Get call return", get_us, "us", 19.0));
+    r.rows.push(Measurement::with_paper(
+        "LAPI_Put call return",
+        put_us,
+        "us",
+        16.0,
+    ));
+    r.rows.push(Measurement::with_paper(
+        "LAPI_Get call return",
+        get_us,
+        "us",
+        19.0,
+    ));
     r.note("includes the time to inject the message/request into the network");
     r
 }

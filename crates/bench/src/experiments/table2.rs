@@ -67,8 +67,15 @@ fn lapi_round_trip(mode: Mode, reps: usize) -> f64 {
             let back_addr = addrs[0];
             let back_cntr = reply_remotes[0];
             ctx.register_handler(1, move |hctx, info| {
-                hctx.reply_put(info.src, back_addr, &[2u8; MSG], Some(back_cntr), None, None)
-                    .expect("reply");
+                hctx.reply_put(
+                    info.src,
+                    back_addr,
+                    &[2u8; MSG],
+                    Some(back_cntr),
+                    None,
+                    None,
+                )
+                .expect("reply");
                 HdrOutcome::none()
             });
         }

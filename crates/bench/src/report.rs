@@ -69,10 +69,7 @@ impl Series {
                 return Some(x0 + t * (x1 - x0));
             }
         }
-        self.points
-            .first()
-            .filter(|p| p.1 >= target)
-            .map(|p| p.0)
+        self.points.first().filter(|p| p.1 >= target).map(|p| p.0)
     }
 
     /// y at the given x (exact match expected).
@@ -116,9 +113,15 @@ impl Report {
 
 impl fmt::Display for Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "================================================================")?;
+        writeln!(
+            f,
+            "================================================================"
+        )?;
         writeln!(f, "{} — {}", self.id, self.title)?;
-        writeln!(f, "================================================================")?;
+        writeln!(
+            f,
+            "================================================================"
+        )?;
         if !self.rows.is_empty() {
             writeln!(
                 f,
@@ -214,7 +217,8 @@ mod tests {
     #[test]
     fn report_renders() {
         let mut r = Report::new("t", "test");
-        r.rows.push(Measurement::with_paper("lat", 34.5, "us", 34.0));
+        r.rows
+            .push(Measurement::with_paper("lat", 34.5, "us", 34.0));
         r.series.push(Series {
             label: "c".into(),
             points: vec![(16.0, 1.0)],

@@ -107,7 +107,8 @@ impl GlobalArray {
                     pos += s.len;
                 }
             } else {
-                self.backend.put(owner, self.meta.tokens[owner], &segs, &sub);
+                self.backend
+                    .put(owner, self.meta.tokens[owner], &segs, &sub);
             }
         }
     }
@@ -135,7 +136,11 @@ impl GlobalArray {
     /// Atomically `global[patch] += alpha * data` (GA accumulate; §5.1:
     /// commutative, so concurrent accumulates need no ordering).
     pub fn acc(&self, patch: Patch, alpha: f64, data: &[f64]) {
-        assert_eq!(self.meta.kind, GaKind::Double, "acc requires a Double array");
+        assert_eq!(
+            self.meta.kind,
+            GaKind::Double,
+            "acc requires a Double array"
+        );
         assert_eq!(data.len(), patch.elems(), "acc data/patch size mismatch");
         for (owner, inter) in self.meta.dist.owners(&patch) {
             let segs = segments(&self.meta.dist, owner, &inter);
@@ -143,17 +148,23 @@ impl GlobalArray {
             // Remote *and* local accumulates go through the backend: the
             // update must be atomic against concurrent remote accumulates,
             // and only the backend can serialize with its handlers.
-            self.backend.acc(owner, self.meta.tokens[owner], &segs, alpha, &sub);
+            self.backend
+                .acc(owner, self.meta.tokens[owner], &segs, alpha, &sub);
         }
     }
 
     /// Atomic fetch-and-add on integer element `(i, j)` (GA
     /// read-and-increment; the nxtval counter of SCF-style codes).
     pub fn read_inc(&self, i: usize, j: usize, inc: i64) -> i64 {
-        assert_eq!(self.meta.kind, GaKind::Int, "read_inc requires an Int array");
+        assert_eq!(
+            self.meta.kind,
+            GaKind::Int,
+            "read_inc requires an Int array"
+        );
         let owner = self.meta.dist.locate(i, j);
         let off = self.meta.dist.local_offset(i, j);
-        self.backend.read_inc(owner, self.meta.tokens[owner], off, inc)
+        self.backend
+            .read_inc(owner, self.meta.tokens[owner], off, inc)
     }
 
     /// Scatter `values[k]` to element `points[k]` (unilateral).
@@ -163,10 +174,12 @@ impl GlobalArray {
             let vals = vals.expect("values grouped");
             if owner == self.backend.id() {
                 for (s, v) in segs.iter().zip(&vals) {
-                    self.backend.local_write(self.meta.tokens[owner], s.off, &[*v]);
+                    self.backend
+                        .local_write(self.meta.tokens[owner], s.off, &[*v]);
                 }
             } else {
-                self.backend.put(owner, self.meta.tokens[owner], &segs, &vals);
+                self.backend
+                    .put(owner, self.meta.tokens[owner], &segs, &vals);
             }
         }
     }
@@ -175,7 +188,8 @@ impl GlobalArray {
     pub fn gather(&self, points: &[(usize, usize)]) -> Vec<f64> {
         let mut out = vec![0.0; points.len()];
         // Remember each point's position to restore request order.
-        let mut index: std::collections::HashMap<usize, Vec<usize>> = std::collections::HashMap::new();
+        let mut index: std::collections::HashMap<usize, Vec<usize>> =
+            std::collections::HashMap::new();
         for (k, &(i, j)) in points.iter().enumerate() {
             index
                 .entry(self.meta.dist.locate(i, j))
@@ -216,7 +230,10 @@ impl GlobalArray {
     /// Read integer element(s) of an Int array (blocking).
     pub fn get_int(&self, patch: Patch) -> Vec<i64> {
         assert_eq!(self.meta.kind, GaKind::Int);
-        self.get(patch).into_iter().map(|v| v.to_bits() as i64).collect()
+        self.get(patch)
+            .into_iter()
+            .map(|v| v.to_bits() as i64)
+            .collect()
     }
 
     // ------------------------------------------------- whole-array helpers
@@ -233,7 +250,9 @@ impl GlobalArray {
         if let Some(b) = self.local_patch() {
             let mine = self.backend.local_read(self.meta.tokens[me], 0, b.elems());
             dst.backend.local_write(dst.meta.tokens[me], 0, &mine);
-            self.backend.clock().advance(self.backend.memcpy_cost(b.elems() * 8));
+            self.backend
+                .clock()
+                .advance(self.backend.memcpy_cost(b.elems() * 8));
         }
     }
 
@@ -261,7 +280,9 @@ impl GlobalArray {
         let local = match self.local_patch() {
             Some(b) => {
                 let a = self.backend.local_read(self.meta.tokens[me], 0, b.elems());
-                let o = other.backend.local_read(other.meta.tokens[me], 0, b.elems());
+                let o = other
+                    .backend
+                    .local_read(other.meta.tokens[me], 0, b.elems());
                 self.backend
                     .clock()
                     .advance(self.backend.memcpy_cost(b.elems() * 8));
@@ -311,11 +332,9 @@ impl GlobalArray {
     /// Read this task's local block (no communication), column-major.
     pub fn local_data(&self) -> Vec<f64> {
         match self.local_patch() {
-            Some(b) => self.backend.local_read(
-                self.meta.tokens[self.backend.id()],
-                0,
-                b.elems(),
-            ),
+            Some(b) => self
+                .backend
+                .local_read(self.meta.tokens[self.backend.id()], 0, b.elems()),
             None => Vec::new(),
         }
     }

@@ -179,7 +179,10 @@ impl LapiGaBackend {
                     cap /= 2;
                 }
                 let cap = cap.max(1);
-                cur.push(Segment { off: seg.off, len: cap.min(seg.len) });
+                cur.push(Segment {
+                    off: seg.off,
+                    len: cap.min(seg.len),
+                });
                 cur_elems += cap.min(seg.len);
                 if seg.len > cap {
                     pending.push(Segment {
@@ -205,6 +208,19 @@ impl LapiGaBackend {
 
     fn gen_issue(&self, target: NodeId, k: i64) {
         self.gen[target].issued.fetch_add(k, Ordering::Relaxed);
+    }
+
+    /// Trace which arm of the hybrid protocol (§5.3/§6) an operation took.
+    #[inline]
+    fn trace_branch(&self, taken: &'static str, bytes: usize) {
+        spsim::trace::emit(
+            self.ctx.id(),
+            self.ctx.clock().now(),
+            spsim::trace::EventKind::Branch,
+            taken,
+            0,
+            bytes,
+        );
     }
 
     /// Segment list → per-message vector tables (≤ the putv/getv limit),
@@ -243,7 +259,10 @@ fn ga_header_handler(
             let mut pos = 0;
             hctx.mem_update(|sp| {
                 for s in &req.segs {
-                    sp.write_f64s(Addr(req.token + s.off as u64 * 8), &req.data[pos..pos + s.len]);
+                    sp.write_f64s(
+                        Addr(req.token + s.off as u64 * 8),
+                        &req.data[pos..pos + s.len],
+                    );
                     pos += s.len;
                 }
             });
@@ -261,7 +280,11 @@ fn ga_header_handler(
             // Bulk accumulate: payload (an encoded request) lands in a pool
             // buffer; the completion handler combines it (§5.3.1).
             let (buf, from_pool) = shared.take_pool_buffer(info.data_len);
-            let buf = if from_pool { buf } else { hctx.alloc(info.data_len) };
+            let buf = if from_pool {
+                buf
+            } else {
+                hctx.alloc(info.data_len)
+            };
             let shared = Arc::clone(shared);
             let len = info.data_len;
             HdrOutcome::into_buffer(buf).with_completion(Box::new(move |c| {
@@ -297,7 +320,10 @@ fn ga_header_handler(
             HdrOutcome::none()
         }
         Op::ReadInc | Op::Lock | Op::Unlock | Op::Flush => {
-            unreachable!("{:?} is not an AM-served operation on the LAPI backend", req.op)
+            unreachable!(
+                "{:?} is not an AM-served operation on the LAPI backend",
+                req.op
+            )
         }
     }
 }
@@ -365,6 +391,7 @@ impl GaBackend for LapiGaBackend {
         if segs.len() == 1 && bytes >= cfg.direct_min_bytes {
             // Large contiguous: direct RMC, no copies (the 1-D fast path).
             stats.direct_rmc.incr();
+            self.trace_branch("put-direct", bytes);
             self.gen_issue(target, 1);
             self.ctx
                 .put(
@@ -380,6 +407,7 @@ impl GaBackend for LapiGaBackend {
         } else if segs.len() > 1 && bytes >= cfg.direct_2d_min_bytes {
             // Very large 2-D: one LAPI_Put per column (§5.4).
             stats.per_column_rmc.incr();
+            self.trace_branch("put-per-col", bytes);
             self.gen_issue(target, segs.len() as i64);
             let mut pos = 0;
             for s in segs {
@@ -401,6 +429,7 @@ impl GaBackend for LapiGaBackend {
             // no per-segment messages, no packing copies.
             let groups = self.vec_groups(token, segs);
             stats.vector_rmc.add(groups.len() as u64);
+            self.trace_branch("put-vector", bytes);
             self.gen_issue(target, groups.len() as i64);
             let k = groups.len() as i64;
             for (vecs, eoff, elems) in groups {
@@ -421,6 +450,7 @@ impl GaBackend for LapiGaBackend {
             // AMs, each a single switch packet.
             let chunks = self.chunk_requests(segs, data.len(), true);
             stats.am_requests.add(chunks.len() as u64);
+            self.trace_branch("put-am", bytes);
             self.gen_issue(target, chunks.len() as i64);
             let k = chunks.len() as i64;
             for (csegs, doff, dlen) in chunks {
@@ -459,6 +489,7 @@ impl GaBackend for LapiGaBackend {
         if segs.len() == 1 && bytes >= cfg.direct_min_bytes {
             // Direct LAPI_Get: avoids both packing copies (the 1-D path).
             stats.direct_rmc.incr();
+            self.trace_branch("get-direct", bytes);
             let dst = self.ensure_scratch(bytes);
             self.ctx
                 .get(
@@ -475,6 +506,7 @@ impl GaBackend for LapiGaBackend {
         } else if segs.len() > 1 && bytes >= cfg.direct_2d_min_bytes {
             // Per-column LAPI_Get for huge 2-D patches.
             stats.per_column_rmc.incr();
+            self.trace_branch("get-per-col", bytes);
             let dst = self.ensure_scratch(bytes);
             let mut pos = 0usize;
             for s in segs {
@@ -497,10 +529,17 @@ impl GaBackend for LapiGaBackend {
             let dst = self.ensure_scratch(bytes);
             let groups = self.vec_groups(token, segs);
             stats.vector_rmc.add(groups.len() as u64);
+            self.trace_branch("get-vector", bytes);
             let k = groups.len() as i64;
             for (vecs, eoff, _) in groups {
                 self.ctx
-                    .getv(target, &vecs, dst.offset(eoff * 8), None, Some(&self.reply_cntr))
+                    .getv(
+                        target,
+                        &vecs,
+                        dst.offset(eoff * 8),
+                        None,
+                        Some(&self.reply_cntr),
+                    )
                     .expect("getv");
             }
             self.ctx.waitcntr(&self.reply_cntr, k);
@@ -510,6 +549,7 @@ impl GaBackend for LapiGaBackend {
             let dst = self.ensure_scratch(bytes);
             let chunks = self.chunk_requests(segs, 0, false);
             stats.am_requests.add(chunks.len() as u64);
+            self.trace_branch("get-am", bytes);
             let k = chunks.len() as i64;
             let mut elem_off = 0usize;
             for (csegs, _, _) in chunks {
@@ -543,6 +583,7 @@ impl GaBackend for LapiGaBackend {
             // Bulk: one AM with the encoded request as udata → pool buffer
             // → combined in the completion handler.
             self.shared.stats.am_bulk_requests.incr();
+            self.trace_branch("acc-bulk", bytes);
             self.gen_issue(target, 1);
             let inner = GaReq {
                 op: Op::Acc,
@@ -579,6 +620,7 @@ impl GaBackend for LapiGaBackend {
         } else {
             let chunks = self.chunk_requests(segs, data.len(), true);
             self.shared.stats.am_requests.add(chunks.len() as u64);
+            self.trace_branch("acc-am", bytes);
             self.gen_issue(target, chunks.len() as i64);
             let k = chunks.len() as i64;
             for (csegs, doff, dlen) in chunks {

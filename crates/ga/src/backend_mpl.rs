@@ -75,6 +75,17 @@ impl MplGaBackend {
     fn request(&self, target: NodeId, req: &GaReq) {
         self.shared.stats.mpl_requests.incr();
         let bytes = req.encode();
+        // The MPL backend has exactly one protocol arm (marshalled send /
+        // rcvncall serve, §5.2) — traced so timelines show which backend a
+        // GA operation went through.
+        spsim::trace::emit(
+            self.ctx.id(),
+            self.ctx.clock().now(),
+            spsim::trace::EventKind::Branch,
+            "mpl-request",
+            0,
+            bytes.len(),
+        );
         // Marshalling + the packing copy: header and data must share one
         // message under MPL's in-order progress rules (§5.2).
         let m = self.ctx.machine();

@@ -25,7 +25,10 @@ pub struct Patch {
 impl Patch {
     /// Construct, checking orientation.
     pub fn new(lo: (usize, usize), hi: (usize, usize)) -> Self {
-        assert!(lo.0 <= hi.0 && lo.1 <= hi.1, "inverted patch {lo:?}..{hi:?}");
+        assert!(
+            lo.0 <= hi.0 && lo.1 <= hi.1,
+            "inverted patch {lo:?}..{hi:?}"
+        );
         Patch { lo, hi }
     }
 
@@ -260,7 +263,7 @@ mod tests {
     #[test]
     fn local_offset_is_column_major() {
         let d = Distribution::new(8, 8, 4); // 2x2 grid, blocks 4x4
-        // task 0 owns rows 0..=3, cols 0..=3 with ld=4
+                                            // task 0 owns rows 0..=3, cols 0..=3 with ld=4
         assert_eq!(d.local_offset(0, 0), 0);
         assert_eq!(d.local_offset(1, 0), 1);
         assert_eq!(d.local_offset(0, 1), 4);

@@ -180,7 +180,10 @@ mod tests {
 
     fn roundtrip(req: &GaReq) {
         let enc = req.encode();
-        assert_eq!(enc.len(), GaReq::encoded_len(req.segs.len(), req.data.len()));
+        assert_eq!(
+            enc.len(),
+            GaReq::encoded_len(req.segs.len(), req.data.len())
+        );
         assert_eq!(&GaReq::decode(&enc), req);
     }
 

@@ -74,7 +74,10 @@ fn put_get_spanning_all_owners() {
         if let Some(b) = a.local_patch() {
             if let Some(inter) = b.intersect(&Patch::new((5, 5), (14, 14))) {
                 let got = a.get(inter);
-                assert_eq!(got, col_major(&inter, |i, j| (i as f64) * 1000.0 + j as f64));
+                assert_eq!(
+                    got,
+                    col_major(&inter, |i, j| (i as f64) * 1000.0 + j as f64)
+                );
             }
         }
         ga.sync();
@@ -192,7 +195,10 @@ fn bulk_accumulate_uses_pool_buffers_on_lapi() {
             for (k, (g, d)) in got.iter().zip(&data).enumerate() {
                 assert_eq!(*g, 1.0 + d, "element {k}");
             }
-            assert!(ga.stats().am_bulk_requests.get() > 0, "expected the bulk AM path");
+            assert!(
+                ga.stats().am_bulk_requests.get() > 0,
+                "expected the bulk AM path"
+            );
         }
         ga.sync();
     });
@@ -460,8 +466,10 @@ fn vector_mode_full_workload_matches_mpl() {
     let lapi_vec: Vec<Ga> = LapiWorld::init(4, MachineConfig::default(), Mode::Interrupt)
         .into_iter()
         .map(|ctx| {
-            Ga::new(ga::LapiGaBackend::new(ctx, GaConfig::default().with_vector_rmc())
-                as Arc<dyn GaBackend>)
+            Ga::new(
+                ga::LapiGaBackend::new(ctx, GaConfig::default().with_vector_rmc())
+                    as Arc<dyn GaBackend>,
+            )
         })
         .collect();
     let run = |gas: Vec<Ga>| {
@@ -474,7 +482,11 @@ fn vector_mode_full_workload_matches_mpl() {
             ga.sync();
             a.acc(a.full_patch(), 2.0, &vec![0.5; 1024]);
             ga.sync();
-            let r = if rank == 0 { a.get(a.full_patch()) } else { vec![] };
+            let r = if rank == 0 {
+                a.get(a.full_patch())
+            } else {
+                vec![]
+            };
             ga.sync();
             r
         });

@@ -113,11 +113,10 @@ impl LapiContext {
     /// `LAPI_Senv`.
     pub fn senv(&self, s: Senv) {
         match s {
-            Senv::InterruptSet(on) => self.engine.set_mode(if on {
-                Mode::Interrupt
-            } else {
-                Mode::Polling
-            }),
+            Senv::InterruptSet(on) => {
+                self.engine
+                    .set_mode(if on { Mode::Interrupt } else { Mode::Polling })
+            }
         }
     }
 
@@ -265,7 +264,8 @@ impl LapiContext {
         tgt_cntr: Option<RemoteCounter>,
         org_cntr: Option<&Counter>,
     ) -> LapiResult {
-        self.engine.issue_getv(target, vecs, org_addr, tgt_cntr, org_cntr)
+        self.engine
+            .issue_getv(target, vecs, org_addr, tgt_cntr, org_cntr)
     }
 
     /// Maximum vector-table entries per `putv`/`getv` message.
@@ -362,7 +362,8 @@ impl LapiContext {
     /// Collective exchange of one u64 per task; returns the vector indexed
     /// by task id. The building block of `LAPI_Address_init`.
     pub fn exchange(&self, value: u64) -> Vec<u64> {
-        self.exchange.exchange(self.engine.clock(), self.id(), value)
+        self.exchange
+            .exchange(self.engine.clock(), self.id(), value)
     }
 
     /// `LAPI_Address_init`: every task contributes a local address, every

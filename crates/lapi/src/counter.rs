@@ -130,8 +130,12 @@ impl Counter {
             if self.inner.cond.wait_for(&mut st, escape).timed_out() {
                 panic!(
                     "LAPI_Waitcntr: counter {} stuck at {} (< {val}) for {escape:?} \
-                     of real time — simulated deadlock",
-                    self.id, st.value
+                     of real time — simulated deadlock\n\
+                     [waiter-clock={}ns]\n{}",
+                    self.id,
+                    st.value,
+                    clock.now().as_ns(),
+                    spsim::trace::tail_report(spsim::trace::REPORT_TAIL)
                 );
             }
         }

@@ -20,7 +20,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex, RwLock};
-use spsim::{MachineConfig, NodeId, Stamped, TimedQueue, VClock, VTime};
+use spsim::{trace, MachineConfig, NodeId, Stamped, TimedQueue, VClock, VTime};
 use spswitch::{Adapter, WirePacket};
 
 use crate::addr::{Addr, AddressSpace};
@@ -104,7 +104,12 @@ impl RmwFuture {
                 let deadline = Instant::now() + engine.escape;
                 while st.is_none() {
                     if self.slot.cv.wait_until(&mut st, deadline).timed_out() {
-                        panic!("LAPI_Rmw reply never arrived — simulated deadlock");
+                        panic!(
+                            "{}",
+                            engine.deadlock_report(
+                                "LAPI_Rmw reply never arrived — simulated deadlock"
+                            )
+                        );
                     }
                 }
                 st.expect("checked above")
@@ -219,6 +224,33 @@ impl Engine {
         *self.mode.lock()
     }
 
+    /// Emit a trace event on this node's timeline at the current virtual
+    /// time. One relaxed atomic load when tracing is disabled.
+    #[inline]
+    fn tr(&self, kind: trace::EventKind, detail: &'static str, msg_id: u64, bytes: usize) {
+        trace::emit(self.id(), self.clock().now(), kind, detail, msg_id, bytes);
+    }
+
+    /// Diagnostic snapshot used when a wait hits its real-time escape hatch:
+    /// engine state (mode, per-target outstanding ops, reassembly and queue
+    /// depths) plus the tail of the merged event timeline when tracing is on.
+    pub(crate) fn deadlock_report(&self, what: &str) -> String {
+        let outstanding: Vec<i64> = self.outstanding.lock().clone();
+        let reasm: Vec<(NodeId, MsgId)> = self.reasm.lock().keys().copied().collect();
+        format!(
+            "node {} ({:?} mode): {what}\n\
+             outstanding ops per target: {outstanding:?}\n\
+             incomplete reassemblies (src, msg): {reasm:?}\n\
+             rx-queue depth: {} completion-queue depth: {} clock: {}ns\n{}",
+            self.id(),
+            self.mode(),
+            self.adapter.rx().len(),
+            self.cmpl_q.len(),
+            self.clock().now().as_ns(),
+            trace::tail_report(trace::REPORT_TAIL)
+        )
+    }
+
     pub(crate) fn set_mode(&self, mode: Mode) {
         *self.mode.lock() = mode;
         self.mode_cv.notify_all();
@@ -264,6 +296,14 @@ impl Engine {
     }
 
     fn bump_counter(&self, id: CounterId, at: VTime) {
+        trace::emit(
+            self.id(),
+            at,
+            trace::EventKind::Counter,
+            "cntr",
+            id as u64,
+            0,
+        );
         self.counter_by_id(id).incr_at(at);
     }
 
@@ -318,6 +358,7 @@ impl Engine {
             cmpl_cntr: cmpl_cntr.map(Counter::id),
         };
         self.clock().advance(issue_cost);
+        self.tr(trace::EventKind::Issue, "put", msg_id, data.len());
         let mut last = None;
         let mut offset = 0usize;
         let chunks: Vec<&[u8]> = if data.is_empty() {
@@ -343,6 +384,14 @@ impl Engine {
         if let (Some(c), Some(r)) = (org_cntr, last) {
             // Origin buffer reusable once the last fragment is on the wire.
             c.incr_at(r.injected_at);
+            trace::emit(
+                self.id(),
+                r.injected_at,
+                trace::EventKind::Counter,
+                "org",
+                msg_id,
+                0,
+            );
         }
         Ok(())
     }
@@ -364,8 +413,10 @@ impl Engine {
         self.track_outstanding(target);
         let cfg = self.config();
         self.clock().advance(cfg.lapi_get_issue);
+        let get_msg = self.alloc_msg_id();
+        self.tr(trace::EventKind::Issue, "get", get_msg, len);
         let body = LapiBody::GetReq {
-            msg_id: self.alloc_msg_id(),
+            msg_id: get_msg,
             tgt_addr,
             len,
             org_addr,
@@ -403,6 +454,7 @@ impl Engine {
         self.track_outstanding(target);
         let msg_id = self.alloc_msg_id();
         self.clock().advance(issue_cost);
+        self.tr(trace::EventKind::Issue, "amsend", msg_id, udata.len());
 
         // First packet: uhdr plus whatever data fits after it.
         let head_cap = cfg
@@ -447,6 +499,14 @@ impl Engine {
         }
         if let Some(c) = org_cntr {
             c.incr_at(last.injected_at);
+            trace::emit(
+                self.id(),
+                last.injected_at,
+                trace::EventKind::Counter,
+                "org",
+                msg_id,
+                0,
+            );
         }
         Ok(())
     }
@@ -481,6 +541,7 @@ impl Engine {
         let msg_id = self.alloc_msg_id();
         self.clock()
             .advance(issue_cost + cfg.lapi_vec_desc * vecs.len() as u64);
+        self.tr(trace::EventKind::Issue, "putv", msg_id, data.len());
 
         // Header packet: the vector table plus whatever data still fits.
         let head_cap = cfg
@@ -549,12 +610,19 @@ impl Engine {
         self.track_outstanding(target);
         self.clock()
             .advance(cfg.lapi_get_issue + cfg.lapi_vec_desc * vecs.len() as u64);
+        let getv_msg = self.alloc_msg_id();
+        self.tr(
+            trace::EventKind::Issue,
+            "getv",
+            getv_msg,
+            IoVec::total(vecs),
+        );
         self.adapter.send_at(
             self.clock().now(),
             target,
             cfg.lapi_header_bytes + desc_bytes,
             LapiBody::GetVReq {
-                msg_id: self.alloc_msg_id(),
+                msg_id: getv_msg,
                 vecs: vecs.to_vec(),
                 org_addr,
                 org_cntr: org_cntr.map(Counter::id),
@@ -587,6 +655,7 @@ impl Engine {
         // Rmw issue is lightweight compared to put/get: it ships only the
         // operands (still a full LAPI header on the wire).
         self.clock().advance(cfg.lapi_handler_issue);
+        self.tr(trace::EventKind::Issue, "rmw", ticket, 8);
         self.adapter.send_at(
             self.clock().now(),
             target,
@@ -630,6 +699,14 @@ impl Engine {
         clock.advance(self.config().lapi_dispatch);
         self.stats.packets_dispatched.incr();
         let src = s.item.src;
+        trace::emit(
+            self.id(),
+            s.at,
+            trace::EventKind::Deliver,
+            "pkt",
+            src as u64,
+            s.item.wire_bytes,
+        );
         match s.item.body {
             LapiBody::Data {
                 msg_id,
@@ -672,7 +749,9 @@ impl Engine {
                 chunk,
                 tgt_cntr,
                 cmpl_cntr,
-            } => self.am_header(src, msg_id, handler, uhdr, total_len, chunk, tgt_cntr, cmpl_cntr),
+            } => self.am_header(
+                src, msg_id, handler, uhdr, total_len, chunk, tgt_cntr, cmpl_cntr,
+            ),
             LapiBody::PutVHeader {
                 msg_id,
                 vecs,
@@ -705,8 +784,8 @@ impl Engine {
             } => {
                 let cfg = self.config();
                 clock.advance(cfg.lapi_counter_update);
-                let prev =
-                    self.with_space_mut(|sp| sp.rmw_u64(tgt_addr, |v| op.apply(v, in_val, cmp_val)));
+                let prev = self
+                    .with_space_mut(|sp| sp.rmw_u64(tgt_addr, |v| op.apply(v, in_val, cmp_val)));
                 self.adapter.send_at(
                     clock.now(),
                     src,
@@ -746,7 +825,10 @@ impl Engine {
             return true;
         }
         let mut map = self.reasm.lock();
-        match map.entry((src, msg_id)).or_insert(Reasm::Data { received: 0 }) {
+        match map
+            .entry((src, msg_id))
+            .or_insert(Reasm::Data { received: 0 })
+        {
             Reasm::Data { received } => {
                 *received += got;
                 if *received >= total {
@@ -764,6 +846,7 @@ impl Engine {
         let cfg = self.config();
         let clock = self.clock();
         clock.advance(cfg.lapi_completion_msg + cfg.lapi_counter_update);
+        self.tr(trace::EventKind::Complete, "put", src as u64, 0);
         if let Some(id) = tgt_cntr {
             self.bump_counter(id, clock.now());
         }
@@ -786,6 +869,7 @@ impl Engine {
         let clock = self.clock();
         clock.advance(cfg.lapi_hdr_handler);
         self.stats.hdr_handlers.incr();
+        self.tr(trace::EventKind::HandlerEnter, "hdr", msg_id, total_len);
         let outcome = {
             let handlers = self.handlers.read();
             let h = handlers.get(&handler).unwrap_or_else(|| {
@@ -803,6 +887,7 @@ impl Engine {
                 },
             )
         };
+        self.tr(trace::EventKind::HandlerExit, "hdr", msg_id, total_len);
         if total_len > 0 && outcome.buffer.is_none() {
             panic!(
                 "node {}: header handler {handler} returned no buffer for a \
@@ -851,7 +936,10 @@ impl Engine {
 
     fn am_data(&self, src: NodeId, msg_id: MsgId, offset: usize, total: usize, data: Vec<u8>) {
         let mut map = self.reasm.lock();
-        match map.entry((src, msg_id)).or_insert(Reasm::AmEarly { stash: Vec::new() }) {
+        match map
+            .entry((src, msg_id))
+            .or_insert(Reasm::AmEarly { stash: Vec::new() })
+        {
             Reasm::Am {
                 buffer, received, ..
             } => {
@@ -895,6 +983,7 @@ impl Engine {
         let cfg = self.config();
         let clock = self.clock();
         clock.advance(cfg.lapi_completion_msg);
+        self.tr(trace::EventKind::Complete, "amsend", src as u64, 0);
         match completion {
             None => {
                 clock.advance(cfg.lapi_counter_update);
@@ -997,7 +1086,10 @@ impl Engine {
     /// A putv data fragment (scatter it, or stash until the table arrives).
     fn vec_data(&self, src: NodeId, msg_id: MsgId, offset: usize, total: usize, data: Vec<u8>) {
         let mut map = self.reasm.lock();
-        match map.entry((src, msg_id)).or_insert(Reasm::AmEarly { stash: Vec::new() }) {
+        match map
+            .entry((src, msg_id))
+            .or_insert(Reasm::AmEarly { stash: Vec::new() })
+        {
             Reasm::VecPut { vecs, received, .. } => {
                 *received += data.len();
                 let done = *received >= total;
@@ -1006,7 +1098,9 @@ impl Engine {
                 self.scatter_into_vecs(vecs, offset, &data);
                 if done {
                     let Some(Reasm::VecPut {
-                        tgt_cntr, cmpl_cntr, ..
+                        tgt_cntr,
+                        cmpl_cntr,
+                        ..
                     }) = map.remove(&(src, msg_id))
                     else {
                         unreachable!("entry just matched as VecPut");
@@ -1136,9 +1230,12 @@ impl Engine {
             Ok(None) => {
                 if Instant::now() > deadline {
                     panic!(
-                        "polling-mode LAPI made no progress for {:?} of real time — \
-                         simulated deadlock (is the peer polling?)",
-                        self.escape
+                        "{}",
+                        self.deadlock_report(&format!(
+                            "polling-mode LAPI made no progress for {:?} of real time — \
+                             simulated deadlock (is the peer polling?)",
+                            self.escape
+                        ))
                     );
                 }
             }
@@ -1181,15 +1278,21 @@ impl Engine {
     pub(crate) fn fence(&self, target: NodeId) -> LapiResult {
         self.check_live()?;
         self.check_target(target)?;
+        self.tr(trace::EventKind::FenceBegin, "fence", target as u64, 0);
         match self.mode() {
             Mode::Interrupt => {
                 let deadline = Instant::now() + self.escape;
                 let mut o = self.outstanding.lock();
                 while o[target] != 0 {
                     if self.outstanding_cv.wait_until(&mut o, deadline).timed_out() {
+                        let stuck = o[target];
+                        drop(o); // deadlock_report re-takes the lock
                         panic!(
-                            "LAPI_Fence to {target} stuck ({} ops outstanding) — simulated deadlock",
-                            o[target]
+                            "{}",
+                            self.deadlock_report(&format!(
+                                "LAPI_Fence to {target} stuck ({stuck} ops outstanding) — \
+                                 simulated deadlock"
+                            ))
                         );
                     }
                 }
@@ -1198,12 +1301,14 @@ impl Engine {
                 let deadline = Instant::now() + self.escape;
                 loop {
                     if self.outstanding.lock()[target] == 0 {
+                        self.tr(trace::EventKind::FenceEnd, "fence", target as u64, 0);
                         return Ok(());
                     }
                     self.poll_step(deadline);
                 }
             }
         }
+        self.tr(trace::EventKind::FenceEnd, "fence", target as u64, 0);
         Ok(())
     }
 
@@ -1230,6 +1335,7 @@ impl Engine {
             clock.merge(at);
             clock.advance(self.config().interrupt_cost);
             self.stats.interrupts.incr();
+            self.tr(trace::EventKind::Interrupt, "hw-int", 0, 0);
         }
     }
 
@@ -1281,9 +1387,11 @@ impl Engine {
                     clock.merge(at);
                     clock.advance(cfg.lapi_cmpl_handler);
                     self.stats.cmpl_handlers.incr();
+                    self.tr(trace::EventKind::HandlerEnter, "cmpl", work.src as u64, 0);
                     if let Some(f) = work.f {
                         f(&HandlerCtx { engine: self });
                     }
+                    self.tr(trace::EventKind::HandlerExit, "cmpl", work.src as u64, 0);
                     clock.advance(cfg.lapi_counter_update);
                     if let Some(id) = work.tgt_cntr {
                         self.bump_counter(id, clock.now());

@@ -40,14 +40,20 @@ impl fmt::Display for LapiError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LapiError::BadTarget { target, ntasks } => {
-                write!(f, "target task {target} out of range (job has {ntasks} tasks)")
+                write!(
+                    f,
+                    "target task {target} out of range (job has {ntasks} tasks)"
+                )
             }
             LapiError::UhdrTooLarge { len, max } => {
                 write!(f, "user header of {len} bytes exceeds MAX_UHDR_SZ={max}")
             }
             LapiError::UnknownHandler(id) => write!(f, "unregistered AM handler {id}"),
             LapiError::TooManyVecs { nvecs, max } => {
-                write!(f, "vector table of {nvecs} entries exceeds the per-message maximum {max}")
+                write!(
+                    f,
+                    "vector table of {nvecs} entries exceeds the per-message maximum {max}"
+                )
             }
             LapiError::Terminated => write!(f, "LAPI context already terminated"),
             LapiError::BadQuery => write!(f, "unknown Qenv/Senv selector"),
@@ -63,9 +69,15 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = LapiError::BadTarget { target: 9, ntasks: 4 };
+        let e = LapiError::BadTarget {
+            target: 9,
+            ntasks: 4,
+        };
         assert!(e.to_string().contains("task 9"));
-        let e = LapiError::UhdrTooLarge { len: 2000, max: 900 };
+        let e = LapiError::UhdrTooLarge {
+            len: 2000,
+            max: 900,
+        };
         assert!(e.to_string().contains("900"));
     }
 }

@@ -64,8 +64,7 @@ impl HdrOutcome {
 /// A header handler, registered under a small integer id which origins name
 /// in `amsend` (function *addresses* on the homogeneous SP; a registry id
 /// here).
-pub type HeaderHandlerFn =
-    Box<dyn Fn(&HandlerCtx<'_>, AmInfo<'_>) -> HdrOutcome + Send + Sync>;
+pub type HeaderHandlerFn = Box<dyn Fn(&HandlerCtx<'_>, AmInfo<'_>) -> HdrOutcome + Send + Sync>;
 
 /// The restricted view of the local LAPI context that handlers receive.
 ///

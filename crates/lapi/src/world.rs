@@ -87,7 +87,10 @@ impl LapiWorld {
         escape: Duration,
         completion_threads: usize,
     ) -> Vec<LapiContext> {
-        assert!(completion_threads >= 1, "need at least one completion thread");
+        assert!(
+            completion_threads >= 1,
+            "need at least one completion thread"
+        );
         let cfg = Arc::new(cfg);
         let net: Network<LapiBody> = Network::new(n, Arc::clone(&cfg), seed);
         let bcost = barrier_cost(&cfg, n);

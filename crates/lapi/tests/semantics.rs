@@ -28,8 +28,15 @@ fn put_deposits_and_signals_all_three_counters() {
             let org = ctx.new_counter();
             let cmpl = ctx.new_counter();
             let data = vec![7u8; 64];
-            ctx.put(1, addrs[1], &data, Some(remotes[1]), Some(&org), Some(&cmpl))
-                .unwrap();
+            ctx.put(
+                1,
+                addrs[1],
+                &data,
+                Some(remotes[1]),
+                Some(&org),
+                Some(&cmpl),
+            )
+            .unwrap();
             ctx.waitcntr(&org, 1); // buffer reusable
             ctx.waitcntr(&cmpl, 1); // landed remotely
             assert!(ctx.now().as_us() > 0.0);
@@ -110,7 +117,8 @@ fn zero_length_put_still_signals() {
         let addrs = ctx.address_init(buf);
         let remotes = ctx.counter_init(&tgt);
         if rank == 0 {
-            ctx.put(1, addrs[1], &[], Some(remotes[1]), None, None).unwrap();
+            ctx.put(1, addrs[1], &[], Some(remotes[1]), None, None)
+                .unwrap();
         } else {
             ctx.waitcntr(&tgt, 1);
         }
@@ -145,8 +153,16 @@ fn amsend_runs_decoupled_handlers() {
         if rank == 0 {
             let cmpl = ctx.new_counter();
             let data = vec![3u8; 5000];
-            ctx.amsend(1, 7, b"hdr-params", &data, Some(remotes[1]), None, Some(&cmpl))
-                .unwrap();
+            ctx.amsend(
+                1,
+                7,
+                b"hdr-params",
+                &data,
+                Some(remotes[1]),
+                None,
+                Some(&cmpl),
+            )
+            .unwrap();
             // cmpl_cntr fires only after the completion handler ran (§2.1).
             ctx.waitcntr(&cmpl, 1);
         } else {
@@ -172,7 +188,8 @@ fn amsend_header_only_message() {
         }
         ctx.gfence().unwrap();
         if rank == 0 {
-            ctx.amsend(1, 1, b"ping", &[], Some(remotes[1]), None, None).unwrap();
+            ctx.amsend(1, 1, b"ping", &[], Some(remotes[1]), None, None)
+                .unwrap();
         } else {
             ctx.waitcntr(&ding, 1);
         }
@@ -187,7 +204,9 @@ fn uhdr_size_is_enforced() {
         if rank == 0 {
             let max = ctx.qenv(Qenv::MaxUhdrSz);
             let too_big = vec![0u8; max + 1];
-            let err = ctx.amsend(1, 0, &too_big, &[], None, None, None).unwrap_err();
+            let err = ctx
+                .amsend(1, 0, &too_big, &[], None, None, None)
+                .unwrap_err();
             assert!(matches!(err, LapiError::UhdrTooLarge { .. }));
         }
         ctx.gfence().unwrap();
@@ -200,7 +219,13 @@ fn bad_target_is_rejected() {
     run_spmd_with(ctxs, |rank, ctx| {
         if rank == 0 {
             let err = ctx.put(5, Addr(0), &[1], None, None, None).unwrap_err();
-            assert!(matches!(err, LapiError::BadTarget { target: 5, ntasks: 2 }));
+            assert!(matches!(
+                err,
+                LapiError::BadTarget {
+                    target: 5,
+                    ntasks: 2
+                }
+            ));
         }
         ctx.gfence().unwrap();
     });
@@ -221,7 +246,10 @@ fn rmw_fetch_add_serializes_concurrent_updates() {
             prevs.push(fut.wait());
         }
         // previous values within one task strictly increase
-        assert!(prevs.windows(2).all(|w| w[0] < w[1]), "task {rank}: {prevs:?}");
+        assert!(
+            prevs.windows(2).all(|w| w[0] < w[1]),
+            "task {rank}: {prevs:?}"
+        );
         ctx.gfence().unwrap();
         if rank == 0 {
             assert_eq!(ctx.mem_read_u64(cell), per_task * n as u64);
@@ -238,13 +266,22 @@ fn rmw_compare_and_swap_and_or() {
         let addrs = ctx.address_init(cell);
         if rank == 0 {
             // CAS that fails
-            let prev = ctx.rmw(1, RmwOp::CompareAndSwap, addrs[1], 99, 5).unwrap().wait();
+            let prev = ctx
+                .rmw(1, RmwOp::CompareAndSwap, addrs[1], 99, 5)
+                .unwrap()
+                .wait();
             assert_eq!(prev, 10);
             // CAS that succeeds
-            let prev = ctx.rmw(1, RmwOp::CompareAndSwap, addrs[1], 99, 10).unwrap().wait();
+            let prev = ctx
+                .rmw(1, RmwOp::CompareAndSwap, addrs[1], 99, 10)
+                .unwrap()
+                .wait();
             assert_eq!(prev, 10);
             // Fetch-and-or
-            let prev = ctx.rmw(1, RmwOp::FetchAndOr, addrs[1], 0b100, 0).unwrap().wait();
+            let prev = ctx
+                .rmw(1, RmwOp::FetchAndOr, addrs[1], 0b100, 0)
+                .unwrap()
+                .wait();
             assert_eq!(prev, 99);
             // Swap
             let prev = ctx.rmw(1, RmwOp::Swap, addrs[1], 1, 0).unwrap().wait();
@@ -287,8 +324,15 @@ fn gfence_flushes_everyone() {
         let addrs = ctx.address_init(buf);
         for t in 0..n {
             if t != rank {
-                ctx.put(t, addrs[t].offset(8 * rank), &(rank as u64).to_le_bytes(), None, None, None)
-                    .unwrap();
+                ctx.put(
+                    t,
+                    addrs[t].offset(8 * rank),
+                    &(rank as u64).to_le_bytes(),
+                    None,
+                    None,
+                    None,
+                )
+                .unwrap();
             }
         }
         ctx.gfence().unwrap();
@@ -343,7 +387,8 @@ fn polling_mode_without_target_polling_deadlocks() {
         let addrs = ctx.address_init(buf);
         if rank == 0 {
             let cmpl = ctx.new_counter();
-            ctx.put(1, addrs[1], &[1u8; 8], None, None, Some(&cmpl)).unwrap();
+            ctx.put(1, addrs[1], &[1u8; 8], None, None, Some(&cmpl))
+                .unwrap();
             ctx.waitcntr(&cmpl, 1); // never satisfied: target never polls
         } else {
             // Target does real work but no LAPI calls — and must outlive
@@ -410,8 +455,15 @@ fn counters_group_multiple_messages() {
         if rank == 0 {
             let cmpl = ctx.new_counter();
             for i in 0..10usize {
-                ctx.put(1, addrs[1].offset(8 * i), &[i as u8; 8], None, None, Some(&cmpl))
-                    .unwrap();
+                ctx.put(
+                    1,
+                    addrs[1].offset(8 * i),
+                    &[i as u8; 8],
+                    None,
+                    None,
+                    Some(&cmpl),
+                )
+                .unwrap();
             }
             // One wait for the whole group (§2.3).
             ctx.waitcntr(&cmpl, 10);
@@ -437,7 +489,8 @@ fn concurrent_puts_may_complete_out_of_order_but_fence_serializes() {
         let addrs = ctx.address_init(buf);
         if rank == 0 {
             for round in 0..20u8 {
-                ctx.put(1, addrs[1], &vec![round; 4096], None, None, None).unwrap();
+                ctx.put(1, addrs[1], &vec![round; 4096], None, None, None)
+                    .unwrap();
                 ctx.fence(1).unwrap();
             }
         }
@@ -474,7 +527,8 @@ fn am_reassembly_survives_heavy_reordering_and_loss() {
         ctx.barrier();
         let data: Vec<u8> = (0..40_000).map(|i| (i * 7 % 256) as u8).collect();
         if rank == 0 {
-            ctx.amsend(1, 2, b"x", &data, Some(remotes[1]), None, None).unwrap();
+            ctx.amsend(1, 2, b"x", &data, Some(remotes[1]), None, None)
+                .unwrap();
             ctx.barrier(); // let everything land in the target's queue
             ctx.gfence().unwrap();
         } else {

@@ -20,14 +20,20 @@ fn all_to_all_puts_eight_nodes() {
         for round in 0..5u64 {
             for t in 0..n {
                 let val = (round << 32) | ((rank as u64) << 8) | t as u64;
-                ctx.put(t, addrs[t].offset(8 * rank), &val.to_le_bytes(), None, None, None)
-                    .expect("put");
+                ctx.put(
+                    t,
+                    addrs[t].offset(8 * rank),
+                    &val.to_le_bytes(),
+                    None,
+                    None,
+                    None,
+                )
+                .expect("put");
             }
             ctx.gfence().expect("gfence");
             for s in 0..n {
-                let got = u64::from_le_bytes(
-                    ctx.mem_read(buf.offset(8 * s), 8).try_into().expect("8"),
-                );
+                let got =
+                    u64::from_le_bytes(ctx.mem_read(buf.offset(8 * s), 8).try_into().expect("8"));
                 assert_eq!(got, (round << 32) | ((s as u64) << 8) | rank as u64);
             }
             ctx.gfence().expect("gfence");
@@ -66,8 +72,16 @@ fn header_handlers_never_run_concurrently() {
         ctx.gfence().expect("gfence");
         if rank != 0 {
             for i in 0..40 {
-                ctx.amsend(0, 3, &[rank as u8, i], &[7u8; 128], Some(remotes[0]), None, None)
-                    .expect("amsend");
+                ctx.amsend(
+                    0,
+                    3,
+                    &[rank as u8, i],
+                    &[7u8; 128],
+                    Some(remotes[0]),
+                    None,
+                    None,
+                )
+                .expect("amsend");
             }
             ctx.fence(0).expect("fence");
         } else {
@@ -75,7 +89,11 @@ fn header_handlers_never_run_concurrently() {
         }
         ctx.gfence().expect("gfence");
     });
-    assert_eq!(overlap.load(Ordering::SeqCst), 0, "header handlers overlapped");
+    assert_eq!(
+        overlap.load(Ordering::SeqCst),
+        0,
+        "header handlers overlapped"
+    );
 }
 
 #[test]
@@ -137,9 +155,17 @@ fn mixed_operation_soup_settles_consistently() {
         ctx.gfence().expect("gfence");
         // collect per-node contributions for the invariants
         let total_rmws: u64 = ctx.exchange(rmws).iter().sum();
-        let total_am: i64 = ctx.exchange(am_total as u64).iter().map(|&v| v as i64).sum();
+        let total_am: i64 = ctx
+            .exchange(am_total as u64)
+            .iter()
+            .map(|&v| v as i64)
+            .sum();
         if rank == 0 {
-            assert_eq!(ctx.mem_read_u64(cell), total_rmws * 3, "rmw adds lost or doubled");
+            assert_eq!(
+                ctx.mem_read_u64(cell),
+                total_rmws * 3,
+                "rmw adds lost or doubled"
+            );
             assert_eq!(
                 am_sum.load(Ordering::SeqCst),
                 total_am,
@@ -149,9 +175,8 @@ fn mixed_operation_soup_settles_consistently() {
             // node's own slot are ordered only by the final gfence; the
             // slot must hold *some* value that node wrote)
             for s in 0..n {
-                let got = u64::from_le_bytes(
-                    ctx.mem_read(slots.offset(8 * s), 8).try_into().expect("8"),
-                );
+                let got =
+                    u64::from_le_bytes(ctx.mem_read(slots.offset(8 * s), 8).try_into().expect("8"));
                 assert!(got == 0 || got <= per_node, "slot {s} corrupted: {got}");
             }
         }
@@ -181,7 +206,9 @@ fn flood_with_loss_and_reordering_converges() {
             if s != rank {
                 let got = ctx.mem_read(buf.offset(20_000 * s), 20_000);
                 assert!(
-                    got.iter().enumerate().all(|(i, &b)| b == ((i + s * 7) % 256) as u8),
+                    got.iter()
+                        .enumerate()
+                        .all(|(i, &b)| b == ((i + s * 7) % 256) as u8),
                     "stream from {s} corrupted"
                 );
             }

@@ -19,18 +19,34 @@ fn putv_scatters_across_vectors() {
         if rank == 0 {
             // three disjoint runs, out of address order
             let vecs = [
-                IoVec { addr: addrs[1].offset(500), len: 100 },
-                IoVec { addr: addrs[1], len: 50 },
-                IoVec { addr: addrs[1].offset(200), len: 25 },
+                IoVec {
+                    addr: addrs[1].offset(500),
+                    len: 100,
+                },
+                IoVec {
+                    addr: addrs[1],
+                    len: 50,
+                },
+                IoVec {
+                    addr: addrs[1].offset(200),
+                    len: 25,
+                },
             ];
             let data: Vec<u8> = (0..175).map(|i| i as u8).collect();
-            ctx.putv(1, &vecs, &data, Some(remotes[1]), None, None).expect("putv");
+            ctx.putv(1, &vecs, &data, Some(remotes[1]), None, None)
+                .expect("putv");
         } else {
             ctx.waitcntr(&tgt, 1);
             let m = ctx.mem_read(buf, 1000);
             assert!(m[500..600].iter().enumerate().all(|(i, &b)| b == i as u8));
-            assert!(m[0..50].iter().enumerate().all(|(i, &b)| b == (100 + i) as u8));
-            assert!(m[200..225].iter().enumerate().all(|(i, &b)| b == (150 + i) as u8));
+            assert!(m[0..50]
+                .iter()
+                .enumerate()
+                .all(|(i, &b)| b == (100 + i) as u8));
+            assert!(m[200..225]
+                .iter()
+                .enumerate()
+                .all(|(i, &b)| b == (150 + i) as u8));
             // untouched gaps stay zero
             assert!(m[50..200].iter().all(|&b| b == 0));
         }
@@ -48,12 +64,16 @@ fn putv_large_stream_spans_packets() {
         let addrs = ctx.address_init(buf);
         if rank == 0 {
             let vecs: Vec<IoVec> = (0..n_vecs)
-                .map(|k| IoVec { addr: addrs[1].offset(k * 1024), len: run })
+                .map(|k| IoVec {
+                    addr: addrs[1].offset(k * 1024),
+                    len: run,
+                })
                 .collect();
             let total = n_vecs * run;
             let data: Vec<u8> = (0..total).map(|i| (i % 253) as u8).collect();
             let cmpl = ctx.new_counter();
-            ctx.putv(1, &vecs, &data, None, None, Some(&cmpl)).expect("putv");
+            ctx.putv(1, &vecs, &data, None, None, Some(&cmpl))
+                .expect("putv");
             ctx.waitcntr(&cmpl, 1);
         }
         ctx.gfence().expect("gfence");
@@ -76,14 +96,30 @@ fn getv_gathers_remote_vectors() {
     run_spmd_with(ctxs, |rank, ctx| {
         let buf = ctx.alloc(8192);
         if rank == 1 {
-            ctx.mem_write(buf, &(0..=255u16).cycle().take(8192).map(|v| v as u8).collect::<Vec<_>>());
+            ctx.mem_write(
+                buf,
+                &(0..=255u16)
+                    .cycle()
+                    .take(8192)
+                    .map(|v| v as u8)
+                    .collect::<Vec<_>>(),
+            );
         }
         let addrs = ctx.address_init(buf);
         if rank == 0 {
             let vecs = [
-                IoVec { addr: addrs[1].offset(1000), len: 10 },
-                IoVec { addr: addrs[1], len: 5 },
-                IoVec { addr: addrs[1].offset(3000), len: 2000 },
+                IoVec {
+                    addr: addrs[1].offset(1000),
+                    len: 10,
+                },
+                IoVec {
+                    addr: addrs[1],
+                    len: 5,
+                },
+                IoVec {
+                    addr: addrs[1].offset(3000),
+                    len: 2000,
+                },
             ];
             let dst = ctx.alloc(2015);
             let org = ctx.new_counter();
@@ -107,10 +143,20 @@ fn vector_table_size_is_enforced() {
     run_spmd_with(ctxs, |rank, ctx| {
         if rank == 0 {
             let too_many: Vec<IoVec> = (0..ctx.max_vecs() + 1)
-                .map(|k| IoVec { addr: lapi::Addr(k as u64 * 8), len: 8 })
+                .map(|k| IoVec {
+                    addr: lapi::Addr(k as u64 * 8),
+                    len: 8,
+                })
                 .collect();
             let err = ctx
-                .putv(1, &too_many, &vec![0u8; 8 * too_many.len()], None, None, None)
+                .putv(
+                    1,
+                    &too_many,
+                    &vec![0u8; 8 * too_many.len()],
+                    None,
+                    None,
+                    None,
+                )
                 .unwrap_err();
             assert!(matches!(err, LapiError::TooManyVecs { .. }));
         }
@@ -128,11 +174,15 @@ fn putv_survives_reordering_and_loss() {
         let addrs = ctx.address_init(buf);
         if rank == 0 {
             let vecs: Vec<IoVec> = (0..30)
-                .map(|k| IoVec { addr: addrs[1].offset(k * 2000), len: 1500 })
+                .map(|k| IoVec {
+                    addr: addrs[1].offset(k * 2000),
+                    len: 1500,
+                })
                 .collect();
             let data: Vec<u8> = (0..30 * 1500).map(|i| (i * 13 % 251) as u8).collect();
             let cmpl = ctx.new_counter();
-            ctx.putv(1, &vecs, &data, None, None, Some(&cmpl)).expect("putv");
+            ctx.putv(1, &vecs, &data, None, None, Some(&cmpl))
+                .expect("putv");
             ctx.waitcntr(&cmpl, 1);
         }
         ctx.gfence().expect("gfence");

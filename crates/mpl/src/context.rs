@@ -47,7 +47,9 @@ impl SendReq {
     /// Block until the send completes (drives progress in polling mode).
     pub fn wait(&self) {
         match self.engine.mode() {
-            MplMode::Interrupt => self.state.wait_done(self.engine.clock(), self.engine.escape),
+            MplMode::Interrupt => self
+                .state
+                .wait_done(self.engine.clock(), self.engine.escape),
             MplMode::Polling => {
                 let deadline = Instant::now() + self.engine.escape;
                 loop {
@@ -76,7 +78,9 @@ impl RecvReq {
     /// Block until the message is here; returns its data and status.
     pub fn wait(&self) -> (Vec<u8>, Status) {
         match self.engine.mode() {
-            MplMode::Interrupt => self.state.wait_done(self.engine.clock(), self.engine.escape),
+            MplMode::Interrupt => self
+                .state
+                .wait_done(self.engine.clock(), self.engine.escape),
             MplMode::Polling => {
                 let deadline = Instant::now() + self.engine.escape;
                 loop {
@@ -237,7 +241,8 @@ impl MplContext {
 
     /// Collective exchange of one u64 per task (utility for tests and GA).
     pub fn exchange(&self, value: u64) -> Vec<u64> {
-        self.exchange.exchange(self.engine.clock(), self.id(), value)
+        self.exchange
+            .exchange(self.engine.clock(), self.id(), value)
     }
 
     /// Job-wide sum of one f64 per task (`MP_REDUCE`-style helper).

@@ -12,7 +12,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
-use spsim::{MachineConfig, NodeId, Stamped, StatCounter, VClock, VTime};
+use spsim::{trace, MachineConfig, NodeId, Stamped, StatCounter, VClock, VTime};
 use spswitch::{Adapter, WirePacket};
 
 use crate::context::{MplHandlerCtx, MplMode, Status};
@@ -95,7 +95,11 @@ impl RecvState {
         let deadline = Instant::now() + escape;
         while !st.done {
             if self.cv.wait_until(&mut st, deadline).timed_out() {
-                panic!("MPL receive never completed — simulated deadlock");
+                panic!(
+                    "MPL receive never completed — simulated deadlock \
+                     (no matching send, or the sender stopped making progress?)\n{}",
+                    trace::tail_report(trace::REPORT_TAIL)
+                );
             }
         }
         clock.merge(st.done_at);
@@ -140,7 +144,11 @@ impl SendState {
         let deadline = Instant::now() + escape;
         while !st.0 {
             if self.cv.wait_until(&mut st, deadline).timed_out() {
-                panic!("MPL send never completed (no CTS?) — simulated deadlock");
+                panic!(
+                    "MPL send never completed (no CTS?) — simulated deadlock \
+                     (rendezvous needs the receiver to post and make progress)\n{}",
+                    trace::tail_report(trace::REPORT_TAIL)
+                );
             }
         }
         clock.merge(st.1);
@@ -293,12 +301,49 @@ impl MplEngine {
         self.terminated.load(Ordering::Acquire)
     }
 
+    /// Emit a trace event on this node's timeline at the current virtual
+    /// time. One relaxed atomic load when tracing is disabled.
+    #[inline]
+    fn tr(&self, kind: trace::EventKind, detail: &'static str, msg_id: u64, bytes: usize) {
+        trace::emit(self.id(), self.clock().now(), kind, detail, msg_id, bytes);
+    }
+
+    /// Diagnostic snapshot for the real-time escape hatches: matching-state
+    /// depths plus the merged trace tail when tracing is enabled.
+    pub(crate) fn deadlock_report(&self, what: &str) -> String {
+        let st = self.state.lock();
+        let pending: Vec<(NodeId, usize, Seq)> = st
+            .streams
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.msgs.is_empty())
+            .map(|(src, s)| (src, s.msgs.len(), s.contig))
+            .collect();
+        let report = format!(
+            "node {} ({:?} mode): {what}\n\
+             posted receives: {} unmatched inbound (src, msgs, contig): {pending:?}\n\
+             parked rendezvous sends: {} rx-queue depth: {} clock: {}ns\n{}",
+            self.id(),
+            self.mode(),
+            st.posted.len(),
+            st.rndv_sends.len(),
+            self.adapter.rx().len(),
+            self.clock().now().as_ns(),
+            trace::tail_report(trace::REPORT_TAIL)
+        );
+        drop(st);
+        report
+    }
+
     // ----------------------------------------------------------- sending
 
     /// Send `data` to `dst` with `tag`; returns the completion state
     /// (already complete for eager sends — buffer was copied out).
     pub(crate) fn isend(&self, dst: NodeId, tag: Tag, data: &[u8]) -> Arc<SendState> {
-        assert!(dst < self.tasks(), "MPL send: destination {dst} out of range");
+        assert!(
+            dst < self.tasks(),
+            "MPL send: destination {dst} out of range"
+        );
         self.stats.sends.incr();
         let cfg = self.config();
         let clock = self.clock();
@@ -310,11 +355,13 @@ impl MplEngine {
         };
         let state = SendState::new();
         clock.advance(cfg.mpl_send_issue);
+        self.tr(trace::EventKind::Issue, "send", seq, data.len());
         if data.len() <= cfg.mpl_eager_limit {
             // Eager: copy into protocol buffers (the extra copy), inject,
             // and the user buffer is immediately reusable.
             self.stats.eager_msgs.incr();
             clock.advance(cfg.memcpy_time(data.len()));
+            self.tr(trace::EventKind::EagerCopy, "eager", seq, data.len());
             self.inject_fragments(dst, data, |offset, chunk| MplBody::Eager {
                 seq,
                 tag,
@@ -326,6 +373,7 @@ impl MplEngine {
         } else {
             // Rendezvous: ship the envelope, park the data until the CTS.
             self.stats.rndv_msgs.incr();
+            self.tr(trace::EventKind::Rts, "rndv", seq, data.len());
             self.state.lock().rndv_sends.insert(
                 (dst, seq),
                 RndvSend {
@@ -453,6 +501,7 @@ impl MplEngine {
         let clock = self.clock();
         let msg = st.streams[src].msgs.get_mut(&seq).expect("message exists");
         debug_assert!(msg.dest.is_none());
+        self.tr(trace::EventKind::Match, "recv", seq, msg.total);
         {
             let mut ri = posted.state.st.lock();
             ri.buf = vec![0; msg.total];
@@ -479,6 +528,7 @@ impl MplEngine {
         if msg.rndv {
             // Negotiate: tell the sender to go ahead.
             clock.advance(cfg.mpl_rndv_setup);
+            self.tr(trace::EventKind::Cts, "rndv", seq, 0);
             self.adapter
                 .send_at(clock.now(), src, cfg.mpl_header_bytes, MplBody::Cts { seq });
         }
@@ -492,13 +542,20 @@ impl MplEngine {
     /// is released — handlers may call back into the engine) and re-arms
     /// persistent handlers through the normal posting path, so requests
     /// that arrived while the handler slot was consumed get matched.
-    fn finish_recv(&self, st: &mut MatchState, src: NodeId, seq: Seq, fires: &mut Vec<HandlerFire>) {
+    fn finish_recv(
+        &self,
+        st: &mut MatchState,
+        src: NodeId,
+        seq: Seq,
+        fires: &mut Vec<HandlerFire>,
+    ) {
         let cfg = self.config();
         let clock = self.clock();
         let msg = st.streams[src].msgs.remove(&seq).expect("message exists");
         let dest = msg.dest.expect("finished message was matched");
         clock.advance(cfg.mpl_recv_match);
         self.stats.recvs.incr();
+        self.tr(trace::EventKind::Complete, "recv", seq, msg.total);
         {
             let mut ri = dest.state.st.lock();
             ri.done = true;
@@ -552,6 +609,14 @@ impl MplEngine {
         clock.advance(cfg.mpl_pkt_dispatch);
         self.stats.packets.incr();
         let src = s.item.src;
+        trace::emit(
+            self.id(),
+            s.at,
+            trace::EventKind::Deliver,
+            "pkt",
+            src as u64,
+            s.item.wire_bytes,
+        );
         let mut fires = Vec::new();
         let mut st = self.state.lock();
         match s.item.body {
@@ -580,14 +645,13 @@ impl MplEngine {
                 // (no extra copy — the rendezvous advantage). The send only
                 // completes when the adapter has read the user buffer out,
                 // i.e. when the last fragment is on the wire.
-                let injected = self.inject_fragments(src, &rndv.data, |offset, chunk| {
-                    MplBody::RndvData {
+                let injected =
+                    self.inject_fragments(src, &rndv.data, |offset, chunk| MplBody::RndvData {
                         seq,
                         offset,
                         total_len: rndv.data.len(),
                         data: chunk.to_vec(),
-                    }
-                });
+                    });
                 rndv.state.complete(injected);
                 return;
             }
@@ -716,8 +780,11 @@ impl MplEngine {
             Ok(None) => {
                 if Instant::now() > deadline {
                     panic!(
-                        "MPL made no progress for {:?} of real time — simulated deadlock",
-                        self.escape
+                        "{}",
+                        self.deadlock_report(&format!(
+                            "MPL made no progress for {:?} of real time — simulated deadlock",
+                            self.escape
+                        ))
                     );
                 }
             }

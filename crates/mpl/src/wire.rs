@@ -79,7 +79,15 @@ mod tests {
             .payload_len(),
             10
         );
-        assert_eq!(MplBody::Rts { seq: 0, tag: 0, total_len: 99 }.payload_len(), 0);
+        assert_eq!(
+            MplBody::Rts {
+                seq: 0,
+                tag: 0,
+                total_len: 99
+            }
+            .payload_len(),
+            0
+        );
         assert_eq!(MplBody::Cts { seq: 0 }.payload_len(), 0);
     }
 }

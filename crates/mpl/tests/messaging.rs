@@ -71,8 +71,8 @@ fn eager_send_completes_locally_before_recv_posted() {
             ctx.barrier();
         } else {
             ctx.barrier(); // only now post the receive
-            // wait (real time) until the dispatcher has buffered the
-            // unexpected message, so the accounting below is deterministic
+                           // wait (real time) until the dispatcher has buffered the
+                           // unexpected message, so the accounting below is deterministic
             while ctx.stats().packets.get() < 1 {
                 std::thread::sleep(std::time::Duration::from_millis(1));
             }
@@ -218,7 +218,11 @@ fn rcvncall_charges_context_creation_cost() {
     // handler-context creation. Compare virtual time of an echo with
     // rcvncall vs plain polling recv.
     let echo_time = |use_rcvncall: bool| {
-        let mode = if use_rcvncall { MplMode::Interrupt } else { MplMode::Polling };
+        let mode = if use_rcvncall {
+            MplMode::Interrupt
+        } else {
+            MplMode::Polling
+        };
         let ctxs = world(2, mode);
         let times = run_spmd_with(ctxs, move |rank, ctx| {
             if rank == 1 && use_rcvncall {

@@ -8,7 +8,13 @@ use spsim::{run_spmd_with, MachineConfig, VDur};
 
 /// A message in the soup: (tag in 0..3, size).
 fn arb_msgs() -> impl Strategy<Value = Vec<(i32, usize)>> {
-    proptest::collection::vec((0..3i32, prop_oneof![0usize..64, 900usize..1200, 4000usize..9000]), 1..15)
+    proptest::collection::vec(
+        (
+            0..3i32,
+            prop_oneof![0usize..64, 900usize..1200, 4000usize..9000],
+        ),
+        1..15,
+    )
 }
 
 proptest! {

@@ -205,7 +205,10 @@ impl MachineConfig {
     /// Payload bytes per packet for a given header size.
     #[inline]
     pub fn payload_per_packet(&self, header_bytes: usize) -> usize {
-        assert!(header_bytes < self.packet_size, "header exceeds packet size");
+        assert!(
+            header_bytes < self.packet_size,
+            "header exceeds packet size"
+        );
         self.packet_size - header_bytes
     }
 
@@ -220,8 +223,7 @@ impl MachineConfig {
     /// Asymptotic payload bandwidth achievable under a given header size,
     /// in MB/s: the wire rate scaled by the payload fraction of a packet.
     pub fn asymptotic_bw_mb_s(&self, header_bytes: usize) -> f64 {
-        self.wire_bw_mb_s * self.payload_per_packet(header_bytes) as f64
-            / self.packet_size as f64
+        self.wire_bw_mb_s * self.payload_per_packet(header_bytes) as f64 / self.packet_size as f64
     }
 }
 

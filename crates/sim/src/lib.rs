@@ -26,6 +26,11 @@
 //!   panic propagation.
 //! * [`SimRng`] — a tiny deterministic RNG (SplitMix64) used for route
 //!   selection and drop injection in the switch model.
+//! * [`trace`] — virtual-time event tracing: per-node ring buffers behind a
+//!   process-global [`trace::TraceSink`], drained by [`run_spmd`] into a
+//!   merged deterministic timeline. Disabled by default (one atomic load on
+//!   the hot path); powers the deadlock diagnostics and
+//!   [`trace::TraceSink::assert_quiescent`].
 
 #![warn(missing_docs)]
 
@@ -37,6 +42,7 @@ pub mod rng;
 pub mod runtime;
 pub mod stats;
 pub mod time;
+pub mod trace;
 
 pub use barrier::VBarrier;
 pub use clock::VClock;
@@ -46,3 +52,4 @@ pub use rng::SimRng;
 pub use runtime::{run_spmd, run_spmd_with, NodeId};
 pub use stats::{Histogram, StatCounter};
 pub use time::{VDur, VTime};
+pub use trace::{EventKind, Timeline, TraceEvent, TraceSession, TraceSink};

@@ -162,7 +162,10 @@ impl<T> TimedQueue<T> {
     pub fn try_recv(&self) -> Result<Option<Stamped<T>>, QueueClosed> {
         let mut st = self.inner.heap.lock();
         match st.heap.pop() {
-            Some(e) => Ok(Some(Stamped { at: e.at, item: e.item })),
+            Some(e) => Ok(Some(Stamped {
+                at: e.at,
+                item: e.item,
+            })),
             None if st.closed => Err(QueueClosed),
             None => Ok(None),
         }
@@ -176,7 +179,10 @@ impl<T> TimedQueue<T> {
         if let Some(top) = st.heap.peek() {
             if top.at <= now {
                 let e = st.heap.pop().expect("peeked");
-                return Ok(Some(Stamped { at: e.at, item: e.item }));
+                return Ok(Some(Stamped {
+                    at: e.at,
+                    item: e.item,
+                }));
             }
             return Ok(None);
         }
@@ -199,22 +205,25 @@ impl<T> TimedQueue<T> {
             if let Some(e) = st.heap.pop() {
                 drop(st);
                 clock.merge(e.at);
-                return Ok(Stamped { at: e.at, item: e.item });
+                return Ok(Stamped {
+                    at: e.at,
+                    item: e.item,
+                });
             }
             if st.closed {
                 return Err(QueueClosed);
             }
-            if self
-                .inner
-                .cond
-                .wait_for(&mut st, self.escape)
-                .timed_out()
-            {
+            if self.inner.cond.wait_for(&mut st, self.escape).timed_out() {
                 panic!(
                     "TimedQueue::recv_merge: no event within {:?} of real time — \
                      the simulated program is deadlocked (is anyone making progress? \
-                     polling-mode LAPI requires the target to poll)",
-                    self.escape
+                     polling-mode LAPI requires the target to poll)\n\
+                     queue: len={} closed={} waiter-clock={}ns\n{}",
+                    self.escape,
+                    st.heap.len(),
+                    st.closed,
+                    clock.now().as_ns(),
+                    crate::trace::tail_report(crate::trace::REPORT_TAIL)
                 );
             }
         }
@@ -228,7 +237,10 @@ impl<T> TimedQueue<T> {
         let mut st = self.inner.heap.lock();
         loop {
             if let Some(e) = st.heap.pop() {
-                return Ok(Some(Stamped { at: e.at, item: e.item }));
+                return Ok(Some(Stamped {
+                    at: e.at,
+                    item: e.item,
+                }));
             }
             if st.closed {
                 return Err(QueueClosed);
@@ -245,21 +257,23 @@ impl<T> TimedQueue<T> {
         let mut st = self.inner.heap.lock();
         loop {
             if let Some(e) = st.heap.pop() {
-                return Ok(Stamped { at: e.at, item: e.item });
+                return Ok(Stamped {
+                    at: e.at,
+                    item: e.item,
+                });
             }
             if st.closed {
                 return Err(QueueClosed);
             }
-            if self
-                .inner
-                .cond
-                .wait_for(&mut st, self.escape)
-                .timed_out()
-            {
+            if self.inner.cond.wait_for(&mut st, self.escape).timed_out() {
                 panic!(
                     "TimedQueue::recv: no event within {:?} of real time — \
-                     the simulated program is deadlocked",
-                    self.escape
+                     the simulated program is deadlocked\n\
+                     queue: len={} closed={}\n{}",
+                    self.escape,
+                    st.heap.len(),
+                    st.closed,
+                    crate::trace::tail_report(crate::trace::REPORT_TAIL)
                 );
             }
         }
@@ -274,7 +288,10 @@ impl<T> TimedQueue<T> {
                 break;
             }
             let e = st.heap.pop().expect("peeked");
-            out.push(Stamped { at: e.at, item: e.item });
+            out.push(Stamped {
+                at: e.at,
+                item: e.item,
+            });
         }
         out
     }
@@ -376,7 +393,10 @@ mod tests {
             q.push(VTime::from_us(i * 10), i);
         }
         let got = q.drain_ready(VTime::from_us(25));
-        assert_eq!(got.iter().map(|s| s.item).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(
+            got.iter().map(|s| s.item).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
         assert_eq!(q.len(), 2);
     }
 

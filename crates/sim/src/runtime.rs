@@ -15,6 +15,10 @@ pub type NodeId = usize;
 
 /// Run `f(rank)` on `n` threads and collect results in rank order.
 ///
+/// When event tracing is active (see [`crate::trace::session`]), the
+/// per-node ring buffers are drained into the global sink's merged timeline
+/// once every node has finished.
+///
 /// # Panics
 /// Propagates the first node panic once every node has terminated.
 pub fn run_spmd<R, F>(n: usize, f: F) -> Vec<R>
@@ -38,6 +42,7 @@ where
             outcomes.push(h.join().expect("node thread itself must not die"));
         }
     });
+    crate::trace::TraceSink::global().seal();
     collect_or_panic(outcomes)
 }
 
@@ -69,6 +74,7 @@ where
             outcomes.push(h.join().expect("node thread itself must not die"));
         }
     });
+    crate::trace::TraceSink::global().seal();
     collect_or_panic(outcomes)
 }
 

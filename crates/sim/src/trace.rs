@@ -1,0 +1,582 @@
+//! Virtual-time event tracing and deadlock diagnostics.
+//!
+//! Every protocol layer in the workspace (switch adapter, LAPI engine, MPL
+//! engine, Global Arrays backends) emits [`TraceEvent`]s on its hot paths via
+//! [`emit`]. Events land in per-node ring buffers inside one process-global
+//! [`TraceSink`]; [`crate::run_spmd`] drains the rings when a job finishes,
+//! and [`TraceSession::finish`] hands back the merged, deterministically
+//! ordered [`Timeline`].
+//!
+//! Tracing is **disabled by default** and the entire record path is gated on
+//! one relaxed atomic load ([`enabled`]), so instrumented code pays a single
+//! predictable branch when no one is looking. Enable it by holding a
+//! [`TraceSession`] (see [`session`]); the session also serializes traced
+//! runs across test threads so concurrent tests cannot interleave their
+//! timelines.
+//!
+//! Determinism: virtual time makes each node's event *multiset* at any
+//! `(vtime, node)` reproducible for a fixed seed, but OS scheduling can vary
+//! the order in which threads of one node append same-timestamp events. The
+//! merged timeline therefore sorts by every rendered field —
+//! `(vtime, node, kind, detail, msg_id, bytes)` — before the racy insertion
+//! sequence, so [`Timeline::render`] is byte-identical across runs with the
+//! same seed.
+//!
+//! The sink also keeps injected/delivered packet counts independent of ring
+//! eviction; [`TraceSink::assert_quiescent`] uses them to flag messages that
+//! entered the switch but were never consumed by a protocol engine.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, MutexGuard, RwLock};
+
+use crate::runtime::NodeId;
+use crate::time::VTime;
+
+/// Default per-node ring capacity (events kept before the oldest are evicted).
+pub const DEFAULT_RING_CAPACITY: usize = 16 * 1024;
+
+/// How many merged events a deadlock report shows.
+pub const REPORT_TAIL: usize = 32;
+
+/// What a trace event records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[non_exhaustive]
+pub enum EventKind {
+    /// Packet accepted by a sending adapter's injection link.
+    Inject,
+    /// Packet handed to the destination adapter's receive queue.
+    Eject,
+    /// Packet lost in the fabric (will be retransmitted).
+    Drop,
+    /// Retransmission latency charged after a drop.
+    Retransmit,
+    /// Packet consumed by a protocol engine (LAPI dispatcher / MPL poll).
+    Deliver,
+    /// Interrupt cost charged to a target (LAPI interrupt mode).
+    Interrupt,
+    /// API-level operation issued (put/get/amsend/rmw/send/...).
+    Issue,
+    /// Header or completion handler invoked.
+    HandlerEnter,
+    /// Header or completion handler returned.
+    HandlerExit,
+    /// Completion counter incremented (org/tgt/cmpl or MPL state).
+    Counter,
+    /// Fence/quiesce wait started.
+    FenceBegin,
+    /// Fence/quiesce wait satisfied.
+    FenceEnd,
+    /// API-level operation fully completed.
+    Complete,
+    /// MPL envelope matched a posted receive.
+    Match,
+    /// MPL eager-protocol buffer copy.
+    EagerCopy,
+    /// MPL rendezvous request-to-send.
+    Rts,
+    /// MPL rendezvous clear-to-send.
+    Cts,
+    /// Hybrid-protocol branch decision (GA backends).
+    Branch,
+    /// Free-form annotation.
+    Note,
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            EventKind::Inject => "inject",
+            EventKind::Eject => "eject",
+            EventKind::Drop => "drop",
+            EventKind::Retransmit => "retransmit",
+            EventKind::Deliver => "deliver",
+            EventKind::Interrupt => "interrupt",
+            EventKind::Issue => "issue",
+            EventKind::HandlerEnter => "hdr-enter",
+            EventKind::HandlerExit => "hdr-exit",
+            EventKind::Counter => "counter",
+            EventKind::FenceBegin => "fence-begin",
+            EventKind::FenceEnd => "fence-end",
+            EventKind::Complete => "complete",
+            EventKind::Match => "match",
+            EventKind::EagerCopy => "eager-copy",
+            EventKind::Rts => "rts",
+            EventKind::Cts => "cts",
+            EventKind::Branch => "branch",
+            EventKind::Note => "note",
+        };
+        f.pad(s)
+    }
+}
+
+/// One virtual-time-stamped event from one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual time the event occurred.
+    pub vtime: VTime,
+    /// Node (rank) the event belongs to.
+    pub node: NodeId,
+    /// What happened.
+    pub kind: EventKind,
+    /// Short static label (operation name, counter name, branch taken...).
+    pub detail: &'static str,
+    /// Message/packet identifier the event concerns (protocol-defined; 0 if
+    /// not applicable).
+    pub msg_id: u64,
+    /// Payload or wire size the event concerns, in bytes.
+    pub bytes: usize,
+    /// Per-node insertion sequence (assigned by the sink; last-resort
+    /// tie-break only, never rendered).
+    pub seq: u64,
+}
+
+impl TraceEvent {
+    /// Sort key covering every *rendered* field, so same-seed runs merge into
+    /// byte-identical timelines even when threads race on `seq`.
+    fn key(&self) -> (VTime, NodeId, EventKind, &'static str, u64, usize, u64) {
+        (
+            self.vtime,
+            self.node,
+            self.kind,
+            self.detail,
+            self.msg_id,
+            self.bytes,
+            self.seq,
+        )
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:>12}ns n{:02} {:<11} {:<14} id={:<6} bytes={}",
+            self.vtime.as_ns(),
+            self.node,
+            self.kind,
+            self.detail,
+            self.msg_id,
+            self.bytes
+        )
+    }
+}
+
+struct NodeRing {
+    events: Mutex<std::collections::VecDeque<TraceEvent>>,
+    next_seq: AtomicU64,
+    evicted: AtomicU64,
+}
+
+impl NodeRing {
+    fn new() -> Self {
+        NodeRing {
+            events: Mutex::new(std::collections::VecDeque::new()),
+            next_seq: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The process-global event sink. Use [`TraceSink::global`] (or the
+/// module-level helpers) — there is exactly one per process.
+pub struct TraceSink {
+    enabled: AtomicBool,
+    rings: RwLock<Vec<Arc<NodeRing>>>,
+    capacity: AtomicUsize,
+    injected: AtomicU64,
+    delivered: AtomicU64,
+    dropped_pkts: AtomicU64,
+    sealed: Mutex<Vec<TraceEvent>>,
+}
+
+static SINK: TraceSink = TraceSink {
+    enabled: AtomicBool::new(false),
+    rings: RwLock::new(Vec::new()),
+    capacity: AtomicUsize::new(DEFAULT_RING_CAPACITY),
+    injected: AtomicU64::new(0),
+    delivered: AtomicU64::new(0),
+    dropped_pkts: AtomicU64::new(0),
+    sealed: Mutex::new(Vec::new()),
+};
+
+static SESSION_LOCK: Mutex<()> = Mutex::new(());
+
+impl TraceSink {
+    /// The process-global sink.
+    pub fn global() -> &'static TraceSink {
+        &SINK
+    }
+
+    /// Is event recording currently enabled?
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Record one event. No-op (one atomic load) while disabled.
+    #[inline]
+    pub fn record(
+        &self,
+        node: NodeId,
+        vtime: VTime,
+        kind: EventKind,
+        detail: &'static str,
+        msg_id: u64,
+        bytes: usize,
+    ) {
+        if !self.enabled() {
+            return;
+        }
+        self.record_slow(node, vtime, kind, detail, msg_id, bytes);
+    }
+
+    #[cold]
+    fn record_slow(
+        &self,
+        node: NodeId,
+        vtime: VTime,
+        kind: EventKind,
+        detail: &'static str,
+        msg_id: u64,
+        bytes: usize,
+    ) {
+        match kind {
+            EventKind::Inject => {
+                self.injected.fetch_add(1, Ordering::Relaxed);
+            }
+            EventKind::Deliver => {
+                self.delivered.fetch_add(1, Ordering::Relaxed);
+            }
+            EventKind::Drop => {
+                self.dropped_pkts.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {}
+        }
+        let ring = self.ring(node);
+        let seq = ring.next_seq.fetch_add(1, Ordering::Relaxed);
+        let ev = TraceEvent {
+            vtime,
+            node,
+            kind,
+            detail,
+            msg_id,
+            bytes,
+            seq,
+        };
+        let cap = self.capacity.load(Ordering::Relaxed).max(1);
+        let mut q = ring.events.lock();
+        if q.len() >= cap {
+            q.pop_front();
+            ring.evicted.fetch_add(1, Ordering::Relaxed);
+        }
+        q.push_back(ev);
+    }
+
+    fn ring(&self, node: NodeId) -> Arc<NodeRing> {
+        {
+            let rings = self.rings.read();
+            if let Some(r) = rings.get(node) {
+                return Arc::clone(r);
+            }
+        }
+        let mut rings = self.rings.write();
+        while rings.len() <= node {
+            rings.push(Arc::new(NodeRing::new()));
+        }
+        Arc::clone(&rings[node])
+    }
+
+    /// Number of packets injected into the switch since the last reset.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Number of packets consumed by a protocol engine since the last reset.
+    pub fn delivered(&self) -> u64 {
+        self.delivered.load(Ordering::Relaxed)
+    }
+
+    /// Packets currently in flight: injected but not yet consumed.
+    pub fn in_flight(&self) -> u64 {
+        self.injected().saturating_sub(self.delivered())
+    }
+
+    /// Panic with a diagnostic timeline tail if any traced packet was
+    /// injected into the switch but never consumed by a protocol engine.
+    ///
+    /// Call this after a traced job completes (all expected completions
+    /// observed) to catch leaked in-flight messages — e.g. a reply a handler
+    /// forgot to wait for, or a packet stuck in a closed adapter queue.
+    pub fn assert_quiescent(&self) {
+        let injected = self.injected();
+        let delivered = self.delivered();
+        if injected != delivered {
+            panic!(
+                "TraceSink::assert_quiescent: {} packet(s) leaked in flight \
+                 (injected {injected}, delivered {delivered})\n{}",
+                injected.saturating_sub(delivered),
+                self.tail_report(REPORT_TAIL)
+            );
+        }
+    }
+
+    /// Move everything currently buffered in the per-node rings into the
+    /// sealed timeline, in deterministic merged order. Called by
+    /// [`crate::run_spmd`] when a traced job finishes.
+    pub fn seal(&self) {
+        if !self.enabled() {
+            return;
+        }
+        let mut batch = Vec::new();
+        let rings = self.rings.read();
+        for ring in rings.iter() {
+            batch.extend(ring.events.lock().drain(..));
+        }
+        drop(rings);
+        batch.sort_by_key(TraceEvent::key);
+        self.sealed.lock().extend(batch);
+    }
+
+    /// Events evicted from full rings since the last reset (0 means the
+    /// timeline is complete).
+    pub fn evicted(&self) -> u64 {
+        self.rings
+            .read()
+            .iter()
+            .map(|r| r.evicted.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// A human-readable report of the last `n` merged events plus the
+    /// in-flight counters. Used by deadlock diagnostics; works (with a hint
+    /// instead of events) when tracing is disabled.
+    pub fn tail_report(&self, n: usize) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "-- trace: injected={} delivered={} in-flight={} fabric-drops={} --",
+            self.injected(),
+            self.delivered(),
+            self.in_flight(),
+            self.dropped_pkts.load(Ordering::Relaxed),
+        );
+        if !self.enabled() {
+            out.push_str(
+                "(event tracing disabled — wrap the run in spsim::trace::session() \
+                 to capture a virtual-time timeline)",
+            );
+            return out;
+        }
+        let mut events: Vec<TraceEvent> = self.sealed.lock().clone();
+        for ring in self.rings.read().iter() {
+            events.extend(ring.events.lock().iter().copied());
+        }
+        events.sort_by_key(TraceEvent::key);
+        let start = events.len().saturating_sub(n);
+        let _ = writeln!(
+            out,
+            "last {} of {} events:",
+            events.len() - start,
+            events.len()
+        );
+        for ev in &events[start..] {
+            let _ = writeln!(out, "  {ev}");
+        }
+        out
+    }
+
+    /// Clear all buffered events and reset the counters.
+    pub fn reset(&self) {
+        let rings = self.rings.read();
+        for ring in rings.iter() {
+            ring.events.lock().clear();
+            ring.next_seq.store(0, Ordering::Relaxed);
+            ring.evicted.store(0, Ordering::Relaxed);
+        }
+        drop(rings);
+        self.sealed.lock().clear();
+        self.injected.store(0, Ordering::Relaxed);
+        self.delivered.store(0, Ordering::Relaxed);
+        self.dropped_pkts.store(0, Ordering::Relaxed);
+    }
+
+    /// Set the per-node ring capacity (events kept before eviction).
+    pub fn set_capacity(&self, cap: usize) {
+        self.capacity.store(cap.max(1), Ordering::Relaxed);
+    }
+}
+
+/// Is tracing enabled? Instrumented hot paths check this (or rely on
+/// [`emit`]'s internal check) — one relaxed atomic load when disabled.
+#[inline]
+pub fn enabled() -> bool {
+    SINK.enabled()
+}
+
+/// Record one event into the global sink (no-op while tracing is disabled).
+#[inline]
+pub fn emit(
+    node: NodeId,
+    vtime: VTime,
+    kind: EventKind,
+    detail: &'static str,
+    msg_id: u64,
+    bytes: usize,
+) {
+    SINK.record(node, vtime, kind, detail, msg_id, bytes);
+}
+
+/// Shorthand for [`TraceSink::tail_report`] on the global sink.
+pub fn tail_report(n: usize) -> String {
+    SINK.tail_report(n)
+}
+
+/// The merged, deterministically ordered event timeline of a traced run.
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    /// All captured events, ordered by `(vtime, node, kind, detail, msg_id,
+    /// bytes)`.
+    pub events: Vec<TraceEvent>,
+    /// Events lost to ring eviction (0 means `events` is complete).
+    pub evicted: u64,
+}
+
+impl Timeline {
+    /// Number of events of `kind`.
+    pub fn count(&self, kind: EventKind) -> usize {
+        self.events.iter().filter(|e| e.kind == kind).count()
+    }
+
+    /// Render the timeline as text — byte-identical across same-seed runs.
+    pub fn render(&self) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        for ev in &self.events {
+            let _ = writeln!(out, "{ev}");
+        }
+        out
+    }
+}
+
+/// RAII handle for a traced run: holding it enables recording, dropping it
+/// disables recording and clears the sink. Only one session exists at a time
+/// (others block), so concurrent tests cannot interleave timelines.
+pub struct TraceSession {
+    _lock: MutexGuard<'static, ()>,
+}
+
+/// Start a traced run: acquires the global session lock, resets the sink and
+/// enables recording.
+pub fn session() -> TraceSession {
+    let lock = SESSION_LOCK.lock();
+    SINK.reset();
+    SINK.enabled.store(true, Ordering::SeqCst);
+    TraceSession { _lock: lock }
+}
+
+impl TraceSession {
+    /// Stop tracing and return the merged timeline of everything recorded
+    /// during the session.
+    pub fn finish(self) -> Timeline {
+        SINK.seal();
+        let events = std::mem::take(&mut *SINK.sealed.lock());
+        let evicted = SINK.evicted();
+        Timeline { events, evicted }
+        // `self` drops here: disables recording and clears the sink.
+    }
+
+    /// The global sink, for counter checks mid-session.
+    pub fn sink(&self) -> &'static TraceSink {
+        &SINK
+    }
+}
+
+impl Drop for TraceSession {
+    fn drop(&mut self) {
+        SINK.enabled.store(false, Ordering::SeqCst);
+        SINK.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_by_default_and_record_is_noop() {
+        // No session held: emitting must leave the sink untouched.
+        emit(0, VTime::from_us(1), EventKind::Note, "ignored", 0, 0);
+        assert!(!enabled());
+        let s = session();
+        assert_eq!(s.sink().injected(), 0);
+        let t = s.finish();
+        assert!(t.events.is_empty());
+    }
+
+    #[test]
+    fn session_captures_merged_ordered_timeline() {
+        let s = session();
+        // Deliberately record out of order and across nodes.
+        emit(1, VTime::from_us(20), EventKind::Eject, "pkt", 7, 64);
+        emit(0, VTime::from_us(10), EventKind::Inject, "pkt", 7, 64);
+        emit(0, VTime::from_us(20), EventKind::Note, "later", 0, 0);
+        let t = s.finish();
+        let kinds: Vec<EventKind> = t.events.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![EventKind::Inject, EventKind::Note, EventKind::Eject]
+        );
+        assert_eq!(t.count(EventKind::Inject), 1);
+        assert_eq!(t.evicted, 0);
+        let text = t.render();
+        assert!(text.contains("inject"), "render lists kinds: {text}");
+        assert!(!enabled(), "finish() disables tracing");
+    }
+
+    #[test]
+    fn quiescent_when_balanced_and_panics_when_leaky() {
+        let s = session();
+        emit(0, VTime::from_us(1), EventKind::Inject, "pkt", 1, 64);
+        emit(1, VTime::from_us(2), EventKind::Deliver, "pkt", 1, 64);
+        s.sink().assert_quiescent();
+        emit(0, VTime::from_us(3), EventKind::Inject, "pkt", 2, 64);
+        let sink = s.sink();
+        let err =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sink.assert_quiescent()))
+                .expect_err("must flag the in-flight packet");
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("panic carries a String");
+        assert!(msg.contains("1 packet(s) leaked in flight"), "got: {msg}");
+        assert!(msg.contains("last"), "report shows the event tail: {msg}");
+        drop(s);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_beyond_capacity() {
+        let s = session();
+        s.sink().set_capacity(4);
+        for i in 0..10u64 {
+            emit(0, VTime::from_us(i), EventKind::Note, "n", i, 0);
+        }
+        let t = s.finish();
+        SINK.set_capacity(DEFAULT_RING_CAPACITY);
+        assert_eq!(t.events.len(), 4);
+        assert_eq!(t.evicted, 6);
+        assert_eq!(t.events[0].msg_id, 6, "oldest events were evicted");
+    }
+
+    #[test]
+    fn tail_report_hints_when_disabled() {
+        // Hold the session lock directly (no session => recording disabled)
+        // so concurrently running session tests cannot flip `enabled` on us.
+        let _g = SESSION_LOCK.lock();
+        let r = tail_report(8);
+        assert!(r.contains("tracing disabled"), "got: {r}");
+        assert!(r.contains("in-flight"), "counters always shown: {r}");
+    }
+}

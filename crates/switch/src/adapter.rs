@@ -6,11 +6,18 @@
 //! layers above (LAPI, MPL) charge their own CPU costs to the clock and then
 //! hand packets to [`Adapter::send_at`]; the adapter models only wire-level
 //! behaviour: serialization, routing, loss and retransmission.
+//!
+//! When [`spsim::trace`] is enabled, `send_at` emits wire-level events:
+//! `inject` (on the sender, `msg_id` = destination), `drop`/`retransmit`
+//! per forced retry, and `eject` (on the destination's timeline at delivery
+//! time, `msg_id` = source). Protocol engines emit the matching `deliver`
+//! when they consume the packet, which is what
+//! [`spsim::trace::TraceSink::assert_quiescent`] balances against `inject`.
 
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use spsim::{MachineConfig, NodeId, SimRng, StatCounter, TimedQueue, VClock, VTime};
+use spsim::{trace, MachineConfig, NodeId, SimRng, StatCounter, TimedQueue, VClock, VTime};
 
 use crate::link::Link;
 use crate::packet::WirePacket;
@@ -121,6 +128,14 @@ impl<M: Send + 'static> Adapter<M> {
         );
         let ser = self.cfg.wire_time(wire_bytes);
         let injected_at = self.injection.reserve(at, ser);
+        trace::emit(
+            self.id,
+            injected_at,
+            trace::EventKind::Inject,
+            "pkt",
+            dst as u64,
+            wire_bytes,
+        );
 
         let (route, extra_delay, retries) = {
             let mut rng = self.rng.lock();
@@ -131,8 +146,24 @@ impl<M: Send + 'static> Adapter<M> {
             let mut extra = spsim::VDur::ZERO;
             let mut retries = 0u64;
             while rng.chance(self.cfg.drop_prob) {
+                trace::emit(
+                    self.id,
+                    injected_at + self.cfg.fabric_latency + extra,
+                    trace::EventKind::Drop,
+                    "pkt",
+                    dst as u64,
+                    wire_bytes,
+                );
                 extra += self.cfg.retransmit_timeout + ser;
                 retries += 1;
+                trace::emit(
+                    self.id,
+                    injected_at + self.cfg.fabric_latency + extra,
+                    trace::EventKind::Retransmit,
+                    "pkt",
+                    dst as u64,
+                    wire_bytes,
+                );
                 if retries > 1_000 {
                     panic!("retransmit storm: drop_prob too close to 1");
                 }
@@ -158,6 +189,14 @@ impl<M: Send + 'static> Adapter<M> {
             port.ejection.reserve(at_ejection, ser) + self.cfg.route_skew * route as u64
         };
         port.stats.packets_received.incr();
+        trace::emit(
+            dst,
+            delivered_at,
+            trace::EventKind::Eject,
+            "pkt",
+            self.id as u64,
+            wire_bytes,
+        );
         port.rx.push(
             delivered_at,
             WirePacket {
@@ -230,7 +269,9 @@ mod tests {
         let n = 500usize;
         let mut last = VTime::ZERO;
         for i in 0..n {
-            last = ads[0].send_at(VTime::ZERO, 1, cfg.packet_size, i as u64).delivered_at;
+            last = ads[0]
+                .send_at(VTime::ZERO, 1, cfg.packet_size, i as u64)
+                .delivered_at;
         }
         let rate = (last - VTime::ZERO).rate_mb_s((n * cfg.packet_size) as u64);
         assert!((rate - cfg.wire_bw_mb_s).abs() < 2.0, "rate {rate}");
@@ -295,7 +336,86 @@ mod tests {
         assert!(retr > 0, "expected retransmissions at 30% drop");
         // expected ~ n * p/(1-p) retries
         let expect = n as f64 * 0.3 / 0.7;
-        assert!((retr as f64) > expect * 0.5 && (retr as f64) < expect * 2.0, "retr {retr}");
+        assert!(
+            (retr as f64) > expect * 0.5 && (retr as f64) < expect * 2.0,
+            "retr {retr}"
+        );
+    }
+
+    #[test]
+    fn timestamp_algebra_exact_under_drops() {
+        // DESIGN §4 audit: with widely spaced sends the ejection link is
+        // always idle, so each packet must decompose exactly as
+        //   delivered = injected + fabric + k*(retransmit_timeout + ser)
+        //             + ser + route_skew * route
+        // with k >= 0 an integer and sum(k) equal to the retransmit stat.
+        let cfg = Arc::new(MachineConfig::default().with_drop_prob(0.25));
+        let ads = Network::new(2, cfg.clone(), 1234).into_adapters();
+        let ser = cfg.wire_time(512);
+        let penalty = (cfg.retransmit_timeout + ser).as_ns();
+        let mut total_retries = 0u64;
+        for i in 0..200u64 {
+            // 10ms spacing dwarfs any retransmit penalty: no queueing.
+            let at = VTime::from_us(i * 10_000);
+            let r = ads[0].send_at(at, 1, 512, i);
+            assert_eq!(r.injected_at, at + ser, "injection link must be idle");
+            let pkt = ads[1].rx().recv_merge(ads[1].clock()).unwrap();
+            assert_eq!(pkt.at, r.delivered_at);
+            let base =
+                r.injected_at + cfg.fabric_latency + ser + cfg.route_skew * pkt.item.route as u64;
+            let slack = (r.delivered_at - base).as_ns();
+            assert_eq!(
+                slack % penalty,
+                0,
+                "pkt {i}: residual {slack}ns is not a whole number of retransmit penalties"
+            );
+            total_retries += slack / penalty;
+        }
+        assert_eq!(total_retries, ads[0].stats().retransmits.get());
+        assert!(total_retries > 0, "25% drop over 200 packets must retry");
+    }
+
+    #[test]
+    fn routes_still_reorder_under_drops() {
+        // The reordering property must survive loss: retransmit penalties
+        // only widen arrival spread, they never serialize routes.
+        let cfg = Arc::new(MachineConfig::default().with_drop_prob(0.2));
+        let ads = Network::new(2, cfg, 77).into_adapters();
+        let n = 300u64;
+        let mut arrivals = Vec::new();
+        for i in 0..n {
+            let r = ads[0].send_at(VTime::from_us(i / 10), 1, 64, i);
+            arrivals.push(r.delivered_at);
+        }
+        let inversions = arrivals.windows(2).filter(|w| w[1] < w[0]).count();
+        assert!(inversions > 0, "expected out-of-order arrivals under loss");
+        // and every packet still arrives exactly once
+        for _ in 0..n {
+            ads[1].rx().recv_merge(ads[1].clock()).unwrap();
+        }
+        assert!(ads[1].rx().is_empty());
+    }
+
+    #[test]
+    fn send_emits_wire_trace_events() {
+        let session = spsim::trace::session();
+        let cfg = Arc::new(MachineConfig::default().with_drop_prob(0.3));
+        let ads = Network::new(2, cfg, 5).into_adapters();
+        for i in 0..50u64 {
+            ads[0].send_at(VTime::ZERO, 1, 256, i);
+        }
+        let sink = session.sink();
+        assert_eq!(sink.injected(), 50);
+        assert_eq!(sink.in_flight(), 50, "nothing consumed the packets yet");
+        let t = session.finish();
+        assert_eq!(t.count(spsim::EventKind::Inject), 50);
+        assert_eq!(t.count(spsim::EventKind::Eject), 50);
+        assert_eq!(
+            t.count(spsim::EventKind::Drop),
+            t.count(spsim::EventKind::Retransmit),
+            "every drop charges exactly one retransmit"
+        );
+        assert!(t.count(spsim::EventKind::Drop) > 0, "30% drop must show up");
     }
 
     #[test]

@@ -73,6 +73,28 @@ mod tests {
     }
 
     #[test]
+    fn reserve_is_max_of_free_and_at_plus_ser() {
+        // DESIGN §4: reserve(at, ser) = max(free, at) + ser, and free_at
+        // advances to the returned value. Exercise both arms of the max.
+        let l = Link::new();
+        assert_eq!(
+            l.reserve(VTime::from_us(7), VDur::from_us(3)),
+            VTime::from_us(10)
+        );
+        // link busy until 10: an earlier request queues behind it
+        assert_eq!(
+            l.reserve(VTime::from_us(2), VDur::from_us(3)),
+            VTime::from_us(13)
+        );
+        assert_eq!(l.free_at(), VTime::from_us(13));
+        // a request after free_at starts immediately
+        assert_eq!(
+            l.reserve(VTime::from_us(20), VDur::from_us(1)),
+            VTime::from_us(21)
+        );
+    }
+
+    #[test]
     fn sustained_rate_equals_wire_rate() {
         // 1000 packets of 1024B at 102 MB/s should take ~10.04ms total.
         let cfg = spsim::MachineConfig::default();

@@ -26,8 +26,15 @@ fn main() {
         // --- LAPI_Put: everyone stores its rank into the next task's
         // buffer, then fences so the data is known to have landed.
         let next = (rank + 1) % n;
-        ctx.put(next, addrs[next], &(rank as u64).to_le_bytes(), None, None, None)
-            .expect("put");
+        ctx.put(
+            next,
+            addrs[next],
+            &(rank as u64).to_le_bytes(),
+            None,
+            None,
+            None,
+        )
+        .expect("put");
         ctx.gfence().expect("gfence");
         let got = u64::from_le_bytes(ctx.mem_read(buf, 8).try_into().expect("8 bytes"));
         assert_eq!(got as usize, (rank + n - 1) % n);
@@ -37,7 +44,10 @@ fn main() {
 
         // --- LAPI_Get: pull the value back out of the neighbour's memory.
         let fetched = ctx.get_wait(next, addrs[next], 8).expect("get");
-        assert_eq!(u64::from_le_bytes(fetched.try_into().expect("8")), rank as u64);
+        assert_eq!(
+            u64::from_le_bytes(fetched.try_into().expect("8")),
+            rank as u64
+        );
         if rank == 0 {
             println!("get: pulled our own rank back from the neighbour");
         }

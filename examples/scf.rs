@@ -74,8 +74,7 @@ fn scf(gas: Vec<Ga>) -> (Vec<f64>, f64) {
             if let Some(b) = density.local_patch() {
                 let f = fock.get(b);
                 let d = density.get(b);
-                let mixed: Vec<f64> =
-                    d.iter().zip(&f).map(|(d, f)| 0.7 * d + 0.3 * f).collect();
+                let mixed: Vec<f64> = d.iter().zip(&f).map(|(d, f)| 0.7 * d + 0.3 * f).collect();
                 density.put(b, &mixed);
             }
             ga.sync();
@@ -113,7 +112,9 @@ fn scf(gas: Vec<Ga>) -> (Vec<f64>, f64) {
 }
 
 fn main() {
-    println!("SCF mock: {N}x{N} matrices, {NBLOCK}x{NBLOCK} blocks, {ITERS} iterations, {NODES} nodes");
+    println!(
+        "SCF mock: {N}x{N} matrices, {NBLOCK}x{NBLOCK} blocks, {ITERS} iterations, {NODES} nodes"
+    );
 
     let lapi_gas: Vec<Ga> = LapiWorld::init(NODES, MachineConfig::sp_p2sc_120(), Mode::Interrupt)
         .into_iter()

@@ -46,7 +46,7 @@ fn main() {
                 (ti * TILE + TILE - 1, tj * TILE + TILE - 1),
             );
             let tile = a.get(src); // column-major TILE x TILE
-            // transpose locally: element (r,c) -> (c,r)
+                                   // transpose locally: element (r,c) -> (c,r)
             let mut tr = vec![0.0; TILE * TILE];
             for c in 0..TILE {
                 for r in 0..TILE {

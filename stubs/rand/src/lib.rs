@@ -1,0 +1,130 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Provides the minimal `Rng` / `SeedableRng` / `rngs::StdRng` surface used
+//! by the examples and tests, backed by SplitMix64. Deterministic for a given
+//! seed; not cryptographic.
+
+/// Types that can be drawn uniformly from an RNG.
+pub trait Uniform: Sized {
+    /// Draw a value from a raw 64-bit sample.
+    fn from_u64(v: u64) -> Self;
+}
+
+impl Uniform for u64 {
+    fn from_u64(v: u64) -> Self {
+        v
+    }
+}
+impl Uniform for u32 {
+    fn from_u64(v: u64) -> Self {
+        (v >> 32) as u32
+    }
+}
+impl Uniform for usize {
+    fn from_u64(v: u64) -> Self {
+        v as usize
+    }
+}
+impl Uniform for bool {
+    fn from_u64(v: u64) -> Self {
+        v >> 63 == 1
+    }
+}
+impl Uniform for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn from_u64(v: u64) -> Self {
+        (v >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+impl Uniform for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn from_u64(v: u64) -> Self {
+        (v >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Minimal subset of `rand::Rng`.
+pub trait Rng {
+    /// Next raw 64-bit sample.
+    fn next_u64(&mut self) -> u64;
+
+    /// Draw a uniform value (`[0, 1)` for floats, full range for integers).
+    fn gen<T: Uniform>(&mut self) -> T {
+        T::from_u64(self.next_u64())
+    }
+
+    /// Draw a `u64` uniformly from `[lo, hi)` (unbiased enough for tests).
+    fn gen_range(&mut self, range: std::ops::Range<u64>) -> u64 {
+        let span = range.end - range.start;
+        assert!(span > 0, "gen_range over empty range");
+        range.start + self.next_u64() % span
+    }
+}
+
+/// Minimal subset of `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Build an RNG from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// RNG implementations.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic SplitMix64 generator standing in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng {
+                state: seed ^ 0x9e37_79b9_7f4a_7c15,
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let v = r.gen_range(10..20);
+            assert!((10..20).contains(&v));
+        }
+    }
+}

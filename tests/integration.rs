@@ -22,8 +22,15 @@ fn polling_lapi_runs_are_virtually_deterministic() {
             if rank == 0 {
                 let cmpl = ctx.new_counter();
                 for i in 0..10u8 {
-                    ctx.put(1, addrs[1], &vec![i; 4096], Some(remotes[1]), None, Some(&cmpl))
-                        .expect("put");
+                    ctx.put(
+                        1,
+                        addrs[1],
+                        &vec![i; 4096],
+                        Some(remotes[1]),
+                        None,
+                        Some(&cmpl),
+                    )
+                    .expect("put");
                     ctx.waitcntr(&cmpl, 1);
                 }
             } else {
@@ -145,7 +152,9 @@ fn workload(gas: Vec<Ga>) -> Vec<f64> {
         // disjoint row bands
         let rows_per = 12 / ga.tasks();
         let band = Patch::new((rank * rows_per, 0), (rank * rows_per + rows_per - 1, 11));
-        let data: Vec<f64> = (0..band.elems()).map(|k| (rank * 1000 + k) as f64).collect();
+        let data: Vec<f64> = (0..band.elems())
+            .map(|k| (rank * 1000 + k) as f64)
+            .collect();
         a.put(band, &data);
         ga.sync();
         a.acc(a.full_patch(), 1.0, &vec![0.5; 144]);
@@ -167,8 +176,7 @@ fn the_whole_stack_under_one_roof() {
     // The re-export facade: everything reachable through `lapi_sp`.
     let cfg = lapi_sp::sim::MachineConfig::sp_p2sc_120();
     assert_eq!(cfg.lapi_header_bytes, 48);
-    let net: lapi_sp::switch::Network<u8> =
-        lapi_sp::switch::Network::new(2, Arc::new(cfg), 0);
+    let net: lapi_sp::switch::Network<u8> = lapi_sp::switch::Network::new(2, Arc::new(cfg), 0);
     assert_eq!(net.nodes(), 2);
 }
 
@@ -190,7 +198,7 @@ fn mixed_protocol_sizes_converge_on_correct_state() {
             // tiny put (AM inline path)
             a.put(Patch::new(other.lo, other.lo), &[1.0]);
             ga.fence(1); // the following ops overlap: order them
-            // medium 2-D put (AM stream path)
+                         // medium 2-D put (AM stream path)
             let med = Patch::new(other.lo, (other.lo.0 + 19, other.lo.1 + 19));
             a.put(med, &vec![2.0; 400]);
             ga.fence(1);

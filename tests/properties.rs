@@ -66,9 +66,7 @@ enum Op {
 
 fn arb_patch(rows: usize, cols: usize) -> impl Strategy<Value = Patch> {
     (0..rows, 0..cols)
-        .prop_flat_map(move |(i0, j0)| {
-            (Just(i0), Just(j0), i0..rows, j0..cols)
-        })
+        .prop_flat_map(move |(i0, j0)| (Just(i0), Just(j0), i0..rows, j0..cols))
         .prop_map(|(i0, j0, i1, j1)| Patch::new((i0, j0), (i1, j1)))
 }
 
