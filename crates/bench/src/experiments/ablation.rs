@@ -18,7 +18,7 @@ use lapi::Mode;
 use spsim::run_spmd_with;
 
 use crate::experiments::ga_bw::{bandwidth_series, ga_size_sweep, GaOp, Shape};
-use crate::report::{Measurement, Report, Series};
+use crate::report::{Measurement, Reliability, Report, Series};
 use crate::worlds;
 
 /// GA world on LAPI with the §6 vector extension enabled.
@@ -139,6 +139,74 @@ fn header_tax_ablation(quick: bool, r: &mut Report) {
     ));
 }
 
+/// How the adapter's ACK/retransmit protocol degrades LAPI put bandwidth as
+/// the fabric gets lossier: the price of reliability the paper's adapters
+/// paid in microcode.
+fn drop_prob_sweep(quick: bool, r: &mut Report) {
+    let mut series = Series {
+        label: "LAPI 256KB put bandwidth vs fabric drop probability".into(),
+        points: Vec::new(),
+    };
+    let mut rel = Reliability::default();
+    let reps = if quick { 2 } else { 4 };
+    let bytes = 256 * 1024;
+    let mut lossless_bw = 0.0;
+    for &p in &[0.0, 0.05, 0.1, 0.2, 0.4] {
+        let cfg = worlds::machine().with_no_faults().with_drop_prob(p);
+        let ctxs = lapi::LapiWorld::init_seeded(2, cfg, Mode::Polling, worlds::SEED);
+        let out = run_spmd_with(ctxs, move |rank, ctx| {
+            let buf = ctx.alloc(bytes);
+            let tgt = ctx.new_counter();
+            let addrs = ctx.address_init(buf);
+            let remotes = ctx.counter_init(&tgt);
+            let t0 = ctx.barrier();
+            let mut rate = 0.0;
+            if rank == 0 {
+                let cmpl = ctx.new_counter();
+                let data = vec![1u8; bytes];
+                for _ in 0..reps {
+                    ctx.put(1, addrs[1], &data, Some(remotes[1]), None, Some(&cmpl))
+                        .expect("put");
+                    ctx.waitcntr(&cmpl, 1);
+                }
+                rate = (ctx.now() - t0).rate_mb_s((bytes * reps) as u64);
+            } else {
+                ctx.waitcntr(&tgt, reps as i64);
+            }
+            ctx.gfence().expect("gfence");
+            let s = ctx.wire_stats();
+            (
+                rate,
+                s.retransmits.get(),
+                s.acks_sent.get(),
+                s.dups_suppressed.get(),
+                s.timeouts.get(),
+            )
+        });
+        for (_, retx, acks, dups, tmo) in &out {
+            rel.retransmits += retx;
+            rel.acks_sent += acks;
+            rel.dups_suppressed += dups;
+            rel.timeouts += tmo;
+        }
+        if p == 0.0 {
+            lossless_bw = out[0].0;
+        }
+        series.points.push((p * 100.0, out[0].0));
+    }
+    let worst = series.points.last().expect("sweep nonempty").1;
+    r.rows.push(Measurement::plain(
+        "put bandwidth retained at 40% drop rate",
+        100.0 * worst / lossless_bw,
+        "%",
+    ));
+    // Drops equal retransmission rounds by construction; the adapters
+    // don't see fabric losses directly.
+    rel.fabric_drops = rel.retransmits;
+    r.reliability = Some(rel);
+    r.series.push(series);
+}
+
 fn interrupt_vs_polling(quick: bool, r: &mut Report) {
     let one_way = |mode: Mode| {
         let reps = if quick { 15 } else { 50 };
@@ -231,9 +299,11 @@ pub fn run(quick: bool) -> Report {
     let mut r = Report::new("ablation", "Design-choice ablations (§2.1, §4, §6)");
     vector_rmc_ablation(quick, &mut r);
     header_tax_ablation(quick, &mut r);
+    drop_prob_sweep(quick, &mut r);
     interrupt_vs_polling(quick, &mut r);
     eager_limit_sweep(quick, &mut r);
     r.note("vector RMC = the paper's §6 noncontiguous-interface future work, implemented");
     r.note("header tax = the paper's §4 'reducing the packet header size' future work");
+    r.note("drop sweep = ACK/retransmit protocol cost as the fabric loses packets");
     r
 }

@@ -43,6 +43,56 @@ impl Measurement {
     }
 }
 
+/// Wire-reliability counters gathered from the adapters of an experiment:
+/// how hard the ACK/retransmit protocol had to work to deliver the result.
+#[derive(Debug, Clone, Default)]
+pub struct Reliability {
+    /// Packets the fabric genuinely dropped (data or ACKs).
+    pub fabric_drops: u64,
+    /// Retransmission rounds spent recovering them.
+    pub retransmits: u64,
+    /// Cumulative ACK packets charged to the wire.
+    pub acks_sent: u64,
+    /// Fabric-duplicated or spuriously retransmitted packets the receivers
+    /// suppressed.
+    pub dups_suppressed: u64,
+    /// Flows abandoned after the bounded retry budget (delivery timeouts).
+    pub timeouts: u64,
+}
+
+impl Reliability {
+    /// Accumulate one adapter's counters.
+    pub fn absorb(&mut self, s: &spswitch::AdapterStats) {
+        self.retransmits += s.retransmits.get();
+        self.acks_sent += s.acks_sent.get();
+        self.dups_suppressed += s.dups_suppressed.get();
+        self.timeouts += s.timeouts.get();
+    }
+
+    /// True when the protocol never had to act (lossless run).
+    pub fn is_quiet(&self) -> bool {
+        self.fabric_drops == 0
+            && self.retransmits == 0
+            && self.acks_sent == 0
+            && self.dups_suppressed == 0
+            && self.timeouts == 0
+    }
+}
+
+impl fmt::Display for Reliability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "drops={} retransmits={} acks={} dups-suppressed={} timeouts={}",
+            self.fabric_drops,
+            self.retransmits,
+            self.acks_sent,
+            self.dups_suppressed,
+            self.timeouts
+        )
+    }
+}
+
 /// A named curve: (x, y) points (x usually bytes, y MB/s).
 #[derive(Debug, Clone)]
 pub struct Series {
@@ -91,6 +141,9 @@ pub struct Report {
     pub series: Vec<Series>,
     /// Free-form observations (crossovers, half-peak points, caveats).
     pub notes: Vec<String>,
+    /// Wire-reliability work behind the numbers, when an experiment
+    /// collects it (always present for the fault-injection sweeps).
+    pub reliability: Option<Reliability>,
 }
 
 impl Report {
@@ -102,6 +155,7 @@ impl Report {
             rows: Vec::new(),
             series: Vec::new(),
             notes: Vec::new(),
+            reliability: None,
         }
     }
 
@@ -150,6 +204,9 @@ impl fmt::Display for Report {
             for (x, y) in &s.points {
                 writeln!(f, "{:>12} {:>12.2}", *x as u64, y)?;
             }
+        }
+        if let Some(r) = &self.reliability {
+            writeln!(f, "reliability: {r}")?;
         }
         for n in &self.notes {
             writeln!(f, "note: {n}")?;

@@ -197,6 +197,19 @@ impl LapiContext {
         self.engine.register_handler(id, Box::new(f));
     }
 
+    /// Register this task's communication error handler — the `err_hndlr`
+    /// argument of the real `LAPI_Init`. It is invoked (from whichever
+    /// thread detects the failure) for delivery timeouts that have no user
+    /// call to return through, e.g. a dispatcher-side get reply hitting a
+    /// dead link. Without a handler such failures are fatal, as in the
+    /// real library. Replaces any previously registered handler.
+    pub fn register_err_hndlr<F>(&self, f: F)
+    where
+        F: Fn(&LapiError) + Send + Sync + 'static,
+    {
+        self.engine.register_err_hndlr(Arc::new(f));
+    }
+
     /// `LAPI_Put`: copy `data` into `target`'s space at `tgt_addr`.
     /// Non-blocking; the three counters signal the events of Figure 1.
     pub fn put(

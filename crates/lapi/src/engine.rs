@@ -21,7 +21,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex, RwLock};
 use spsim::{trace, MachineConfig, NodeId, Stamped, TimedQueue, VClock, VTime};
-use spswitch::{Adapter, WirePacket};
+use spswitch::{Adapter, DeliveryTimeout, SendReceipt, WirePacket};
 
 use crate::addr::{Addr, AddressSpace};
 use crate::counter::{Counter, CounterId, RemoteCounter};
@@ -47,6 +47,12 @@ const POLL_TICK: Duration = Duration::from_millis(2);
 
 /// How often the parked dispatcher re-checks the mode/termination flags.
 const DISPATCH_TICK: Duration = Duration::from_millis(10);
+
+/// User error handler registered at init (the `err_hndlr` argument of the
+/// real `LAPI_Init`): invoked for asynchronous communication failures that
+/// have no user call to return through (e.g. a dispatcher-side reply hitting
+/// a dead link).
+pub type ErrHandler = Arc<dyn Fn(&LapiError) + Send + Sync>;
 
 /// Reassembly state of one in-flight inbound message.
 enum Reasm {
@@ -150,6 +156,7 @@ pub struct Engine {
     pub(crate) stats: LapiStats,
     pub(crate) escape: Duration,
     terminated: AtomicBool,
+    err_hndlr: RwLock<Option<ErrHandler>>,
 }
 
 impl Engine {
@@ -172,6 +179,7 @@ impl Engine {
             stats: LapiStats::default(),
             escape,
             terminated: AtomicBool::new(false),
+            err_hndlr: RwLock::new(None),
         })
     }
 
@@ -241,12 +249,13 @@ impl Engine {
             "node {} ({:?} mode): {what}\n\
              outstanding ops per target: {outstanding:?}\n\
              incomplete reassemblies (src, msg): {reasm:?}\n\
-             rx-queue depth: {} completion-queue depth: {} clock: {}ns\n{}",
+             rx-queue depth: {} completion-queue depth: {} clock: {}ns\n{}{}",
             self.id(),
             self.mode(),
             self.adapter.rx().len(),
             self.cmpl_q.len(),
             self.clock().now().as_ns(),
+            self.adapter.flows_report(),
             trace::tail_report(trace::REPORT_TAIL)
         )
     }
@@ -254,6 +263,86 @@ impl Engine {
     pub(crate) fn set_mode(&self, mode: Mode) {
         *self.mode.lock() = mode;
         self.mode_cv.notify_all();
+    }
+
+    // ----------------------------------------------------- delivery errors
+
+    /// Register the job's communication error handler (`LAPI_Init`'s
+    /// `err_hndlr`). Replaces any previous handler.
+    pub(crate) fn register_err_hndlr(&self, f: ErrHandler) {
+        *self.err_hndlr.write() = Some(f);
+    }
+
+    /// Map an adapter-level delivery timeout to the program-visible error.
+    fn delivery_error(&self, e: DeliveryTimeout) -> LapiError {
+        self.stats.delivery_timeouts.incr();
+        LapiError::DeliveryTimeout {
+            target: e.dst,
+            seq: e.seq,
+            acked: e.cum_acked,
+            retries: e.retries,
+            detail: e.to_string(),
+        }
+    }
+
+    /// Synchronous send on an issue path: a delivery timeout unwinds the
+    /// outstanding-op tracking (the op will never complete) and surfaces as
+    /// a `LapiError` through the user's call.
+    fn wire_send(
+        &self,
+        target: NodeId,
+        wire_bytes: usize,
+        body: LapiBody,
+    ) -> LapiResult<SendReceipt> {
+        match self
+            .adapter
+            .try_send_at(self.clock().now(), target, wire_bytes, body)
+        {
+            Ok(r) => Ok(r),
+            Err(e) => {
+                let err = self.delivery_error(e);
+                self.outstanding_decr(target);
+                if let Some(h) = self.err_hndlr.read().clone() {
+                    h(&err);
+                }
+                Err(err)
+            }
+        }
+    }
+
+    /// Send from dispatcher/completion context (replies, acknowledgements):
+    /// there is no user call to return an error through, so a delivery
+    /// timeout is routed to the registered `err_hndlr`; without one it is a
+    /// fatal condition, as in the real library. Returns `None` when the
+    /// packet could not be delivered.
+    fn wire_send_async(
+        &self,
+        target: NodeId,
+        wire_bytes: usize,
+        body: LapiBody,
+    ) -> Option<SendReceipt> {
+        match self
+            .adapter
+            .try_send_at(self.clock().now(), target, wire_bytes, body)
+        {
+            Ok(r) => Some(r),
+            Err(e) => {
+                let err = self.delivery_error(e);
+                match self.err_hndlr.read().clone() {
+                    Some(h) => {
+                        h(&err);
+                        None
+                    }
+                    None => panic!(
+                        "{}",
+                        self.deadlock_report(&format!(
+                            "unrecoverable communication failure with no err_hndlr \
+                             registered: {err}"
+                        ))
+                    ),
+                }
+            }
+        }
     }
 
     // ------------------------------------------------------------- memory
@@ -378,7 +467,7 @@ impl Engine {
                 kind: kind.clone(),
             };
             let wire = cfg.lapi_header_bytes + chunk.len();
-            last = Some(self.adapter.send_at(self.clock().now(), target, wire, body));
+            last = Some(self.wire_send(target, wire, body)?);
             offset += chunk.len();
         }
         if let (Some(c), Some(r)) = (org_cntr, last) {
@@ -423,8 +512,7 @@ impl Engine {
             org_cntr: org_cntr.map(Counter::id),
             tgt_cntr: tgt_cntr.map(|r| r.0),
         };
-        self.adapter
-            .send_at(self.clock().now(), target, cfg.lapi_header_bytes, body);
+        self.wire_send(target, cfg.lapi_header_bytes, body)?;
         Ok(())
     }
 
@@ -462,8 +550,7 @@ impl Engine {
             .saturating_sub(cfg.lapi_header_bytes + uhdr.len());
         let first_chunk = &udata[..udata.len().min(head_cap)];
         let head_wire = cfg.lapi_header_bytes + uhdr.len() + first_chunk.len();
-        let mut last = self.adapter.send_at(
-            self.clock().now(),
+        let mut last = self.wire_send(
             target,
             head_wire,
             LapiBody::AmHeader {
@@ -475,7 +562,7 @@ impl Engine {
                 tgt_cntr: tgt_cntr.map(|r| r.0),
                 cmpl_cntr: cmpl_cntr.map(Counter::id),
             },
-        );
+        )?;
 
         // Remaining data as plain AM fragments.
         let cap = cfg.payload_per_packet(cfg.lapi_header_bytes);
@@ -483,8 +570,7 @@ impl Engine {
         while offset < udata.len() {
             let end = (offset + cap).min(udata.len());
             self.clock().advance(cfg.lapi_pkt_issue);
-            last = self.adapter.send_at(
-                self.clock().now(),
+            last = self.wire_send(
                 target,
                 cfg.lapi_header_bytes + (end - offset),
                 LapiBody::Data {
@@ -494,7 +580,7 @@ impl Engine {
                     data: udata[offset..end].to_vec(),
                     kind: DataKind::AmData,
                 },
-            );
+            )?;
             offset = end;
         }
         if let Some(c) = org_cntr {
@@ -548,8 +634,7 @@ impl Engine {
             .packet_size
             .saturating_sub(cfg.lapi_header_bytes + desc_bytes);
         let first_chunk = &data[..data.len().min(head_cap)];
-        let mut last = self.adapter.send_at(
-            self.clock().now(),
+        let mut last = self.wire_send(
             target,
             cfg.lapi_header_bytes + desc_bytes + first_chunk.len(),
             LapiBody::PutVHeader {
@@ -560,14 +645,13 @@ impl Engine {
                 tgt_cntr: tgt_cntr.map(|r| r.0),
                 cmpl_cntr: cmpl_cntr.map(Counter::id),
             },
-        );
+        )?;
         let cap = cfg.payload_per_packet(cfg.lapi_header_bytes);
         let mut offset = first_chunk.len();
         while offset < data.len() {
             let end = (offset + cap).min(data.len());
             self.clock().advance(cfg.lapi_pkt_issue);
-            last = self.adapter.send_at(
-                self.clock().now(),
+            last = self.wire_send(
                 target,
                 cfg.lapi_header_bytes + (end - offset),
                 LapiBody::Data {
@@ -577,7 +661,7 @@ impl Engine {
                     data: data[offset..end].to_vec(),
                     kind: DataKind::VecData,
                 },
-            );
+            )?;
             offset = end;
         }
         if let Some(c) = org_cntr {
@@ -617,8 +701,7 @@ impl Engine {
             getv_msg,
             IoVec::total(vecs),
         );
-        self.adapter.send_at(
-            self.clock().now(),
+        self.wire_send(
             target,
             cfg.lapi_header_bytes + desc_bytes,
             LapiBody::GetVReq {
@@ -628,7 +711,7 @@ impl Engine {
                 org_cntr: org_cntr.map(Counter::id),
                 tgt_cntr: tgt_cntr.map(|r| r.0),
             },
-        );
+        )?;
         Ok(())
     }
 
@@ -656,8 +739,7 @@ impl Engine {
         // operands (still a full LAPI header on the wire).
         self.clock().advance(cfg.lapi_handler_issue);
         self.tr(trace::EventKind::Issue, "rmw", ticket, 8);
-        self.adapter.send_at(
-            self.clock().now(),
+        if let Err(e) = self.wire_send(
             target,
             cfg.lapi_header_bytes,
             LapiBody::RmwReq {
@@ -667,7 +749,11 @@ impl Engine {
                 in_val,
                 cmp_val,
             },
-        );
+        ) {
+            // The reply will never come; retire the ticket.
+            self.rmw_slots.lock().remove(&ticket);
+            return Err(e);
+        }
         Ok(RmwFuture {
             engine: Arc::clone(self),
             slot,
@@ -677,8 +763,7 @@ impl Engine {
     fn send_done(&self, to: NodeId, fence_decr: bool, cmpl_cntr: Option<CounterId>) {
         self.stats.done_sent.incr();
         let cfg = self.config();
-        self.adapter.send_at(
-            self.clock().now(),
+        self.wire_send_async(
             to,
             cfg.ack_bytes,
             LapiBody::Done {
@@ -786,8 +871,7 @@ impl Engine {
                 clock.advance(cfg.lapi_counter_update);
                 let prev = self
                     .with_space_mut(|sp| sp.rmw_u64(tgt_addr, |v| op.apply(v, in_val, cmp_val)));
-                self.adapter.send_at(
-                    clock.now(),
+                self.wire_send_async(
                     src,
                     cfg.lapi_header_bytes,
                     LapiBody::RmwReply { ticket, prev },
@@ -1152,8 +1236,7 @@ impl Engine {
             if i > 0 {
                 clock.advance(cfg.lapi_pkt_issue);
             }
-            last = Some(self.adapter.send_at(
-                clock.now(),
+            match self.wire_send_async(
                 src,
                 cfg.lapi_header_bytes + chunk.len(),
                 LapiBody::Data {
@@ -1163,7 +1246,11 @@ impl Engine {
                     data: chunk.to_vec(),
                     kind: kind.clone(),
                 },
-            ));
+            ) {
+                Some(r) => last = Some(r),
+                // Reply flow is dead; the origin's own wait will diagnose.
+                None => return,
+            }
             offset += chunk.len();
         }
         if let (Some(id), Some(r)) = (tgt_cntr, last) {
@@ -1199,8 +1286,7 @@ impl Engine {
             if i > 0 {
                 clock.advance(cfg.lapi_pkt_issue);
             }
-            last = Some(self.adapter.send_at(
-                clock.now(),
+            match self.wire_send_async(
                 src,
                 cfg.lapi_header_bytes + chunk.len(),
                 LapiBody::Data {
@@ -1210,7 +1296,11 @@ impl Engine {
                     data: chunk.to_vec(),
                     kind: kind.clone(),
                 },
-            ));
+            ) {
+                Some(r) => last = Some(r),
+                // Reply flow is dead; the origin's own wait will diagnose.
+                None => return,
+            }
             offset += chunk.len();
         }
         if let (Some(id), Some(r)) = (tgt_cntr, last) {
@@ -1225,6 +1315,7 @@ impl Engine {
     /// bounded) for the next packet. Panics past `deadline` — simulated
     /// deadlock.
     fn poll_step(&self, deadline: Instant) {
+        self.adapter.pump(self.clock().now());
         match self.adapter.rx().recv_timeout(POLL_TICK) {
             Ok(Some(s)) => self.process_packet(s),
             Ok(None) => {
@@ -1254,6 +1345,9 @@ impl Engine {
         if n == 0 {
             self.clock().advance(self.config().lapi_poll);
         }
+        // Flush any coalesced-ACK deadline that has come due on our
+        // outgoing flows (free when the reliability protocol is disarmed).
+        self.adapter.pump(self.clock().now());
         n
     }
 
@@ -1364,6 +1458,7 @@ impl Engine {
                         self.charge_interrupt_if_idle(next.at);
                         self.process_packet(next);
                     }
+                    self.adapter.pump(self.clock().now());
                 }
             }
         }

@@ -34,6 +34,23 @@ pub enum LapiError {
     Terminated,
     /// Unknown `LAPI_Qenv`/`LAPI_Senv` selector.
     BadQuery,
+    /// The adapter's reliability protocol gave up on a flow: a packet was
+    /// retransmitted up to the configured bound without ever being
+    /// acknowledged (dead link, or a black-hole window longer than the
+    /// retry budget). Mirrors the error the real `LAPI_Init` `err_hndlr`
+    /// would receive on an unrecoverable communication failure.
+    DeliveryTimeout {
+        /// Target task of the undeliverable packet.
+        target: usize,
+        /// Per-flow sequence number that never got acknowledged.
+        seq: u64,
+        /// Highest cumulatively acknowledged sequence on the flow.
+        acked: u64,
+        /// Retransmission attempts spent before giving up.
+        retries: u32,
+        /// Human-readable flow/trace diagnostic from the adapter.
+        detail: String,
+    },
 }
 
 impl fmt::Display for LapiError {
@@ -57,6 +74,19 @@ impl fmt::Display for LapiError {
             }
             LapiError::Terminated => write!(f, "LAPI context already terminated"),
             LapiError::BadQuery => write!(f, "unknown Qenv/Senv selector"),
+            LapiError::DeliveryTimeout {
+                target,
+                seq,
+                acked,
+                retries,
+                ..
+            } => {
+                write!(
+                    f,
+                    "delivery to task {target} timed out: seq {seq} unacknowledged \
+                     (cum-acked {acked}) after {retries} retransmissions"
+                )
+            }
         }
     }
 }

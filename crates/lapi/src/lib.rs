@@ -55,6 +55,7 @@ pub mod world;
 pub use addr::{Addr, AddressSpace};
 pub use context::{LapiContext, Mode, Qenv, Senv};
 pub use counter::{Counter, RemoteCounter};
+pub use engine::ErrHandler;
 pub use error::LapiError;
 pub use handlers::{AmInfo, HandlerCtx, HdrOutcome};
 pub use stats::LapiStats;

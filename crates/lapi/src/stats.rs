@@ -26,6 +26,10 @@ pub struct LapiStats {
     /// Data packets that arrived before their AM header (out-of-order
     /// arrivals that had to be stashed).
     pub early_am_data: StatCounter,
+    /// Operations abandoned because the adapter's reliability protocol gave
+    /// up on a flow (`LapiError::DeliveryTimeout`), whether surfaced through
+    /// the issuing call or routed to the registered `err_hndlr`.
+    pub delivery_timeouts: StatCounter,
 }
 
 #[cfg(test)]

@@ -588,9 +588,11 @@ fn loopback_operations_work() {
 fn pipelined_puts_overlap_on_the_wire() {
     // The "unordered pipelining" claim (§2.1): k pipelined puts finish much
     // faster than k fenced (serialized) puts. Polling mode keeps the
-    // comparison bit-deterministic regardless of host load.
+    // comparison bit-deterministic regardless of host load; lossless wire
+    // (regardless of SPSIM_FAULT_PROFILE) because this is a *timing* ratio
+    // — retransmission stalls would swamp the pipelining signal.
     let elapsed = |serialize: bool| {
-        let ctxs = world(2, Mode::Polling);
+        let ctxs = LapiWorld::init(2, MachineConfig::default().with_no_faults(), Mode::Polling);
         let times = run_spmd_with(ctxs, move |rank, ctx| {
             let buf = ctx.alloc(64 * 1024);
             let tgt = ctx.new_counter();

@@ -13,7 +13,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 use spsim::{trace, MachineConfig, NodeId, Stamped, StatCounter, VClock, VTime};
-use spswitch::{Adapter, WirePacket};
+use spswitch::{Adapter, SendReceipt, WirePacket};
 
 use crate::context::{MplHandlerCtx, MplMode, Status};
 use crate::wire::{MplBody, Seq, Tag};
@@ -337,6 +337,22 @@ impl MplEngine {
 
     // ----------------------------------------------------------- sending
 
+    /// Inject one packet through the adapter's reliability protocol. MPL
+    /// has no error-return surface (the library guarantees reliable
+    /// in-order delivery), so an exhausted retransmission budget — a dead
+    /// link outliving the retry bound — is fatal, with the adapter's flow
+    /// and trace diagnostics attached.
+    fn wire_send(&self, dst: NodeId, wire_bytes: usize, body: MplBody) -> SendReceipt {
+        self.adapter
+            .try_send_at(self.clock().now(), dst, wire_bytes, body)
+            .unwrap_or_else(|e| {
+                panic!(
+                    "node {}: MPL cannot honour its delivery guarantee: {e}",
+                    self.id()
+                )
+            })
+    }
+
     /// Send `data` to `dst` with `tag`; returns the completion state
     /// (already complete for eager sends — buffer was copied out).
     pub(crate) fn isend(&self, dst: NodeId, tag: Tag, data: &[u8]) -> Arc<SendState> {
@@ -381,8 +397,7 @@ impl MplEngine {
                     state: Arc::clone(&state),
                 },
             );
-            self.adapter.send_at(
-                clock.now(),
+            self.wire_send(
                 dst,
                 cfg.mpl_header_bytes,
                 MplBody::Rts {
@@ -418,12 +433,7 @@ impl MplEngine {
             if i > 0 {
                 clock.advance(cfg.lapi_pkt_issue);
             }
-            let r = self.adapter.send_at(
-                clock.now(),
-                dst,
-                cfg.mpl_header_bytes + chunk.len(),
-                mk(offset, chunk),
-            );
+            let r = self.wire_send(dst, cfg.mpl_header_bytes + chunk.len(), mk(offset, chunk));
             last = r.injected_at;
             offset += chunk.len();
         }
@@ -529,8 +539,7 @@ impl MplEngine {
             // Negotiate: tell the sender to go ahead.
             clock.advance(cfg.mpl_rndv_setup);
             self.tr(trace::EventKind::Cts, "rndv", seq, 0);
-            self.adapter
-                .send_at(clock.now(), src, cfg.mpl_header_bytes, MplBody::Cts { seq });
+            self.wire_send(src, cfg.mpl_header_bytes, MplBody::Cts { seq });
         }
         if msg.frags_seen > 0 && msg.received >= msg.total {
             self.finish_recv(st, src, seq, fires);
@@ -775,6 +784,7 @@ impl MplEngine {
 
     /// One polling step (bounded real-time block).
     pub(crate) fn poll_step(&self, deadline: Instant) {
+        self.adapter.pump(self.clock().now());
         match self.adapter.rx().recv_timeout(POLL_TICK) {
             Ok(Some(s)) => self.process_packet(s),
             Ok(None) => {
@@ -814,6 +824,7 @@ impl MplEngine {
                     while let Ok(Some(next)) = self.adapter.rx().try_recv() {
                         self.process_packet(next);
                     }
+                    self.adapter.pump(self.clock().now());
                 }
             }
         }

@@ -9,6 +9,8 @@
 //! the result tables is hard-coded, the protocols really execute against
 //! these constants.
 
+use crate::fault::{FaultPlan, FaultProfile, LinkFaults};
+use crate::runtime::NodeId;
 use crate::time::VDur;
 
 /// Cost model and hardware parameters of the simulated RS/6000 SP.
@@ -39,10 +41,34 @@ pub struct MachineConfig {
     /// Probability that the switch drops a packet (failure injection;
     /// recovered by the adapter's retransmission protocol).
     pub drop_prob: f64,
+    /// Probability that the switch delivers a duplicate copy of a packet
+    /// (the copy crosses the ejection link and is suppressed by the
+    /// receiving adapter's sequence-number dedup).
+    pub dup_prob: f64,
+    /// Loss probability for acknowledgement packets. `None` means an ACK on
+    /// link `b → a` is as lossy as data on `b → a` (the reverse link's drop
+    /// probability); tests pin `Some(0.0)` to isolate data-path loss.
+    pub ack_drop_prob: Option<f64>,
+    /// Scripted per-link fault overrides and black-hole windows.
+    pub faults: FaultPlan,
     /// Wire size of a bare acknowledgement packet.
     pub ack_bytes: usize,
     /// Adapter retransmission timeout.
     pub retransmit_timeout: VDur,
+    /// Bounded retries: after this many retransmissions of one packet the
+    /// sender gives up and surfaces a structured delivery-timeout error
+    /// (the flow is considered dead). Sized so that even at 40% loss in
+    /// both directions the chance of a spurious timeout is negligible
+    /// (0.64^64 ≈ 4e-13 per packet).
+    pub max_retransmits: u32,
+    /// ACK coalescing: the receiving adapter acknowledges cumulatively and
+    /// charges one `ack_bytes` wire packet per this many data packets
+    /// (piggybacking on the flow's reverse lane).
+    pub ack_every: u32,
+    /// ACK coalescing deadline: a pending cumulative ACK is flushed as a
+    /// standalone packet this long after the oldest unacknowledged-on-the-
+    /// wire delivery, even if the batch is not full.
+    pub ack_delay: VDur,
 
     // ---------------------------------------------------------------- lapi
     /// Origin CPU cost for a `LAPI_Put` call to return control ("pipeline
@@ -125,6 +151,10 @@ pub struct MachineConfig {
 
 impl Default for MachineConfig {
     fn default() -> Self {
+        // The env-selected fault profile lets CI push the whole test suite
+        // through a lossy fabric (`SPSIM_FAULT_PROFILE=lossy cargo test`).
+        // Exact-timing calibration tests opt out via `with_no_faults()`.
+        let (drop_prob, dup_prob) = FaultProfile::from_env().probabilities();
         MachineConfig {
             packet_size: 1024,
             lapi_header_bytes: 48,
@@ -133,9 +163,15 @@ impl Default for MachineConfig {
             fabric_latency: VDur::from_us_f64(7.0),
             num_routes: 4,
             route_skew: VDur::from_us_f64(0.4),
-            drop_prob: 0.0,
+            drop_prob,
+            dup_prob,
+            ack_drop_prob: None,
+            faults: FaultPlan::new(),
             ack_bytes: 48,
             retransmit_timeout: VDur::from_us(500),
+            max_retransmits: 64,
+            ack_every: 4,
+            ack_delay: VDur::from_us(100),
 
             lapi_put_issue: VDur::from_us(16),
             lapi_get_issue: VDur::from_us(19),
@@ -181,6 +217,81 @@ impl MachineConfig {
         assert!((0.0..1.0).contains(&p), "drop probability must be in [0,1)");
         self.drop_prob = p;
         self
+    }
+
+    /// Builder-style: set the fabric duplication probability.
+    pub fn with_dup_prob(mut self, p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "duplicate probability must be in [0,1]"
+        );
+        self.dup_prob = p;
+        self
+    }
+
+    /// Builder-style: pin the ACK loss probability instead of mirroring the
+    /// reverse link's drop probability.
+    pub fn with_ack_drop_prob(mut self, p: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&p),
+            "ack drop probability must be in [0,1)"
+        );
+        self.ack_drop_prob = Some(p);
+        self
+    }
+
+    /// Builder-style: install a scripted [`FaultPlan`].
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Builder-style: cap the retransmissions before a delivery timeout.
+    pub fn with_max_retransmits(mut self, n: u32) -> Self {
+        assert!(n > 0, "at least one retransmission must be allowed");
+        self.max_retransmits = n;
+        self
+    }
+
+    /// Builder-style: force a perfectly clean fabric, overriding any
+    /// env-selected fault profile. Exact-timing calibration tests use this
+    /// so `SPSIM_FAULT_PROFILE=lossy` cannot shift their latencies.
+    pub fn with_no_faults(mut self) -> Self {
+        self.drop_prob = 0.0;
+        self.dup_prob = 0.0;
+        self.ack_drop_prob = None;
+        self.faults = FaultPlan::new();
+        self
+    }
+
+    /// The effective fault probabilities of the directed link `src → dst`:
+    /// the plan's per-link override if present, else the global knobs.
+    #[inline]
+    pub fn link_faults(&self, src: NodeId, dst: NodeId) -> LinkFaults {
+        self.faults.link(src, dst).unwrap_or(LinkFaults {
+            drop_prob: self.drop_prob,
+            dup_prob: self.dup_prob,
+        })
+    }
+
+    /// The effective loss probability of an ACK travelling `src → dst`
+    /// (i.e. the *reverse* direction of the data flow it acknowledges).
+    #[inline]
+    pub fn ack_loss(&self, src: NodeId, dst: NodeId) -> f64 {
+        self.ack_drop_prob
+            .unwrap_or_else(|| self.link_faults(src, dst).drop_prob)
+    }
+
+    /// Can this machine lose or duplicate anything at all? When `false`,
+    /// the adapter's reliability protocol stays disarmed (pay-for-what-you-
+    /// use: no ACK traffic, no extra RNG draws, timings identical to a
+    /// machine that predates the protocol).
+    #[inline]
+    pub fn reliability_armed(&self) -> bool {
+        self.drop_prob > 0.0
+            || self.dup_prob > 0.0
+            || self.ack_drop_prob.is_some_and(|p| p > 0.0)
+            || !self.faults.is_empty()
     }
 
     /// Builder-style: set `MP_EAGER_LIMIT` (clamped to the maximum, like

@@ -1,0 +1,243 @@
+//! Deterministic fault-injection plans for the switch fabric.
+//!
+//! A [`FaultPlan`] scripts *where* and *when* the fabric misbehaves:
+//! per-link drop/duplicate probabilities that override the global
+//! [`crate::MachineConfig::drop_prob`]/`dup_prob`, plus black-hole windows
+//! ("link 0→2 loses everything in [5ms, 8ms)"). The plan itself holds no
+//! randomness — probabilities are resolved against the adapter's seeded
+//! [`crate::SimRng`], and windows are resolved against virtual time — so a
+//! faulted run is exactly as reproducible as a clean one: same seed, same
+//! plan, same timeline.
+//!
+//! An empty plan (the default) costs nothing: the adapter's reliability
+//! protocol only arms its ACK/retransmit machinery when the effective
+//! configuration can actually lose or duplicate a packet.
+
+use crate::runtime::NodeId;
+use crate::time::VTime;
+
+/// Per-link fault probabilities (overriding the global config for one
+/// directed link).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkFaults {
+    /// Probability that a data packet on this link is lost in the fabric.
+    pub drop_prob: f64,
+    /// Probability that a delivered data packet is duplicated by the fabric
+    /// (the copy reaches the destination and must be suppressed).
+    pub dup_prob: f64,
+}
+
+impl LinkFaults {
+    /// A perfectly clean link.
+    pub const NONE: LinkFaults = LinkFaults {
+        drop_prob: 0.0,
+        dup_prob: 0.0,
+    };
+
+    /// Can this link misbehave at all?
+    #[inline]
+    pub fn is_clean(&self) -> bool {
+        self.drop_prob == 0.0 && self.dup_prob == 0.0
+    }
+}
+
+/// A scripted interval during which a directed link black-holes every
+/// packet, deterministically (no dice): `from <= t < until`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultWindow {
+    /// Sending side of the affected link.
+    pub src: NodeId,
+    /// Receiving side of the affected link.
+    pub dst: NodeId,
+    /// First virtual instant of the outage (inclusive).
+    pub from: VTime,
+    /// End of the outage (exclusive). Use [`VTime::MAX`] for a link that
+    /// never comes back ("link dead").
+    pub until: VTime,
+}
+
+/// A deterministic script of fabric misbehaviour.
+///
+/// Built with the `with_*` builders and handed to the machine via
+/// [`crate::MachineConfig::with_faults`]. See the crate-level notes on
+/// determinism.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    overrides: Vec<(NodeId, NodeId, LinkFaults)>,
+    windows: Vec<FaultWindow>,
+}
+
+impl FaultPlan {
+    /// An empty plan: the fabric behaves exactly as the global config says.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// No overrides and no windows?
+    pub fn is_empty(&self) -> bool {
+        self.overrides.is_empty() && self.windows.is_empty()
+    }
+
+    /// Builder: override the fault probabilities of the directed link
+    /// `src → dst`. A later override of the same link replaces the earlier.
+    pub fn with_link(mut self, src: NodeId, dst: NodeId, faults: LinkFaults) -> Self {
+        assert!(
+            (0.0..1.0).contains(&faults.drop_prob),
+            "drop probability must be in [0,1)"
+        );
+        assert!(
+            (0.0..=1.0).contains(&faults.dup_prob),
+            "duplicate probability must be in [0,1]"
+        );
+        self.overrides.retain(|&(s, d, _)| (s, d) != (src, dst));
+        self.overrides.push((src, dst, faults));
+        self
+    }
+
+    /// Builder: black-hole every packet on `src → dst` whose fabric transit
+    /// falls in `[from, until)`.
+    pub fn with_black_hole(mut self, src: NodeId, dst: NodeId, from: VTime, until: VTime) -> Self {
+        assert!(from < until, "black-hole window must be non-empty");
+        self.windows.push(FaultWindow {
+            src,
+            dst,
+            from,
+            until,
+        });
+        self
+    }
+
+    /// Builder: the directed link `src → dst` dies at `from` and never
+    /// recovers — every later packet is lost until the sender's bounded
+    /// retries give up with a delivery timeout.
+    pub fn with_link_dead(self, src: NodeId, dst: NodeId, from: VTime) -> Self {
+        self.with_black_hole(src, dst, from, VTime::MAX)
+    }
+
+    /// The per-link override for `src → dst`, if any.
+    pub fn link(&self, src: NodeId, dst: NodeId) -> Option<LinkFaults> {
+        self.overrides
+            .iter()
+            .find(|&&(s, d, _)| (s, d) == (src, dst))
+            .map(|&(_, _, f)| f)
+    }
+
+    /// Is the directed link `src → dst` inside a black-hole window at `at`?
+    pub fn black_holed(&self, src: NodeId, dst: NodeId, at: VTime) -> bool {
+        self.windows
+            .iter()
+            .any(|w| w.src == src && w.dst == dst && w.from <= at && at < w.until)
+    }
+
+    /// Does any black-hole window (now or in the future) name `src → dst`?
+    /// Used to decide whether a link can ever misbehave.
+    pub fn has_windows(&self, src: NodeId, dst: NodeId) -> bool {
+        self.windows.iter().any(|w| w.src == src && w.dst == dst)
+    }
+}
+
+/// The env-selected fault profile applied to [`crate::MachineConfig`]
+/// defaults, so a whole test run can be pushed through a lossy fabric:
+/// `SPSIM_FAULT_PROFILE=lossy cargo test`. Tests that calibrate exact
+/// timings opt out with [`crate::MachineConfig::with_no_faults`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultProfile {
+    /// Clean fabric (the built-in default).
+    Lossless,
+    /// Moderate adversity: 10% drop, 2% duplication on every link.
+    Lossy,
+    /// Heavy adversity: 30% drop, 10% duplication on every link.
+    Chaos,
+}
+
+impl FaultProfile {
+    /// Read `SPSIM_FAULT_PROFILE` once per process. Unset or unrecognized
+    /// values mean [`FaultProfile::Lossless`].
+    pub fn from_env() -> FaultProfile {
+        use std::sync::OnceLock;
+        static PROFILE: OnceLock<FaultProfile> = OnceLock::new();
+        *PROFILE.get_or_init(|| match std::env::var("SPSIM_FAULT_PROFILE").as_deref() {
+            Ok("lossy") => FaultProfile::Lossy,
+            Ok("chaos") => FaultProfile::Chaos,
+            _ => FaultProfile::Lossless,
+        })
+    }
+
+    /// The global (drop, dup) probabilities this profile injects.
+    pub fn probabilities(self) -> (f64, f64) {
+        match self {
+            FaultProfile::Lossless => (0.0, 0.0),
+            FaultProfile::Lossy => (0.10, 0.02),
+            FaultProfile::Chaos => (0.30, 0.10),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_empty_and_clean() {
+        let p = FaultPlan::new();
+        assert!(p.is_empty());
+        assert_eq!(p.link(0, 1), None);
+        assert!(!p.black_holed(0, 1, VTime::from_us(1)));
+        assert!(!p.has_windows(0, 1));
+    }
+
+    #[test]
+    fn link_overrides_replace_and_resolve_per_direction() {
+        let p = FaultPlan::new()
+            .with_link(
+                0,
+                2,
+                LinkFaults {
+                    drop_prob: 0.5,
+                    dup_prob: 0.0,
+                },
+            )
+            .with_link(
+                0,
+                2,
+                LinkFaults {
+                    drop_prob: 0.25,
+                    dup_prob: 0.1,
+                },
+            );
+        assert_eq!(p.link(0, 2).unwrap().drop_prob, 0.25);
+        assert_eq!(p.link(2, 0), None, "overrides are directed");
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn black_hole_window_is_half_open() {
+        let p =
+            FaultPlan::new().with_black_hole(0, 2, VTime::from_us(5_000), VTime::from_us(8_000));
+        assert!(!p.black_holed(0, 2, VTime::from_us(4_999)));
+        assert!(p.black_holed(0, 2, VTime::from_us(5_000)));
+        assert!(p.black_holed(0, 2, VTime::from_us(7_999)));
+        assert!(!p.black_holed(0, 2, VTime::from_us(8_000)));
+        assert!(!p.black_holed(2, 0, VTime::from_us(6_000)), "directed");
+        assert!(p.has_windows(0, 2));
+    }
+
+    #[test]
+    fn dead_link_never_recovers() {
+        let p = FaultPlan::new().with_link_dead(1, 0, VTime::from_us(1));
+        assert!(p.black_holed(1, 0, VTime::from_us(1_000_000_000)));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_window_rejected() {
+        let _ = FaultPlan::new().with_black_hole(0, 1, VTime::from_us(5), VTime::from_us(5));
+    }
+
+    #[test]
+    fn profiles_map_to_probabilities() {
+        assert_eq!(FaultProfile::Lossless.probabilities(), (0.0, 0.0));
+        assert_eq!(FaultProfile::Lossy.probabilities(), (0.10, 0.02));
+        assert_eq!(FaultProfile::Chaos.probabilities(), (0.30, 0.10));
+    }
+}

@@ -37,6 +37,7 @@
 pub mod barrier;
 pub mod clock;
 pub mod config;
+pub mod fault;
 pub mod queue;
 pub mod rng;
 pub mod runtime;
@@ -47,6 +48,7 @@ pub mod trace;
 pub use barrier::VBarrier;
 pub use clock::VClock;
 pub use config::MachineConfig;
+pub use fault::{FaultPlan, FaultProfile, FaultWindow, LinkFaults};
 pub use queue::{QueueClosed, Stamped, TimedQueue};
 pub use rng::SimRng;
 pub use runtime::{run_spmd, run_spmd_with, NodeId};

@@ -21,6 +21,10 @@ impl VTime {
     /// The origin of virtual time.
     pub const ZERO: VTime = VTime(0);
 
+    /// The end of virtual time — a sentinel for "never" (e.g. a fault
+    /// window that never closes). Do not add durations to it.
+    pub const MAX: VTime = VTime(u64::MAX);
+
     /// Construct from whole microseconds.
     #[inline]
     pub const fn from_us(us: u64) -> Self {

@@ -83,6 +83,16 @@ pub enum EventKind {
     Branch,
     /// Free-form annotation.
     Note,
+    /// Cumulative acknowledgement charged to the wire by a receiving
+    /// adapter (coalesced; `msg_id` = highest sequence acknowledged).
+    /// Not counted against quiescence: ACKs are adapter-internal.
+    Ack,
+    /// Duplicate copy suppressed by the receiving adapter's sequence
+    /// dedup (`msg_id` = the duplicated sequence number).
+    Dup,
+    /// A flow exhausted its bounded retransmissions; the sender surfaced
+    /// a structured delivery-timeout error.
+    FlowStall,
 }
 
 impl fmt::Display for EventKind {
@@ -107,6 +117,9 @@ impl fmt::Display for EventKind {
             EventKind::Cts => "cts",
             EventKind::Branch => "branch",
             EventKind::Note => "note",
+            EventKind::Ack => "ack",
+            EventKind::Dup => "dup",
+            EventKind::FlowStall => "flow-stall",
         };
         f.pad(s)
     }
@@ -189,6 +202,8 @@ pub struct TraceSink {
     injected: AtomicU64,
     delivered: AtomicU64,
     dropped_pkts: AtomicU64,
+    acks: AtomicU64,
+    dups: AtomicU64,
     sealed: Mutex<Vec<TraceEvent>>,
 }
 
@@ -199,6 +214,8 @@ static SINK: TraceSink = TraceSink {
     injected: AtomicU64::new(0),
     delivered: AtomicU64::new(0),
     dropped_pkts: AtomicU64::new(0),
+    acks: AtomicU64::new(0),
+    dups: AtomicU64::new(0),
     sealed: Mutex::new(Vec::new()),
 };
 
@@ -253,6 +270,12 @@ impl TraceSink {
             EventKind::Drop => {
                 self.dropped_pkts.fetch_add(1, Ordering::Relaxed);
             }
+            EventKind::Ack => {
+                self.acks.fetch_add(1, Ordering::Relaxed);
+            }
+            EventKind::Dup => {
+                self.dups.fetch_add(1, Ordering::Relaxed);
+            }
             _ => {}
         }
         let ring = self.ring(node);
@@ -300,8 +323,32 @@ impl TraceSink {
     }
 
     /// Packets currently in flight: injected but not yet consumed.
+    ///
+    /// ACK packets and suppressed duplicates are adapter-internal and do
+    /// **not** count here: the reliability protocol generates and absorbs
+    /// them below the protocol engines, so quiescence still balances plain
+    /// injects against delivers.
     pub fn in_flight(&self) -> u64 {
         self.injected().saturating_sub(self.delivered())
+    }
+
+    /// Packets the fabric genuinely dropped (data or ACKs) since the last
+    /// reset. By construction every drop costs the sender exactly one
+    /// retransmission round.
+    pub fn fabric_drops(&self) -> u64 {
+        self.dropped_pkts.load(Ordering::Relaxed)
+    }
+
+    /// Wire acknowledgements charged by receiving adapters since the last
+    /// reset.
+    pub fn acks(&self) -> u64 {
+        self.acks.load(Ordering::Relaxed)
+    }
+
+    /// Duplicate copies suppressed by receiving adapters since the last
+    /// reset.
+    pub fn dups_suppressed(&self) -> u64 {
+        self.dups.load(Ordering::Relaxed)
     }
 
     /// Panic with a diagnostic timeline tail if any traced packet was
@@ -358,11 +405,14 @@ impl TraceSink {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "-- trace: injected={} delivered={} in-flight={} fabric-drops={} --",
+            "-- trace: injected={} delivered={} in-flight={} fabric-drops={} \
+             acks={} dups-suppressed={} --",
             self.injected(),
             self.delivered(),
             self.in_flight(),
             self.dropped_pkts.load(Ordering::Relaxed),
+            self.acks(),
+            self.dups_suppressed(),
         );
         if !self.enabled() {
             out.push_str(
@@ -402,6 +452,8 @@ impl TraceSink {
         self.injected.store(0, Ordering::Relaxed);
         self.delivered.store(0, Ordering::Relaxed);
         self.dropped_pkts.store(0, Ordering::Relaxed);
+        self.acks.store(0, Ordering::Relaxed);
+        self.dups.store(0, Ordering::Relaxed);
     }
 
     /// Set the per-node ring capacity (events kept before eviction).

@@ -14,8 +14,12 @@
 //!   headers);
 //! * a **fabric** with a fixed base latency and several routes per node
 //!   pair, each with a small latency skew (this produces visible reordering);
-//! * optional **drop injection** with adapter-level retransmission (packets
-//!   are reliably delivered, late; statistics expose the retries);
+//! * a real **reliability protocol** in the adapter: per-flow sequence
+//!   numbers, receiver-side duplicate suppression, coalesced cumulative
+//!   ACKs charged to the wire, and bounded go-back-N retransmission driven
+//!   by virtual-time timers. The fabric genuinely drops and duplicates
+//!   packets per a seeded [`spsim::FaultPlan`]; an unrecoverable flow
+//!   surfaces as a structured [`DeliveryTimeout`];
 //! * a per-adapter [`spsim::TimedQueue`] of arrived packets, from which the
 //!   protocol layer (LAPI dispatcher / MPL progress engine) receives in
 //!   arrival-time order.
@@ -31,7 +35,7 @@ pub mod link;
 pub mod network;
 pub mod packet;
 
-pub use adapter::{Adapter, AdapterStats, SendReceipt};
+pub use adapter::{Adapter, AdapterStats, DeliveryTimeout, SendReceipt};
 pub use link::Link;
 pub use network::Network;
 pub use packet::WirePacket;

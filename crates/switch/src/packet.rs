@@ -19,6 +19,10 @@ pub struct WirePacket<M> {
     pub wire_bytes: usize,
     /// Route index the fabric chose (exposed for tests/statistics).
     pub route: usize,
+    /// Per-flow sequence number assigned by the sending adapter's
+    /// reliability protocol (consecutive within each `src → dst` flow; the
+    /// receiving adapter uses it to suppress duplicates).
+    pub seq: u64,
     /// Virtual time the packet left the sender's injection link.
     pub injected_at: VTime,
     /// The protocol body.
@@ -36,6 +40,7 @@ mod tests {
             dst: 1,
             wire_bytes: 1024,
             route: 2,
+            seq: 5,
             injected_at: VTime::from_us(3),
             body: vec![1u8, 2, 3],
         };
