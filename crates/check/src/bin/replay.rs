@@ -1,0 +1,67 @@
+//! Re-execute a serialized conformance case byte-for-byte.
+//!
+//! ```text
+//! cargo run -p check --bin replay -- path/to/failure.case
+//! ```
+//!
+//! Prints the case summary, the virtual-time trace digest and tail, and
+//! the oracle verdict. Exit status 0 on PASS, 1 on FAIL — and for a
+//! fixed 2-node polling-mode case whose program has no active messages
+//! and no self-targeted ops the whole stdout is byte-identical across
+//! invocations (see `RunOutcome::digest` for why those qualifiers
+//! exist), which is what makes a shrunk counterexample a durable
+//! artifact rather than a flaky anecdote.
+
+use std::process::ExitCode;
+
+use check::{run_case, verdict, Case};
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: replay <case-file>");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("replay: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let case = match Case::parse(&text) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("replay: cannot parse {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "case: nodes={} seed={} tiebreak={} mode={} drop={} dup={} mutant={} ops={}",
+        case.nodes,
+        case.seed,
+        case.tiebreak.map_or("none".to_string(), |t| t.to_string()),
+        if case.interrupt_mode {
+            "interrupt"
+        } else {
+            "polling"
+        },
+        case.drop_prob,
+        case.dup_prob,
+        case.mutant.map_or("none", |m| m.name()),
+        case.program().total_ops(),
+    );
+    let out = run_case(&case);
+    println!("trace: {} events, digest {:016x}", out.events, out.digest);
+    println!("trace tail:");
+    println!("{}", out.tail);
+    match verdict(&case, &out) {
+        Ok(()) => {
+            println!("verdict: PASS");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            println!("verdict: FAIL — {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,374 @@
+//! Self-contained replay cases.
+//!
+//! A [`Case`] captures *everything* a run depends on — node count, world
+//! RNG seed, scheduler tie-break seed, fabric probabilities, fault plan,
+//! per-case escape budget, optional mutant, and the op program — as a
+//! line-based text file. `src/bin/replay.rs` re-executes a parsed case
+//! bit-for-bit; shrunk counterexamples from the explorer and the
+//! committed corpus under `tests/corpus/` both use this format.
+
+use std::time::Duration;
+
+use spsim::{FaultPlan, MachineConfig, Mutant};
+
+use crate::program::{decode_ops, Op, Program, RawOp};
+
+/// One fully pinned conformance run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Case {
+    pub nodes: usize,
+    /// World RNG seed (fault sampling, route jitter).
+    pub seed: u64,
+    /// Scheduler tie-break perturbation seed (`None` = insertion order).
+    pub tiebreak: Option<u64>,
+    /// Interrupt mode if true, polling otherwise.
+    pub interrupt_mode: bool,
+    pub slot_bytes: usize,
+    /// Fabric-wide drop/duplicate probabilities.
+    pub drop_prob: f64,
+    pub dup_prob: f64,
+    /// Per-link overrides and black-hole windows.
+    pub plan: FaultPlan,
+    /// Real-time deadlock escape per blocking wait.
+    pub escape_ms: u64,
+    /// Harness mutant to arm (mutation smoke tests only).
+    pub mutant: Option<Mutant>,
+    /// Per-rank op lists.
+    pub ops: Vec<Vec<Op>>,
+}
+
+impl Case {
+    /// The program this case runs.
+    pub fn program(&self) -> Program {
+        Program {
+            nodes: self.nodes,
+            slot_bytes: self.slot_bytes,
+            ops: self.ops.clone(),
+        }
+    }
+
+    /// The machine configuration this case pins. Starts from a clean
+    /// fabric (ignoring `SPSIM_FAULT_PROFILE`) so a serialized case
+    /// replays identically in any environment.
+    pub fn machine_config(&self) -> MachineConfig {
+        MachineConfig::default()
+            .with_no_faults()
+            .with_drop_prob(self.drop_prob)
+            .with_dup_prob(self.dup_prob)
+            .with_faults(self.plan.clone())
+    }
+
+    /// Serialize to the replay text format.
+    pub fn serialize(&self) -> String {
+        let mut out = String::from("# spcheck case v1\n");
+        out.push_str(&format!("nodes {}\n", self.nodes));
+        out.push_str(&format!("seed {}\n", self.seed));
+        match self.tiebreak {
+            Some(t) => out.push_str(&format!("tiebreak {t}\n")),
+            None => out.push_str("tiebreak none\n"),
+        }
+        out.push_str(&format!(
+            "mode {}\n",
+            if self.interrupt_mode {
+                "interrupt"
+            } else {
+                "polling"
+            }
+        ));
+        out.push_str(&format!("slot_bytes {}\n", self.slot_bytes));
+        out.push_str(&format!("drop {}\n", self.drop_prob));
+        out.push_str(&format!("dup {}\n", self.dup_prob));
+        out.push_str(&format!("escape_ms {}\n", self.escape_ms));
+        out.push_str(&format!(
+            "mutant {}\n",
+            self.mutant.map_or("none", |m| m.name())
+        ));
+        for line in self.plan.serialize().lines() {
+            out.push_str(&format!("fault {line}\n"));
+        }
+        for (rank, ops) in self.ops.iter().enumerate() {
+            for op in ops {
+                out.push_str(&format!("op {rank} {}\n", op.to_line()));
+            }
+        }
+        out.push_str("end\n");
+        out
+    }
+
+    /// Parse the replay text format.
+    pub fn parse(text: &str) -> Result<Case, String> {
+        let mut nodes = None;
+        let mut seed = None;
+        let mut tiebreak = None;
+        let mut interrupt_mode = None;
+        let mut slot_bytes = None;
+        let mut drop_prob = None;
+        let mut dup_prob = None;
+        let mut escape_ms = None;
+        let mut mutant: Option<Mutant> = None;
+        let mut fault_lines = Vec::new();
+        let mut op_lines: Vec<(usize, Op)> = Vec::new();
+        let mut ended = false;
+        for raw_line in text.lines() {
+            let line = raw_line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if ended {
+                return Err("content after `end`".into());
+            }
+            let (key, rest) = line.split_once(' ').unwrap_or((line, ""));
+            match key {
+                "nodes" => nodes = Some(parse_num(rest, "nodes")?),
+                "seed" => seed = Some(parse_num(rest, "seed")?),
+                "slot_bytes" => slot_bytes = Some(parse_num(rest, "slot_bytes")?),
+                "escape_ms" => escape_ms = Some(parse_num(rest, "escape_ms")?),
+                "tiebreak" => {
+                    tiebreak = Some(if rest == "none" {
+                        None
+                    } else {
+                        Some(parse_num(rest, "tiebreak")?)
+                    })
+                }
+                "mode" => {
+                    interrupt_mode = Some(match rest {
+                        "interrupt" => true,
+                        "polling" => false,
+                        other => return Err(format!("unknown mode {other:?}")),
+                    })
+                }
+                "drop" => drop_prob = Some(rest.parse::<f64>().map_err(|e| format!("drop: {e}"))?),
+                "dup" => dup_prob = Some(rest.parse::<f64>().map_err(|e| format!("dup: {e}"))?),
+                "mutant" => {
+                    mutant = if rest == "none" {
+                        None
+                    } else {
+                        Some(
+                            Mutant::from_name(rest)
+                                .ok_or_else(|| format!("unknown mutant {rest:?}"))?,
+                        )
+                    }
+                }
+                "fault" => fault_lines.push(rest.to_string()),
+                "op" => {
+                    let (rank, op_text) = rest
+                        .split_once(' ')
+                        .ok_or_else(|| format!("op line too short: {line:?}"))?;
+                    let rank = parse_num(rank, "op rank")? as usize;
+                    op_lines.push((rank, Op::parse_line(op_text)?));
+                }
+                "end" => ended = true,
+                other => return Err(format!("unknown key {other:?}")),
+            }
+        }
+        if !ended {
+            return Err("missing `end` terminator (truncated case?)".into());
+        }
+        let nodes = nodes.ok_or("missing nodes")? as usize;
+        if nodes == 0 {
+            return Err("nodes must be > 0".into());
+        }
+        let plan = FaultPlan::parse(&fault_lines.join("\n"))?;
+        let mut ops = vec![Vec::new(); nodes];
+        for (rank, op) in op_lines {
+            if rank >= nodes {
+                return Err(format!("op rank {rank} out of range for {nodes} nodes"));
+            }
+            ops[rank].push(op);
+        }
+        Ok(Case {
+            nodes,
+            seed: seed.ok_or("missing seed")?,
+            tiebreak: tiebreak.ok_or("missing tiebreak")?,
+            interrupt_mode: interrupt_mode.ok_or("missing mode")?,
+            slot_bytes: slot_bytes.ok_or("missing slot_bytes")? as usize,
+            drop_prob: drop_prob.ok_or("missing drop")?,
+            dup_prob: dup_prob.ok_or("missing dup")?,
+            plan,
+            escape_ms: escape_ms.ok_or("missing escape_ms")?,
+            mutant,
+            ops,
+        })
+    }
+
+    /// The per-wait deadlock escape as a `Duration`.
+    pub fn escape(&self) -> Duration {
+        Duration::from_millis(self.escape_ms)
+    }
+}
+
+fn parse_num(s: &str, what: &str) -> Result<u64, String> {
+    s.parse::<u64>().map_err(|e| format!("{what}: {e}"))
+}
+
+/// Raw generator tuple for one fault-plan entry, decoded by
+/// [`decode_case`]: `((src_sel, dst_sel, kind), (drop_pct, dup_pct,
+/// from_us, dur_us))`.
+pub type RawFault = ((u8, u8, u8), (u8, u8, u16, u16));
+
+/// Raw generator knobs: `(nodes_sel, seed, slot_sel, tiebreak_sel,
+/// drop_pct, dup_pct)`.
+pub type RawKnobs = (u8, u64, u8, u64, u8, u8);
+
+/// Decode generator output into a runnable case.
+///
+/// Bounds keep every decoded case *survivable*: probabilities stay below
+/// the retransmit budget's breaking point and black-hole windows stay
+/// well under `max_retransmits * retransmit_timeout`, so a healthy
+/// simulator always reaches quiescence and an escape panic is a real
+/// finding, not generator noise.
+pub fn decode_case(knobs: RawKnobs, raw_ops: &[RawOp], raw_faults: &[RawFault]) -> Case {
+    let (nodes_sel, seed, slot_sel, tiebreak_sel, drop_pct, dup_pct) = knobs;
+    let nodes = 2 + nodes_sel as usize % 3;
+    let slot_bytes = 16 + (slot_sel as usize % 5) * 16;
+    let mut plan = FaultPlan::new();
+    for &((src_sel, dst_sel, kind), (f_drop, f_dup, from_us, dur_us)) in raw_faults {
+        let src = src_sel as usize % nodes;
+        let dst = dst_sel as usize % nodes;
+        if src == dst {
+            continue; // loopback bypasses the fabric; no link to perturb
+        }
+        if kind % 2 == 0 {
+            plan = plan.with_link(
+                src,
+                dst,
+                spsim::LinkFaults {
+                    drop_prob: (f_drop % 40) as f64 / 100.0,
+                    dup_prob: (f_dup % 20) as f64 / 100.0,
+                },
+            );
+        } else {
+            let from = spsim::VTime::from_ns(1_000 * (from_us % 4_000) as u64);
+            let until = spsim::VTime::from_ns(from.as_ns() + 1_000 * (1 + dur_us % 3_000) as u64);
+            plan = plan.with_black_hole(src, dst, from, until);
+        }
+    }
+    Case {
+        nodes,
+        seed,
+        tiebreak: if tiebreak_sel == 0 {
+            None
+        } else {
+            Some(tiebreak_sel)
+        },
+        // Polling and interrupt progress engines both explored, pinned
+        // by a bit that shrinks toward polling.
+        interrupt_mode: seed % 2 == 1,
+        slot_bytes,
+        drop_prob: (drop_pct % 40) as f64 / 100.0,
+        dup_prob: (dup_pct % 20) as f64 / 100.0,
+        plan,
+        escape_ms: 10_000,
+        mutant: None,
+        ops: decode_ops(nodes, slot_bytes, raw_ops),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spsim::VTime;
+
+    fn sample() -> Case {
+        Case {
+            nodes: 3,
+            seed: 42,
+            tiebreak: Some(7),
+            interrupt_mode: false,
+            slot_bytes: 32,
+            drop_prob: 0.25,
+            dup_prob: 0.05,
+            plan: FaultPlan::new()
+                .with_link(
+                    0,
+                    1,
+                    spsim::LinkFaults {
+                        drop_prob: 0.3,
+                        dup_prob: 0.0,
+                    },
+                )
+                .with_black_hole(1, 2, VTime::from_us(10), VTime::from_us(500)),
+            escape_ms: 10_000,
+            mutant: Some(Mutant::DedupCursorOffByOne),
+            ops: vec![
+                vec![
+                    Op::Put {
+                        target: 1,
+                        slot: 0,
+                        pat: 9,
+                        len: 20,
+                    },
+                    Op::Rmw { owner: 2 },
+                ],
+                vec![Op::Get { target: 0, len: 5 }],
+                vec![],
+            ],
+        }
+    }
+
+    #[test]
+    fn cases_round_trip() {
+        let case = sample();
+        let text = case.serialize();
+        assert_eq!(Case::parse(&text), Ok(case));
+    }
+
+    #[test]
+    fn lossless_case_round_trips_too() {
+        let case = Case {
+            tiebreak: None,
+            mutant: None,
+            drop_prob: 0.0,
+            dup_prob: 0.0,
+            plan: FaultPlan::new(),
+            interrupt_mode: true,
+            ..sample()
+        };
+        assert_eq!(Case::parse(&case.serialize()), Ok(case));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_cases() {
+        assert!(Case::parse("").is_err(), "empty");
+        assert!(
+            Case::parse(&sample().serialize().replace("end\n", "")).is_err(),
+            "truncation must be detected"
+        );
+        assert!(Case::parse("nodes 2\nend\n").is_err(), "missing keys");
+        assert!(
+            Case::parse(&sample().serialize().replace("mutant dedup", "mutant warp")).is_err(),
+            "unknown mutant"
+        );
+        assert!(
+            Case::parse(&sample().serialize().replace("op 1 get", "op 9 get")).is_err(),
+            "rank out of range"
+        );
+    }
+
+    #[test]
+    fn decode_case_stays_in_survivable_bounds() {
+        let raw_ops: Vec<RawOp> = (0u8..10)
+            .map(|i| (i, i, i.wrapping_add(1), i, 100))
+            .collect();
+        let raw_faults: Vec<RawFault> = vec![
+            ((0, 1, 0), (255, 255, 9_999, 9_999)),
+            ((1, 0, 1), (0, 0, 9_999, 9_999)),
+            ((2, 2, 0), (50, 50, 0, 0)), // self link: dropped
+        ];
+        let case = decode_case((0, 3, 200, 5, 255, 255), &raw_ops, &raw_faults);
+        assert_eq!(case.nodes, 2);
+        assert!(case.drop_prob < 0.40 && case.dup_prob < 0.20);
+        for &(_, _, f) in case.plan.overrides() {
+            assert!(f.drop_prob < 0.40 && f.dup_prob < 0.20);
+        }
+        for w in case.plan.windows() {
+            assert!(
+                w.until.as_ns() - w.from.as_ns() <= 3_000_000,
+                "window ≤ 3ms"
+            );
+            assert!(w.until < VTime::from_us(8_000), "windows end before 8ms");
+        }
+        // Self-link fault was skipped, two survived.
+        assert_eq!(case.plan.overrides().len() + case.plan.windows().len(), 2);
+    }
+}

@@ -1,0 +1,44 @@
+//! Model-based conformance harness for the LAPI simulator.
+//!
+//! The simulator under `crates/{sim,switch,lapi}` is a concurrent system:
+//! per-node threads, a virtual-time event queue, a lossy fabric with
+//! ACK/retransmit reliability. This crate pits it against a *sequential
+//! reference oracle* — a pure model of what the paper's semantics promise
+//! regardless of schedule or faults:
+//!
+//! * **Counter accounting** (§2.3, Figure 1): after quiescence every
+//!   org/cmpl/tgt counter has been signaled exactly once per associated
+//!   event, counters only move up between consumes, and `LAPI_Waitcntr`
+//!   residues are zero.
+//! * **Happens-before** (§2.4): `LAPI_Fence` orders prior one-sided ops
+//!   to a target before later ones; a fenced put is observable by a
+//!   subsequent get (the `PutFenceGet` witness op).
+//! * **Rmw linearizability**: fetch-and-add tickets drawn against one
+//!   cell form a permutation `0..k` across all origins.
+//! * **Delivery**: final memory equals the oracle's prediction whether the
+//!   fabric was lossless, lossy, or running a fault plan — reliability may
+//!   change timing, never outcomes.
+//!
+//! A generated [`case::Case`] is self-contained — node count, RNG seed,
+//! scheduler tie-break seed, fault plan, op program — so a failure found
+//! by exploration serializes to a text artifact that `src/bin/replay.rs`
+//! re-executes byte-identically (see DESIGN §9).
+
+pub mod case;
+pub mod oracle;
+pub mod program;
+pub mod runner;
+
+pub use case::Case;
+pub use oracle::{canonicalize, check, predict, Canon, Obs};
+pub use program::{Op, Program};
+pub use runner::{run_case, RunOutcome};
+
+/// Full verdict for one case: run panics (simulated deadlocks, internal
+/// assertion failures) and oracle disagreements both count as failures.
+pub fn verdict(case: &Case, out: &RunOutcome) -> Result<(), String> {
+    match &out.obs {
+        Ok(obs) => check(&case.program(), obs),
+        Err(panic) => Err(format!("run panicked: {panic}")),
+    }
+}

@@ -1,0 +1,355 @@
+//! The sequential reference oracle: predicts the exact post-quiescence
+//! state of a [`Program`] run, independent of schedule and faults.
+//!
+//! The prediction is possible because the op vocabulary is designed to be
+//! confluent: write slots are unique per (origin, target), gets read
+//! either an immutable well-known buffer or a slot the same origin just
+//! fenced, and rmw tickets are commutative fetch-and-adds. Anything the
+//! simulator can do differently run-to-run (packet order, loss,
+//! retransmission, scheduler tie-breaks) must therefore be invisible in
+//! the final state — a disagreement is a semantics bug, not noise.
+
+use crate::program::{Op, Program};
+
+/// Byte `i` of node `n`'s well-known pattern buffer.
+pub fn well_byte(node: usize, i: usize) -> u8 {
+    (node.wrapping_mul(31).wrapping_add(i) as u8) ^ 0x5A
+}
+
+/// Byte `i` of the payload an op with pattern `pat` writes.
+pub fn content_byte(pat: u8, i: usize) -> u8 {
+    pat ^ (i as u8) ^ 0xA5
+}
+
+/// Full payload for pattern `pat`.
+pub fn content(pat: u8, len: usize) -> Vec<u8> {
+    (0..len).map(|i| content_byte(pat, i)).collect()
+}
+
+/// What the oracle expects the world to look like after quiescence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Expected {
+    /// Final put region per node.
+    pub put_mem: Vec<Vec<u8>>,
+    /// Final AM region per node.
+    pub am_mem: Vec<Vec<u8>>,
+    /// Final rmw ticket-cell value per node.
+    pub rmw_total: Vec<u64>,
+    /// Per rank, in issue order: the bytes each get must have fetched.
+    pub gets: Vec<Vec<Vec<u8>>>,
+}
+
+/// Predict the post-quiescence state of `p`.
+pub fn predict(p: &Program) -> Expected {
+    let region = p.region_len();
+    let mut put_mem = vec![vec![0u8; region]; p.nodes];
+    let mut am_mem = vec![vec![0u8; region]; p.nodes];
+    let mut gets = vec![Vec::new(); p.nodes];
+    for (origin, ops) in p.ops.iter().enumerate() {
+        for op in ops {
+            match *op {
+                Op::Put {
+                    target,
+                    slot,
+                    pat,
+                    len,
+                } => {
+                    let off = p.slot_off(origin, slot);
+                    put_mem[target][off..off + len].copy_from_slice(&content(pat, len));
+                }
+                Op::Am {
+                    target,
+                    slot,
+                    pat,
+                    len,
+                } => {
+                    let off = p.slot_off(origin, slot);
+                    am_mem[target][off..off + len].copy_from_slice(&content(pat, len));
+                }
+                Op::Get { target, len } => {
+                    gets[origin].push((0..len).map(|i| well_byte(target, i)).collect());
+                }
+                Op::PutFenceGet {
+                    target,
+                    slot,
+                    pat,
+                    len,
+                } => {
+                    let off = p.slot_off(origin, slot);
+                    put_mem[target][off..off + len].copy_from_slice(&content(pat, len));
+                    // The fence between put and get-back is the
+                    // happens-before witness: the get must see the put.
+                    gets[origin].push(content(pat, len));
+                }
+                Op::Rmw { .. } | Op::Fence { .. } => {}
+            }
+        }
+    }
+    Expected {
+        put_mem,
+        am_mem,
+        rmw_total: (0..p.nodes).map(|n| p.rmw_total(n)).collect(),
+        gets,
+    }
+}
+
+/// What one rank actually observed after quiescence (built by the
+/// runner, consumed by [`check`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Obs {
+    /// Final put region.
+    pub put_mem: Vec<u8>,
+    /// Final AM region.
+    pub am_mem: Vec<u8>,
+    /// Final value of this node's rmw ticket cell.
+    pub rmw_cell: u64,
+    /// Tickets this rank's own rmw futures returned, indexed by owner.
+    pub rmw_prevs: Vec<Vec<u64>>,
+    /// Bytes each of this rank's gets fetched, in issue order.
+    pub gets: Vec<Vec<u8>>,
+    /// (org, cmpl, tgt) counter values after all waits consumed them —
+    /// must be zero: exactly as many signals as Figure 1 promises.
+    pub residues: [i64; 3],
+    /// Sampled between ops: the tgt counter never decreased and never
+    /// exceeded its total (counter monotonicity).
+    pub mono_ok: bool,
+}
+
+fn first_diff(a: &[u8], b: &[u8]) -> String {
+    if a.len() != b.len() {
+        return format!("length {} vs expected {}", a.len(), b.len());
+    }
+    match a.iter().zip(b).position(|(x, y)| x != y) {
+        Some(i) => format!("byte {i}: {:#04x} vs expected {:#04x}", a[i], b[i]),
+        None => "identical".into(),
+    }
+}
+
+/// Compare a full run observation against the oracle's prediction.
+pub fn check(p: &Program, obs: &[Obs]) -> Result<(), String> {
+    if obs.len() != p.nodes {
+        return Err(format!(
+            "{} ranks observed, {} expected",
+            obs.len(),
+            p.nodes
+        ));
+    }
+    let exp = predict(p);
+    for (rank, o) in obs.iter().enumerate() {
+        if !o.mono_ok {
+            return Err(format!("rank {rank}: tgt counter was not monotone"));
+        }
+        if o.residues != [0, 0, 0] {
+            return Err(format!(
+                "rank {rank}: counter residues {:?} != [0, 0, 0] — \
+                 signal count disagrees with the tri-counter model",
+                o.residues
+            ));
+        }
+        if o.put_mem != exp.put_mem[rank] {
+            return Err(format!(
+                "rank {rank}: put region diverged ({})",
+                first_diff(&o.put_mem, &exp.put_mem[rank])
+            ));
+        }
+        if o.am_mem != exp.am_mem[rank] {
+            return Err(format!(
+                "rank {rank}: AM region diverged ({})",
+                first_diff(&o.am_mem, &exp.am_mem[rank])
+            ));
+        }
+        if o.rmw_cell != exp.rmw_total[rank] {
+            return Err(format!(
+                "rank {rank}: rmw cell {} != {} tickets drawn",
+                o.rmw_cell, exp.rmw_total[rank]
+            ));
+        }
+        if o.gets.len() != exp.gets[rank].len() {
+            return Err(format!(
+                "rank {rank}: {} gets observed, {} issued",
+                o.gets.len(),
+                exp.gets[rank].len()
+            ));
+        }
+        for (k, (got, want)) in o.gets.iter().zip(&exp.gets[rank]).enumerate() {
+            if got != want {
+                return Err(format!(
+                    "rank {rank}: get #{k} fetched wrong bytes ({})",
+                    first_diff(got, want)
+                ));
+            }
+        }
+    }
+    // Rmw linearizability: the tickets all origins drew against one cell
+    // must form the permutation 0..k — no duplicate, no gap.
+    for owner in 0..p.nodes {
+        let mut tickets: Vec<u64> = obs
+            .iter()
+            .flat_map(|o| o.rmw_prevs[owner].iter().copied())
+            .collect();
+        tickets.sort_unstable();
+        let want: Vec<u64> = (0..p.rmw_total(owner)).collect();
+        if tickets != want {
+            return Err(format!(
+                "owner {owner}: rmw tickets {tickets:?} are not the permutation 0..{}",
+                p.rmw_total(owner)
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Schedule-independent projection of a run, for differential lanes
+/// (lossy vs lossless must agree on this exactly). Per-rank state is kept
+/// as-is; rmw tickets are pooled per owner and sorted, because *which*
+/// origin wins which ticket legitimately depends on timing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Canon {
+    pub per_rank: Vec<CanonRank>,
+    pub tickets_by_owner: Vec<Vec<u64>>,
+}
+
+/// One rank's slice of the canonical projection: put-landing memory, AM
+/// deposit memory, final rmw cell, fetched get buffers, counter residues.
+pub type CanonRank = (Vec<u8>, Vec<u8>, u64, Vec<Vec<u8>>, [i64; 3]);
+
+/// Build the canonical projection of a full observation.
+pub fn canonicalize(obs: &[Obs]) -> Canon {
+    let nodes = obs.len();
+    let per_rank = obs
+        .iter()
+        .map(|o| {
+            (
+                o.put_mem.clone(),
+                o.am_mem.clone(),
+                o.rmw_cell,
+                o.gets.clone(),
+                o.residues,
+            )
+        })
+        .collect();
+    let tickets_by_owner = (0..nodes)
+        .map(|owner| {
+            let mut t: Vec<u64> = obs
+                .iter()
+                .flat_map(|o| o.rmw_prevs[owner].iter().copied())
+                .collect();
+            t.sort_unstable();
+            t
+        })
+        .collect();
+    Canon {
+        per_rank,
+        tickets_by_owner,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Program {
+        Program {
+            nodes: 2,
+            slot_bytes: 8,
+            ops: vec![
+                vec![
+                    Op::Put {
+                        target: 1,
+                        slot: 0,
+                        pat: 7,
+                        len: 4,
+                    },
+                    Op::Get { target: 1, len: 3 },
+                    Op::Rmw { owner: 1 },
+                ],
+                vec![Op::Rmw { owner: 1 }],
+            ],
+        }
+    }
+
+    /// An Obs vector that matches `predict(p)` exactly.
+    fn perfect(p: &Program) -> Vec<Obs> {
+        let exp = predict(p);
+        let mut obs: Vec<Obs> = (0..p.nodes)
+            .map(|rank| Obs {
+                put_mem: exp.put_mem[rank].clone(),
+                am_mem: exp.am_mem[rank].clone(),
+                rmw_cell: exp.rmw_total[rank],
+                rmw_prevs: vec![Vec::new(); p.nodes],
+                gets: exp.gets[rank].clone(),
+                residues: [0, 0, 0],
+                mono_ok: true,
+            })
+            .collect();
+        // Hand out tickets 0..k round-robin.
+        for owner in 0..p.nodes {
+            for t in 0..p.rmw_total(owner) {
+                obs[(t as usize) % p.nodes].rmw_prevs[owner].push(t);
+            }
+        }
+        obs
+    }
+
+    #[test]
+    fn perfect_run_passes() {
+        let p = toy();
+        assert_eq!(check(&p, &perfect(&p)), Ok(()));
+    }
+
+    #[test]
+    fn predict_places_put_in_origin_slot() {
+        let p = toy();
+        let exp = predict(&p);
+        let off = p.slot_off(0, 0);
+        assert_eq!(exp.put_mem[1][off..off + 4], content(7, 4)[..]);
+        assert!(exp.put_mem[1][off + 4..].iter().all(|&b| b == 0));
+        assert_eq!(
+            exp.gets[0][0],
+            vec![well_byte(1, 0), well_byte(1, 1), well_byte(1, 2)]
+        );
+    }
+
+    #[test]
+    fn stale_counter_residue_is_caught() {
+        let p = toy();
+        let mut obs = perfect(&p);
+        obs[0].residues = [1, 0, 0];
+        assert!(check(&p, &obs).unwrap_err().contains("residues"));
+    }
+
+    #[test]
+    fn duplicate_rmw_ticket_is_caught() {
+        let p = toy();
+        let mut obs = perfect(&p);
+        obs[0].rmw_prevs[1] = vec![0];
+        obs[1].rmw_prevs[1] = vec![0]; // duplicate grant of ticket 0
+        assert!(check(&p, &obs).unwrap_err().contains("permutation"));
+    }
+
+    #[test]
+    fn corrupt_memory_is_caught_with_location() {
+        let p = toy();
+        let mut obs = perfect(&p);
+        let off = p.slot_off(0, 0);
+        obs[1].put_mem[off] ^= 0xFF;
+        let err = check(&p, &obs).unwrap_err();
+        assert!(err.contains("put region") && err.contains("byte"), "{err}");
+    }
+
+    #[test]
+    fn canonicalize_pools_tickets_across_ranks() {
+        let p = toy();
+        let mut a = perfect(&p);
+        let mut b = perfect(&p);
+        // Same tickets, different winners: canonically equal.
+        a[0].rmw_prevs[1] = vec![1];
+        a[1].rmw_prevs[1] = vec![0];
+        b[0].rmw_prevs[1] = vec![0];
+        b[1].rmw_prevs[1] = vec![1];
+        assert_eq!(canonicalize(&a), canonicalize(&b));
+        // Different final memory: canonically different.
+        b[0].put_mem[0] ^= 1;
+        assert_ne!(canonicalize(&a), canonicalize(&b));
+    }
+}

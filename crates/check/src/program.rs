@@ -1,0 +1,404 @@
+//! Op programs: the vocabulary the explorer drives the simulator with.
+//!
+//! Each rank runs a straight-line list of one-sided operations over a
+//! fixed memory layout (see `runner`): a put region and an AM region of
+//! `nodes * MAX_SLOTS` disjoint slots each, a well-known pattern buffer,
+//! and a u64 rmw ticket cell. Slots are unique per (origin, target), so
+//! the final memory image is schedule-independent and a sequential oracle
+//! can predict it exactly.
+
+use std::collections::HashMap;
+
+/// Write slots per (origin, target) pair in each region.
+pub const MAX_SLOTS: usize = 8;
+
+/// AM handler id the runner registers for `Op::Am` deposits.
+pub const AM_HANDLER: u32 = 7;
+
+/// One operation issued by a rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// `LAPI_Put` of `len` patterned bytes into the origin's `slot` on
+    /// `target` (org+cmpl+tgt counters attached).
+    Put {
+        target: usize,
+        slot: usize,
+        pat: u8,
+        len: usize,
+    },
+    /// `LAPI_Get` of `len` bytes from `target`'s well-known pattern
+    /// buffer into a fresh local scratch buffer (org+tgt counters).
+    Get { target: usize, len: usize },
+    /// `LAPI_Amsend` depositing `len` patterned bytes into the origin's
+    /// AM `slot` on `target` (org+cmpl+tgt counters).
+    Am {
+        target: usize,
+        slot: usize,
+        pat: u8,
+        len: usize,
+    },
+    /// `LAPI_Rmw` fetch-and-add 1 against `owner`'s ticket cell.
+    Rmw { owner: usize },
+    /// `LAPI_Fence` toward `target`.
+    Fence { target: usize },
+    /// Put, fence(target), then get the same slot back: the fence
+    /// happens-before witness — the get must observe the put.
+    PutFenceGet {
+        target: usize,
+        slot: usize,
+        pat: u8,
+        len: usize,
+    },
+}
+
+impl Op {
+    /// One-line form used inside case files (`op <rank> <this>`).
+    pub fn to_line(self) -> String {
+        match self {
+            Op::Put {
+                target,
+                slot,
+                pat,
+                len,
+            } => format!("put {target} {slot} {pat} {len}"),
+            Op::Get { target, len } => format!("get {target} {len}"),
+            Op::Am {
+                target,
+                slot,
+                pat,
+                len,
+            } => format!("am {target} {slot} {pat} {len}"),
+            Op::Rmw { owner } => format!("rmw {owner}"),
+            Op::Fence { target } => format!("fence {target}"),
+            Op::PutFenceGet {
+                target,
+                slot,
+                pat,
+                len,
+            } => format!("pfg {target} {slot} {pat} {len}"),
+        }
+    }
+
+    /// Inverse of [`Op::to_line`].
+    pub fn parse_line(line: &str) -> Result<Op, String> {
+        let mut it = line.split_whitespace();
+        let kind = it.next().ok_or("empty op line")?;
+        let mut num = |what: &str| -> Result<usize, String> {
+            it.next()
+                .ok_or(format!("op {kind}: missing {what}"))?
+                .parse::<usize>()
+                .map_err(|e| format!("op {kind}: bad {what}: {e}"))
+        };
+        let op = match kind {
+            "put" | "am" | "pfg" => {
+                let target = num("target")?;
+                let slot = num("slot")?;
+                let pat = num("pat")? as u8;
+                let len = num("len")?;
+                match kind {
+                    "put" => Op::Put {
+                        target,
+                        slot,
+                        pat,
+                        len,
+                    },
+                    "am" => Op::Am {
+                        target,
+                        slot,
+                        pat,
+                        len,
+                    },
+                    _ => Op::PutFenceGet {
+                        target,
+                        slot,
+                        pat,
+                        len,
+                    },
+                }
+            }
+            "get" => {
+                let target = num("target")?;
+                let len = num("len")?;
+                Op::Get { target, len }
+            }
+            "rmw" => Op::Rmw {
+                owner: num("owner")?,
+            },
+            "fence" => Op::Fence {
+                target: num("target")?,
+            },
+            other => return Err(format!("unknown op kind {other:?}")),
+        };
+        if it.next().is_some() {
+            return Err(format!("op {kind}: trailing tokens"));
+        }
+        Ok(op)
+    }
+}
+
+/// A complete multi-rank program over the fixed memory layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    pub nodes: usize,
+    pub slot_bytes: usize,
+    /// `ops[rank]` is rank's straight-line op list.
+    pub ops: Vec<Vec<Op>>,
+}
+
+impl Program {
+    /// Bytes in each of the two write regions (put and AM).
+    pub fn region_len(&self) -> usize {
+        self.nodes * MAX_SLOTS * self.slot_bytes
+    }
+
+    /// Offset of (origin, slot) within a region.
+    pub fn slot_off(&self, origin: usize, slot: usize) -> usize {
+        (origin * MAX_SLOTS + slot) * self.slot_bytes
+    }
+
+    /// Targets `origin` must send a zero-byte *drain token* put to after
+    /// resolving its rmw futures (sorted, deduplicated).
+    ///
+    /// `LAPI_Rmw` carries no counters, so in polling mode a target could
+    /// satisfy its tgt wait and stop polling while an rmw aimed at it is
+    /// still in flight — a protocol deadlock in the harness, not a
+    /// simulator bug. The rmw service happens-before its reply, which
+    /// happens-before the origin's drain token, so a target that also
+    /// waits for every drain token keeps polling until all rmws against
+    /// it are served.
+    pub fn drain_targets(&self, origin: usize) -> Vec<usize> {
+        let mut t: Vec<usize> = self.ops[origin]
+            .iter()
+            .filter_map(|op| match op {
+                Op::Rmw { owner } => Some(*owner),
+                _ => None,
+            })
+            .collect();
+        t.sort_unstable();
+        t.dedup();
+        t
+    }
+
+    /// Expected final value of `rank`'s org counter: one signal per put,
+    /// get, amsend, and drain token, two for the put+get of a
+    /// `PutFenceGet`.
+    pub fn org_expected(&self, rank: usize) -> i64 {
+        let ops: i64 = self.ops[rank]
+            .iter()
+            .map(|op| match op {
+                Op::Put { .. } | Op::Get { .. } | Op::Am { .. } => 1,
+                Op::PutFenceGet { .. } => 2,
+                Op::Rmw { .. } | Op::Fence { .. } => 0,
+            })
+            .sum();
+        ops + self.drain_targets(rank).len() as i64
+    }
+
+    /// Expected final value of `rank`'s cmpl counter (target-side
+    /// completion of its puts, amsends, and drain tokens).
+    pub fn cmpl_expected(&self, rank: usize) -> i64 {
+        let ops: i64 = self.ops[rank]
+            .iter()
+            .map(|op| match op {
+                Op::Put { .. } | Op::Am { .. } | Op::PutFenceGet { .. } => 1,
+                _ => 0,
+            })
+            .sum();
+        ops + self.drain_targets(rank).len() as i64
+    }
+
+    /// Expected final value of `rank`'s tgt counter: one signal per
+    /// one-sided op (and drain token) any origin aimed at `rank`.
+    pub fn tgt_expected(&self, rank: usize) -> i64 {
+        let mut total = 0;
+        for (origin, ops) in self.ops.iter().enumerate() {
+            for op in ops {
+                total += match op {
+                    Op::Put { target, .. } | Op::Get { target, .. } | Op::Am { target, .. }
+                        if *target == rank =>
+                    {
+                        1
+                    }
+                    Op::PutFenceGet { target, .. } if *target == rank => 2,
+                    _ => 0,
+                };
+            }
+            if self.drain_targets(origin).contains(&rank) {
+                total += 1;
+            }
+        }
+        total
+    }
+
+    /// Total fetch-and-add tickets drawn against `owner`'s cell.
+    pub fn rmw_total(&self, owner: usize) -> u64 {
+        self.ops
+            .iter()
+            .flatten()
+            .filter(|op| matches!(op, Op::Rmw { owner: o } if *o == owner))
+            .count() as u64
+    }
+
+    /// Total op count across all ranks.
+    pub fn total_ops(&self) -> usize {
+        self.ops.iter().map(Vec::len).sum()
+    }
+}
+
+/// Raw generator tuple, decoded by [`decode_ops`]:
+/// `(rank_sel, kind_sel, target_sel, pat, len_sel)`.
+pub type RawOp = (u8, u8, u8, u8, u16);
+
+/// Decode a flat generated op list into per-rank programs.
+///
+/// Selectors wrap modulo the valid domain so every raw tuple decodes to
+/// *some* legal program — the shrinker can lower fields freely without
+/// leaving the input space. Slots are assigned in issue order per
+/// (origin, target, region); overflow beyond [`MAX_SLOTS`] decodes to a
+/// fence so memory stays schedule-independent.
+pub fn decode_ops(nodes: usize, slot_bytes: usize, raw: &[RawOp]) -> Vec<Vec<Op>> {
+    let mut ops: Vec<Vec<Op>> = vec![Vec::new(); nodes];
+    // (origin, target, is_am) -> next free slot
+    let mut slots: HashMap<(usize, usize, bool), usize> = HashMap::new();
+    for &(rank_sel, kind_sel, target_sel, pat, len_sel) in raw {
+        let rank = rank_sel as usize % nodes;
+        let target = target_sel as usize % nodes;
+        let len = len_sel as usize % (slot_bytes + 1);
+        let mut slot_for = |is_am: bool| -> Option<usize> {
+            let e = slots.entry((rank, target, is_am)).or_insert(0);
+            if *e >= MAX_SLOTS {
+                return None;
+            }
+            *e += 1;
+            Some(*e - 1)
+        };
+        // Weighted kinds: puts dominate, as in the paper's workloads.
+        let op = match kind_sel % 8 {
+            0 | 1 => slot_for(false).map(|slot| Op::Put {
+                target,
+                slot,
+                pat,
+                len,
+            }),
+            2 | 3 => slot_for(true).map(|slot| Op::Am {
+                target,
+                slot,
+                pat,
+                len,
+            }),
+            4 => Some(Op::Get { target, len }),
+            5 => Some(Op::Rmw { owner: target }),
+            6 => slot_for(false).map(|slot| Op::PutFenceGet {
+                target,
+                slot,
+                pat,
+                len,
+            }),
+            _ => Some(Op::Fence { target }),
+        };
+        ops[rank].push(op.unwrap_or(Op::Fence { target }));
+    }
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_lines_round_trip() {
+        let ops = [
+            Op::Put {
+                target: 2,
+                slot: 3,
+                pat: 250,
+                len: 17,
+            },
+            Op::Get { target: 0, len: 0 },
+            Op::Am {
+                target: 1,
+                slot: 7,
+                pat: 0,
+                len: 64,
+            },
+            Op::Rmw { owner: 3 },
+            Op::Fence { target: 1 },
+            Op::PutFenceGet {
+                target: 0,
+                slot: 0,
+                pat: 9,
+                len: 1,
+            },
+        ];
+        for op in ops {
+            assert_eq!(Op::parse_line(&op.to_line()), Ok(op));
+        }
+        assert!(Op::parse_line("warp 1 2").is_err());
+        assert!(Op::parse_line("put 1 2").is_err());
+        assert!(Op::parse_line("rmw 1 2").is_err());
+    }
+
+    #[test]
+    fn decode_assigns_unique_slots_and_respects_cap() {
+        // 20 puts from rank 0 to rank 1: first MAX_SLOTS get distinct
+        // slots, the overflow decodes to fences.
+        let raw: Vec<RawOp> = (0..20).map(|i| (0, 0, 1, i as u8, 8)).collect();
+        let ops = decode_ops(2, 16, &raw);
+        let puts: Vec<usize> = ops[0]
+            .iter()
+            .filter_map(|op| match op {
+                Op::Put { slot, .. } => Some(*slot),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(puts, (0..MAX_SLOTS).collect::<Vec<_>>());
+        assert_eq!(
+            ops[0].len() - puts.len(),
+            20 - MAX_SLOTS,
+            "overflow must decode to fences"
+        );
+        assert!(ops[0][MAX_SLOTS..]
+            .iter()
+            .all(|op| matches!(op, Op::Fence { target: 1 })));
+    }
+
+    #[test]
+    fn expected_totals_count_both_sides() {
+        let p = Program {
+            nodes: 2,
+            slot_bytes: 16,
+            ops: vec![
+                vec![
+                    Op::Put {
+                        target: 1,
+                        slot: 0,
+                        pat: 1,
+                        len: 4,
+                    },
+                    Op::Get { target: 1, len: 8 },
+                    Op::Rmw { owner: 1 },
+                    Op::PutFenceGet {
+                        target: 0,
+                        slot: 0,
+                        pat: 2,
+                        len: 4,
+                    },
+                ],
+                vec![Op::Am {
+                    target: 0,
+                    slot: 0,
+                    pat: 3,
+                    len: 2,
+                }],
+            ],
+        };
+        assert_eq!(p.drain_targets(0), vec![1]); // rank0 rmw'd node 1
+        assert_eq!(p.drain_targets(1), Vec::<usize>::new());
+        assert_eq!(p.org_expected(0), 5); // put + get + pfg*2 + drain
+        assert_eq!(p.cmpl_expected(0), 3); // put + pfg + drain
+        assert_eq!(p.tgt_expected(0), 3); // rank1's am + own pfg*2
+        assert_eq!(p.tgt_expected(1), 3); // rank0's put + get + drain
+        assert_eq!(p.rmw_total(1), 1);
+        assert_eq!(p.total_ops(), 5);
+    }
+}

@@ -1,0 +1,404 @@
+//! Execute a [`Case`] against the real simulator and observe the result.
+//!
+//! One fixed SPMD protocol interprets any [`Program`]:
+//!
+//! * Memory layout per node (in allocation order, so `LAPI_Address_init`
+//!   tables line up): put region, AM region, well-known pattern buffer,
+//!   u64 rmw ticket cell — then per-get scratch buffers, local only.
+//! * Three counters per node (org/cmpl/tgt), ids exchanged collectively.
+//! * Each rank issues its op list, then runs the quiescence protocol:
+//!   resolve rmw futures, send one zero-byte *drain token* put to every
+//!   node it rmw'd (rmw carries no counters, so without the token a
+//!   polling-mode target could stop polling while an rmw aimed at it is
+//!   still unserved — see [`Program::drain_targets`]), `LAPI_Waitcntr`
+//!   each counter down to zero residue, `LAPI_Gfence`, barrier — and
+//!   only then reads memory.
+//!
+//! Runs are serialized process-wide: the scheduler tie-break hook and the
+//! mutation registry are process-global, so two concurrent cases would
+//! bleed into each other.
+
+use std::sync::Arc;
+
+use lapi::{Addr, LapiContext, LapiWorld, Mode, RmwOp};
+use parking_lot::Mutex;
+
+use crate::case::Case;
+use crate::oracle::{content, well_byte, Obs};
+use crate::program::{Op, Program, AM_HANDLER, MAX_SLOTS};
+
+/// Serializes case execution (tie-break hook + mutant registry are
+/// process-global).
+static RUN_LOCK: Mutex<()> = Mutex::new(());
+
+/// Everything one execution of a case produced.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// Per-rank observations, or the panic message if the run died
+    /// (simulated deadlock, internal assertion, mutant damage).
+    pub obs: Result<Vec<Obs>, String>,
+    /// FNV-1a hash of the fully rendered virtual-time trace. For a fixed
+    /// 2-node polling-mode case whose program has no `Am` ops and no
+    /// self-targeted ops this is byte-stable run-to-run. Outside that
+    /// envelope a node's receive queue gains a second real-time producer
+    /// and processing order stops being a pure function of virtual time:
+    /// `recv` returns the earliest-stamped packet *currently present*, so
+    /// a virtually-earlier packet that has not been pushed yet in real
+    /// time loses its turn. An AM deposit acks its completion from the
+    /// target's completion thread (second producer #1); a loopback
+    /// self-send pushes into the issuing node's own queue while the link
+    /// does too (second producer #2). Larger worlds additionally race on
+    /// ejection-link reservation order, and interrupt mode charges
+    /// idle-dispatcher time nondeterministically.
+    pub digest: u64,
+    /// Number of trace events recorded.
+    pub events: usize,
+    /// Last lines of the rendered trace, for failure reports.
+    pub tail: String,
+}
+
+/// Run `case` once, under a trace session, returning observations plus
+/// the trace digest/tail for replay comparison.
+pub fn run_case(case: &Case) -> RunOutcome {
+    let _guard = RUN_LOCK.lock();
+    spsim::set_schedule_tiebreak(case.tiebreak);
+    spsim::mutation::set(case.mutant);
+    let session = spsim::trace::session();
+    let mode = if case.interrupt_mode {
+        Mode::Interrupt
+    } else {
+        Mode::Polling
+    };
+    let ctxs = LapiWorld::init_full(
+        case.nodes,
+        case.machine_config(),
+        mode,
+        case.seed,
+        case.escape(),
+    );
+    let prog = Arc::new(case.program());
+    let p = prog.clone();
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+        spsim::run_spmd_with(ctxs, move |rank, ctx| execute(rank, &ctx, &p))
+    }));
+    spsim::mutation::set(None);
+    spsim::set_schedule_tiebreak(None);
+    let timeline = session.finish();
+    let rendered = timeline.render();
+    assert_eq!(
+        timeline.evicted, 0,
+        "trace ring overflowed — shrink the op budget so digests stay total"
+    );
+    let obs = match result {
+        Ok(v) => Ok(v),
+        Err(payload) => Err(panic_text(payload)),
+    };
+    RunOutcome {
+        obs,
+        digest: fnv1a(rendered.as_bytes()),
+        events: timeline.events.len(),
+        tail: tail_lines(&rendered, 24),
+    }
+}
+
+/// The fixed SPMD interpreter for one rank.
+fn execute(rank: usize, ctx: &LapiContext, p: &Program) -> Obs {
+    let n = p.nodes;
+    let region = p.region_len();
+    let put_base = ctx.alloc(region);
+    let am_base = ctx.alloc(region);
+    let well = ctx.alloc(p.slot_bytes.max(1));
+    let cell = ctx.alloc(8);
+    let well_data: Vec<u8> = (0..p.slot_bytes).map(|i| well_byte(rank, i)).collect();
+    ctx.mem_write(well, &well_data);
+
+    // AM deposits land in the *origin's* slot of our AM region; the slot
+    // rides in the user header. Registered before the collective
+    // exchanges below, which double as "everyone is ready" barriers.
+    let sb = p.slot_bytes;
+    ctx.register_handler(AM_HANDLER, move |_hctx, info| {
+        if info.data_len == 0 {
+            return lapi::HdrOutcome::none();
+        }
+        let slot = info.uhdr[0] as usize;
+        lapi::HdrOutcome::into_buffer(am_base.offset((info.src * MAX_SLOTS + slot) * sb))
+    });
+
+    let put_bases = ctx.address_init(put_base);
+    let wells = ctx.address_init(well);
+    let cells = ctx.address_init(cell);
+    let org = ctx.new_counter();
+    let cmpl = ctx.new_counter();
+    let tgt = ctx.new_counter();
+    let tgt_remote = ctx.counter_init(&tgt);
+
+    let mut futures = Vec::new();
+    let mut scratches: Vec<(Addr, usize)> = Vec::new();
+    let mut mono_ok = true;
+    let mut last_tgt = 0i64;
+    let tgt_total = p.tgt_expected(rank);
+    for op in &p.ops[rank] {
+        match *op {
+            Op::Put {
+                target,
+                slot,
+                pat,
+                len,
+            } => {
+                let dst = put_bases[target].offset(p.slot_off(rank, slot));
+                ctx.put(
+                    target,
+                    dst,
+                    &content(pat, len),
+                    Some(tgt_remote[target]),
+                    Some(&org),
+                    Some(&cmpl),
+                )
+                .expect("healthy cases must not exhaust retransmits on put");
+            }
+            Op::Get { target, len } => {
+                let scratch = ctx.alloc(len.max(1));
+                ctx.get(
+                    target,
+                    wells[target],
+                    len,
+                    scratch,
+                    Some(tgt_remote[target]),
+                    Some(&org),
+                )
+                .expect("healthy cases must not exhaust retransmits on get");
+                scratches.push((scratch, len));
+            }
+            Op::Am {
+                target,
+                slot,
+                pat,
+                len,
+            } => {
+                ctx.amsend(
+                    target,
+                    AM_HANDLER,
+                    &[slot as u8],
+                    &content(pat, len),
+                    Some(tgt_remote[target]),
+                    Some(&org),
+                    Some(&cmpl),
+                )
+                .expect("healthy cases must not exhaust retransmits on amsend");
+            }
+            Op::Rmw { owner } => {
+                let fut = ctx
+                    .rmw(owner, RmwOp::FetchAndAdd, cells[owner], 1, 0)
+                    .expect("healthy cases must not exhaust retransmits on rmw");
+                futures.push((owner, fut));
+            }
+            Op::Fence { target } => {
+                ctx.fence(target).expect("fence must not fail");
+            }
+            Op::PutFenceGet {
+                target,
+                slot,
+                pat,
+                len,
+            } => {
+                let dst = put_bases[target].offset(p.slot_off(rank, slot));
+                ctx.put(
+                    target,
+                    dst,
+                    &content(pat, len),
+                    Some(tgt_remote[target]),
+                    Some(&org),
+                    Some(&cmpl),
+                )
+                .expect("healthy cases must not exhaust retransmits on put");
+                ctx.fence(target).expect("fence must not fail");
+                let scratch = ctx.alloc(len.max(1));
+                ctx.get(
+                    target,
+                    dst,
+                    len,
+                    scratch,
+                    Some(tgt_remote[target]),
+                    Some(&org),
+                )
+                .expect("healthy cases must not exhaust retransmits on get");
+                scratches.push((scratch, len));
+            }
+        }
+        // Counter monotonicity: between consumes, tgt only moves up and
+        // never past its total.
+        let v = ctx.getcntr(&tgt);
+        mono_ok &= v >= last_tgt && v <= tgt_total;
+        last_tgt = v;
+    }
+
+    // Quiescence protocol: futures, drain tokens, the three waits, a
+    // global fence. The drain token (a zero-byte put carrying all three
+    // counters) is issued only after every rmw reply is in hand, so its
+    // arrival proves to the target that the rmws preceding it were
+    // served — the target's tgt wait below keeps it polling until then.
+    let mut rmw_prevs = vec![Vec::new(); n];
+    for (owner, fut) in futures {
+        rmw_prevs[owner].push(fut.wait());
+    }
+    for t in p.drain_targets(rank) {
+        ctx.put(
+            t,
+            put_bases[t],
+            &[],
+            Some(tgt_remote[t]),
+            Some(&org),
+            Some(&cmpl),
+        )
+        .expect("healthy cases must not exhaust retransmits on drain token");
+    }
+    ctx.waitcntr(&org, p.org_expected(rank));
+    ctx.waitcntr(&cmpl, p.cmpl_expected(rank));
+    ctx.waitcntr(&tgt, tgt_total);
+    ctx.gfence().expect("gfence must not fail");
+    ctx.barrier();
+
+    Obs {
+        put_mem: ctx.mem_read(put_base, region),
+        am_mem: ctx.mem_read(am_base, region),
+        rmw_cell: ctx.mem_read_u64(cell),
+        rmw_prevs,
+        gets: scratches
+            .iter()
+            .map(|&(addr, len)| ctx.mem_read(addr, len))
+            .collect(),
+        residues: [ctx.getcntr(&org), ctx.getcntr(&cmpl), ctx.getcntr(&tgt)],
+        mono_ok,
+    }
+}
+
+fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn tail_lines(text: &str, n: usize) -> String {
+    let lines: Vec<&str> = text.lines().collect();
+    let start = lines.len().saturating_sub(n);
+    lines[start..].join("\n")
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::check;
+    use spsim::FaultPlan;
+
+    fn tiny_case() -> Case {
+        Case {
+            nodes: 2,
+            seed: 11,
+            tiebreak: None,
+            interrupt_mode: false,
+            slot_bytes: 16,
+            drop_prob: 0.0,
+            dup_prob: 0.0,
+            plan: FaultPlan::new(),
+            escape_ms: 20_000,
+            mutant: None,
+            ops: vec![
+                vec![
+                    Op::Put {
+                        target: 1,
+                        slot: 0,
+                        pat: 3,
+                        len: 12,
+                    },
+                    Op::Get { target: 1, len: 7 },
+                    Op::Rmw { owner: 1 },
+                    Op::PutFenceGet {
+                        target: 1,
+                        slot: 1,
+                        pat: 8,
+                        len: 16,
+                    },
+                ],
+                vec![
+                    Op::Am {
+                        target: 0,
+                        slot: 0,
+                        pat: 5,
+                        len: 10,
+                    },
+                    Op::Rmw { owner: 1 },
+                    Op::Rmw { owner: 0 },
+                ],
+            ],
+        }
+    }
+
+    #[test]
+    fn tiny_lossless_case_matches_oracle() {
+        let case = tiny_case();
+        let out = run_case(&case);
+        let obs = out.obs.expect("lossless tiny case must complete");
+        assert_eq!(check(&case.program(), &obs), Ok(()));
+        assert!(out.events > 0, "trace session must have recorded the run");
+    }
+
+    /// A case inside the byte-stability envelope documented on
+    /// [`RunOutcome::digest`]: 2 nodes, polling mode, no AM ops, no
+    /// self-targeted ops (both would add a second real-time producer to a
+    /// receive queue and jitter the virtual-time trace).
+    fn deterministic_case() -> Case {
+        let mut case = tiny_case();
+        case.ops = vec![
+            vec![
+                Op::Put {
+                    target: 1,
+                    slot: 0,
+                    pat: 3,
+                    len: 12,
+                },
+                Op::Get { target: 1, len: 7 },
+                Op::Rmw { owner: 1 },
+                Op::PutFenceGet {
+                    target: 1,
+                    slot: 1,
+                    pat: 8,
+                    len: 16,
+                },
+            ],
+            vec![
+                Op::Put {
+                    target: 0,
+                    slot: 0,
+                    pat: 5,
+                    len: 10,
+                },
+                Op::Rmw { owner: 0 },
+            ],
+        ];
+        case
+    }
+
+    #[test]
+    fn deterministic_envelope_runs_are_digest_stable() {
+        let case = deterministic_case();
+        let a = run_case(&case);
+        let b = run_case(&case);
+        assert!(a.obs.is_ok(), "deterministic case must complete: {a:?}");
+        assert_eq!(a.digest, b.digest, "same case must replay byte-identically");
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.tail, b.tail);
+    }
+}

@@ -1,0 +1,193 @@
+//! Oracle-checked schedule/fault exploration (the tentpole lanes).
+//!
+//! Each property generates random op programs (put/get/amsend/rmw/fence
+//! over 2–4 nodes) crossed with fault plans and scheduler tie-break
+//! seeds, runs them on the real simulator, and compares the outcome with
+//! the sequential oracle. The case budget is small and deterministic for
+//! PR CI; the `check-soak` workflow raises it via `CHECK_CASES`.
+//!
+//! Every failing case is serialized to `target/check-failures/<lane>.case`
+//! *before* the assertion fires, and the shrinker re-runs the property on
+//! smaller inputs — so the file left behind after a failure is the
+//! minimal shrunk counterexample, ready for `cargo run -p check --bin
+//! replay`.
+
+use std::path::PathBuf;
+
+use check::case::{decode_case, Case, RawFault, RawKnobs};
+use check::program::RawOp;
+use check::{canonicalize, run_case, verdict};
+use proptest::prelude::*;
+use spsim::FaultPlan;
+
+/// Per-lane case budget: `CHECK_CASES` env override, small by default so
+/// the PR gate stays fast and deterministic.
+fn budget() -> u32 {
+    std::env::var("CHECK_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12)
+}
+
+fn config() -> ProptestConfig {
+    ProptestConfig {
+        cases: budget(),
+        ..ProptestConfig::default()
+    }
+}
+
+/// Write the candidate counterexample where CI can upload it. Called on
+/// every failing iteration, so the last write wins — the shrunk minimum.
+fn save_artifact(lane: &str, case: &Case) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"))
+        .parent()
+        .expect("CARGO_TARGET_TMPDIR has a parent")
+        .join("check-failures");
+    std::fs::create_dir_all(&dir).expect("create target/check-failures");
+    let path = dir.join(format!("{lane}.case"));
+    std::fs::write(&path, case.serialize()).expect("write failure artifact");
+    path
+}
+
+fn knobs_strategy() -> impl Strategy<Value = RawKnobs> {
+    (
+        0u8..6,
+        0u64..1_000_000,
+        0u8..250,
+        0u64..100,
+        0u8..255,
+        0u8..255,
+    )
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<RawOp>> {
+    proptest::collection::vec((0u8..8, 0u8..255, 0u8..8, 0u8..255, 0u16..128), 1..10)
+}
+
+fn faults_strategy() -> impl Strategy<Value = Vec<RawFault>> {
+    proptest::collection::vec(
+        (
+            (0u8..4, 0u8..4, 0u8..4),
+            (0u8..255, 0u8..255, 0u16..4000, 0u16..3000),
+        ),
+        0..3,
+    )
+}
+
+/// Strip every fault source from a decoded case, keeping the program,
+/// seeds, and mode.
+fn lossless_twin(case: &Case) -> Case {
+    Case {
+        drop_prob: 0.0,
+        dup_prob: 0.0,
+        plan: FaultPlan::new(),
+        ..case.clone()
+    }
+}
+
+proptest! {
+    #![proptest_config(config())]
+
+    /// Lane 1: on a clean fabric, every generated program reaches
+    /// quiescence and matches the oracle exactly.
+    #[test]
+    fn lossless_lane_matches_oracle(
+        knobs in knobs_strategy(),
+        raw_ops in ops_strategy(),
+    ) {
+        let case = lossless_twin(&decode_case(knobs, &raw_ops, &[]));
+        let out = run_case(&case);
+        let v = verdict(&case, &out);
+        if v.is_err() {
+            save_artifact("lossless", &case);
+        }
+        prop_assert!(v.is_ok(), "oracle disagreement: {v:?}\ntrace tail:\n{}", out.tail);
+    }
+
+    /// Lane 2: drops, duplicates, per-link overrides, and black-hole
+    /// windows may change timing but never outcomes — the ACK/retransmit
+    /// layer must deliver exactly-once semantics the oracle can predict.
+    #[test]
+    fn faulty_lane_matches_oracle(
+        knobs in knobs_strategy(),
+        raw_ops in ops_strategy(),
+        raw_faults in faults_strategy(),
+    ) {
+        let case = decode_case(knobs, &raw_ops, &raw_faults);
+        let out = run_case(&case);
+        let v = verdict(&case, &out);
+        if v.is_err() {
+            save_artifact("faulty", &case);
+        }
+        prop_assert!(v.is_ok(), "oracle disagreement: {v:?}\ntrace tail:\n{}", out.tail);
+    }
+
+    /// Lane 3 (differential): a lossy run and a lossless run of the same
+    /// program must land in canonically identical final states.
+    #[test]
+    fn lossy_and_lossless_runs_agree(
+        knobs in knobs_strategy(),
+        raw_ops in ops_strategy(),
+        raw_faults in faults_strategy(),
+    ) {
+        let lossy = decode_case(knobs, &raw_ops, &raw_faults);
+        let clean = lossless_twin(&lossy);
+        let lossy_out = run_case(&lossy);
+        let clean_out = run_case(&clean);
+        let (Ok(lo), Ok(co)) = (&lossy_out.obs, &clean_out.obs) else {
+            save_artifact("differential", &lossy);
+            return Err(TestCaseError::fail(format!(
+                "run died: lossy={:?} clean={:?}",
+                lossy_out.obs.as_ref().err(),
+                clean_out.obs.as_ref().err()
+            )));
+        };
+        if canonicalize(lo) != canonicalize(co) {
+            save_artifact("differential", &lossy);
+        }
+        prop_assert_eq!(
+            canonicalize(lo),
+            canonicalize(co),
+            "lossy and lossless final states diverged"
+        );
+    }
+
+    /// Lane 4: perturbing same-virtual-time scheduler tie-breaks is
+    /// semantics-invariant — any seeded permutation of ready events must
+    /// still satisfy the oracle and agree canonically with the
+    /// insertion-order schedule.
+    #[test]
+    fn tiebreak_perturbation_is_semantics_invariant(
+        knobs in knobs_strategy(),
+        raw_ops in ops_strategy(),
+        perturb in 1u64..1_000_000,
+    ) {
+        let base = Case {
+            tiebreak: None,
+            ..lossless_twin(&decode_case(knobs, &raw_ops, &[]))
+        };
+        let perturbed = Case {
+            tiebreak: Some(perturb),
+            ..base.clone()
+        };
+        let base_out = run_case(&base);
+        let pert_out = run_case(&perturbed);
+        let v = verdict(&perturbed, &pert_out);
+        if v.is_err() {
+            save_artifact("tiebreak", &perturbed);
+        }
+        prop_assert!(v.is_ok(), "perturbed schedule broke the oracle: {v:?}");
+        let (Ok(bo), Ok(po)) = (&base_out.obs, &pert_out.obs) else {
+            save_artifact("tiebreak", &perturbed);
+            return Err(TestCaseError::fail("base schedule run died"));
+        };
+        if canonicalize(bo) != canonicalize(po) {
+            save_artifact("tiebreak", &perturbed);
+        }
+        prop_assert_eq!(
+            canonicalize(bo),
+            canonicalize(po),
+            "tie-break permutation changed the final state"
+        );
+    }
+}

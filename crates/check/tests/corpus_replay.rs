@@ -1,0 +1,76 @@
+//! Regression-corpus replay: every committed case under `tests/corpus/`
+//! must parse, run, and satisfy the oracle on every CI run — once a
+//! failure is fixed, its shrunk case lands here and can never regress
+//! silently.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use check::{run_case, verdict, Case};
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+fn corpus_cases() -> Vec<(String, Case)> {
+    let mut cases = Vec::new();
+    for entry in std::fs::read_dir(corpus_dir()).expect("tests/corpus must exist") {
+        let path = entry.expect("read corpus entry").path();
+        if path.extension().is_some_and(|e| e == "case") {
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            let text = std::fs::read_to_string(&path).expect("read corpus case");
+            let case = Case::parse(&text)
+                .unwrap_or_else(|e| panic!("corpus case {name} failed to parse: {e}"));
+            cases.push((name, case));
+        }
+    }
+    cases.sort_by(|a, b| a.0.cmp(&b.0));
+    cases
+}
+
+#[test]
+fn every_corpus_case_replays_and_passes() {
+    let cases = corpus_cases();
+    assert!(
+        cases.len() >= 3,
+        "corpus shrank to {} cases — did a file get lost?",
+        cases.len()
+    );
+    for (name, case) in &cases {
+        let out = run_case(case);
+        assert_eq!(
+            verdict(case, &out),
+            Ok(()),
+            "corpus case {name} no longer passes\ntrace tail:\n{}",
+            out.tail
+        );
+    }
+}
+
+#[test]
+fn deterministic_corpus_case_replays_byte_identically_via_binary() {
+    let path = corpus_dir().join("c01_deterministic_bidi.case");
+    let run = || {
+        let out = Command::new(env!("CARGO_BIN_EXE_replay"))
+            .arg(&path)
+            .output()
+            .expect("spawn replay binary");
+        (
+            out.status.code(),
+            String::from_utf8_lossy(&out.stdout).into_owned(),
+        )
+    };
+    let (code1, stdout1) = run();
+    let (code2, stdout2) = run();
+    assert_eq!(code1, Some(0), "corpus case must PASS, got:\n{stdout1}");
+    assert_eq!(code2, Some(0));
+    assert!(stdout1.contains("verdict: PASS"), "got:\n{stdout1}");
+    assert!(
+        stdout1.contains("trace tail:"),
+        "replay must print the trace tail"
+    );
+    assert_eq!(
+        stdout1, stdout2,
+        "replay stdout must be byte-identical run to run"
+    );
+}

@@ -1,0 +1,137 @@
+//! GA differential lane: one scripted Global Arrays program executed
+//! over the LAPI backend and over the MPL backend, cross-checked
+//! element-wise against a dense patch-algebra oracle computed in plain
+//! Rust. The backends differ in everything below the GA API (active
+//! messages vs request/reply message passing), so agreement here is
+//! agreement on semantics, not on implementation accident.
+//!
+//! Runs under whatever `SPSIM_FAULT_PROFILE` the CI matrix selects, so
+//! the lossy profile exercises the differential under faults too.
+
+use std::sync::Arc;
+
+use ga::{Distribution, Ga, GaBackend, GaConfig, GaKind, LapiGaBackend, MplGaBackend, Patch};
+use lapi::{LapiWorld, Mode};
+use mpl::{MplMode, MplWorld};
+use spsim::{run_spmd_with, MachineConfig};
+
+const N: usize = 4;
+const ROWS: usize = 8;
+const COLS: usize = 8;
+/// read_inc tickets drawn per rank.
+const K: usize = 6;
+
+/// What one rank reports back: its full-array snapshot, its read_inc
+/// tickets, and the final counter value it saw.
+type Report = (Vec<f64>, Vec<i64>, i64);
+
+fn col_major(patch: &Patch, f: impl Fn(usize, usize) -> f64) -> Vec<f64> {
+    let mut out = Vec::with_capacity(patch.elems());
+    for j in patch.lo.1..=patch.hi.1 {
+        for i in patch.lo.0..=patch.hi.0 {
+            out.push(f(i, j));
+        }
+    }
+    out
+}
+
+/// Value origin `r` puts at (i, j) of its peer's block.
+fn put_val(r: usize, i: usize, j: usize) -> f64 {
+    ((r + 1) * 1000 + i * 10 + j) as f64
+}
+
+/// The scripted program: fill, disjoint cross-rank puts, a commutative
+/// all-ranks acc, and a burst of read_inc tickets.
+fn script(rank: usize, ga: &Ga) -> Report {
+    let a = ga.create("diff", ROWS, COLS, GaKind::Double);
+    let c = ga.create("tick", 1, 1, GaKind::Int);
+    a.fill(1.0);
+    c.fill_int(0);
+    ga.sync();
+
+    // Each rank overwrites the block owned by the next rank — a
+    // bijection, so the puts are disjoint and the outcome confluent.
+    let peer = (rank + 1) % N;
+    let block = a.distribution(peer).expect("every task owns a block");
+    a.put(block, &col_major(&block, |i, j| put_val(rank, i, j)));
+    ga.fence_all();
+    ga.sync();
+
+    // Commutative accumulate over the full array from every rank.
+    let full = a.full_patch();
+    a.acc(full, 1.0, &vec![(rank + 1) as f64; full.elems()]);
+    ga.sync();
+
+    let tickets: Vec<i64> = (0..K).map(|_| c.read_inc(0, 0, 1)).collect();
+    ga.sync();
+
+    let snapshot = a.get(full);
+    let total = c.get_int(Patch::new((0, 0), (0, 0)))[0];
+    // Collective exit, as GA_Terminate demands: a rank that returns drops
+    // its context, which stops its dispatcher — without this barrier a
+    // fast rank stops serving get requests that slower peers still have
+    // in flight toward it, and those peers deadlock on their reply
+    // counter.
+    ga.sync();
+    (snapshot, tickets, total)
+}
+
+/// The dense oracle: what `script` must leave behind, computed from the
+/// same block distribution the runtime uses — no simulator involved.
+fn oracle_snapshot() -> Vec<f64> {
+    let dist = Distribution::new(ROWS, COLS, N);
+    let acc_sum: f64 = (0..N).map(|r| (r + 1) as f64).sum();
+    col_major(&Patch::new((0, 0), (ROWS - 1, COLS - 1)), |i, j| {
+        // The origin that put into (i, j) is the one whose peer owns it.
+        let origin = (dist.locate(i, j) + N - 1) % N;
+        put_val(origin, i, j) + acc_sum
+    })
+}
+
+fn check_reports(backend: &str, reports: &[Report], oracle: &[f64]) {
+    for (rank, (snapshot, _, total)) in reports.iter().enumerate() {
+        assert_eq!(
+            snapshot, oracle,
+            "{backend}: rank {rank} snapshot diverged from the dense oracle"
+        );
+        assert_eq!(
+            *total,
+            (N * K) as i64,
+            "{backend}: rank {rank} saw wrong final ticket count"
+        );
+    }
+    let mut tickets: Vec<i64> = reports.iter().flat_map(|r| r.1.iter().copied()).collect();
+    tickets.sort_unstable();
+    assert_eq!(
+        tickets,
+        (0..(N * K) as i64).collect::<Vec<_>>(),
+        "{backend}: read_inc tickets are not the permutation 0..{}",
+        N * K
+    );
+}
+
+#[test]
+fn ga_over_lapi_and_ga_over_mpl_agree_with_dense_oracle() {
+    let lapi_gas: Vec<Ga> = LapiWorld::init(N, MachineConfig::default(), Mode::Interrupt)
+        .into_iter()
+        .map(|ctx| Ga::new(LapiGaBackend::new(ctx, GaConfig::default()) as Arc<dyn GaBackend>))
+        .collect();
+    let lapi_reports = run_spmd_with(lapi_gas, |rank, ga| script(rank, &ga));
+
+    let mpl_gas: Vec<Ga> = MplWorld::init(N, MachineConfig::default(), MplMode::Interrupt)
+        .into_iter()
+        .map(|ctx| Ga::new(MplGaBackend::new(ctx) as Arc<dyn GaBackend>))
+        .collect();
+    let mpl_reports = run_spmd_with(mpl_gas, |rank, ga| script(rank, &ga));
+
+    // Element-wise agreement with the dense oracle on both backends...
+    let oracle = oracle_snapshot();
+    check_reports("lapi", &lapi_reports, &oracle);
+    check_reports("mpl", &mpl_reports, &oracle);
+    // ...and with each other (snapshots and totals; ticket *winners* may
+    // legitimately differ, the permutation check above covers them).
+    for (rank, (l, m)) in lapi_reports.iter().zip(&mpl_reports).enumerate() {
+        assert_eq!(l.0, m.0, "rank {rank}: backends disagree on final array");
+        assert_eq!(l.2, m.2, "rank {rank}: backends disagree on ticket total");
+    }
+}

@@ -1,0 +1,180 @@
+//! Mutation smoke: the harness must *catch its own seeded bugs*.
+//!
+//! Three mutants (a skipped counter decrement, a dedup cursor off by
+//! one, a dropped retransmit timer) are armed one at a time under a
+//! fault profile that exposes them, and the oracle must flag a failure
+//! within a bounded seed budget. The failing case is serialized and
+//! re-executed through the `replay` binary; for the mutant whose case
+//! sits inside the deterministic envelope the two replay runs must
+//! produce byte-identical stdout.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use check::{run_case, verdict, Case, Op};
+use spsim::{FaultPlan, Mutant};
+
+/// Seeds tried per mutant before declaring it missed.
+const SEED_BUDGET: u64 = 8;
+
+/// The deterministic-envelope exercise program: 2 nodes, polling mode,
+/// no AMs, no self-targets — puts, gets, remote rmws, and a fenced
+/// put/get witness in both directions.
+fn base_case(seed: u64) -> Case {
+    Case {
+        nodes: 2,
+        seed,
+        tiebreak: None,
+        interrupt_mode: false,
+        slot_bytes: 16,
+        drop_prob: 0.0,
+        dup_prob: 0.0,
+        plan: FaultPlan::new(),
+        escape_ms: 20_000,
+        mutant: None,
+        ops: vec![
+            vec![
+                Op::Put {
+                    target: 1,
+                    slot: 0,
+                    pat: 3,
+                    len: 12,
+                },
+                Op::Get { target: 1, len: 7 },
+                Op::Rmw { owner: 1 },
+                Op::PutFenceGet {
+                    target: 1,
+                    slot: 1,
+                    pat: 8,
+                    len: 16,
+                },
+            ],
+            vec![
+                Op::Put {
+                    target: 0,
+                    slot: 0,
+                    pat: 5,
+                    len: 10,
+                },
+                Op::Rmw { owner: 0 },
+            ],
+        ],
+    }
+}
+
+/// The fault profile that gives each mutant something to corrupt: the
+/// dedup mutant needs duplicates, the retransmit mutant needs losses
+/// (with a short escape, since its symptom is a simulated deadlock),
+/// and the counter mutant shows up on a clean fabric.
+fn armed_case(mutant: Mutant, seed: u64) -> Case {
+    let mut case = base_case(seed);
+    case.mutant = Some(mutant);
+    match mutant {
+        Mutant::SkipCounterDecrement => {}
+        Mutant::DedupCursorOffByOne => {
+            case.drop_prob = 0.05;
+            case.dup_prob = 0.35;
+        }
+        Mutant::DropRetransmitTimer => {
+            case.drop_prob = 0.25;
+            case.escape_ms = 1_500;
+        }
+    }
+    case
+}
+
+/// Hunt for a seed on which the armed mutant is caught; panics past the
+/// budget. Returns the caught case and the verdict text.
+fn hunt(mutant: Mutant) -> (Case, String) {
+    for seed in 0..SEED_BUDGET {
+        let case = armed_case(mutant, seed);
+        let out = run_case(&case);
+        if let Err(msg) = verdict(&case, &out) {
+            return (case, msg);
+        }
+    }
+    panic!(
+        "mutant {} survived {SEED_BUDGET} seeds — the oracle has a blind spot",
+        mutant.name()
+    );
+}
+
+fn artifact_path(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"))
+        .parent()
+        .expect("CARGO_TARGET_TMPDIR has a parent")
+        .join("check-failures");
+    std::fs::create_dir_all(&dir).expect("create target/check-failures");
+    dir.join(format!("{name}.case"))
+}
+
+/// Run the replay binary on a case file, returning (exit_code, stdout).
+fn replay(path: &PathBuf) -> (Option<i32>, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_replay"))
+        .arg(path)
+        .output()
+        .expect("spawn replay binary");
+    (
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
+}
+
+#[test]
+fn all_three_mutants_are_caught_and_disarmed_twins_pass() {
+    for mutant in Mutant::ALL {
+        let (case, msg) = hunt(mutant);
+        // The disarmed twin of the very same case must pass: the oracle
+        // is reacting to the seeded bug, not to the fault profile.
+        let mut twin = case.clone();
+        twin.mutant = None;
+        twin.escape_ms = 20_000;
+        let twin_out = run_case(&twin);
+        assert_eq!(
+            verdict(&twin, &twin_out),
+            Ok(()),
+            "disarmed twin of {} failed — catch was profile noise",
+            mutant.name()
+        );
+        // Serialize the caught case and reproduce the catch via the
+        // replay binary: nonzero exit, FAIL verdict on stdout.
+        let path = artifact_path(&format!("mutation-{}", mutant.name()));
+        std::fs::write(&path, case.serialize()).expect("write mutant artifact");
+        let (code, stdout) = replay(&path);
+        assert_eq!(code, Some(1), "replay of {} must exit 1", mutant.name());
+        assert!(
+            stdout.contains("verdict: FAIL"),
+            "replay of {} must print a FAIL verdict, got:\n{stdout}",
+            mutant.name()
+        );
+        eprintln!(
+            "caught {} ({msg}); artifact at {}",
+            mutant.name(),
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn skip_counter_replay_is_byte_identical() {
+    // The counter mutant is caught on a clean fabric inside the
+    // deterministic envelope, so its replay must be byte-stable — the
+    // property that makes a shrunk counterexample a durable artifact.
+    let case = armed_case(Mutant::SkipCounterDecrement, 1);
+    let out = run_case(&case);
+    assert!(
+        verdict(&case, &out).is_err(),
+        "skip-counter-decrement must be caught on any seed"
+    );
+    let path = artifact_path("mutation-skip-replay");
+    std::fs::write(&path, case.serialize()).expect("write artifact");
+    let (code1, stdout1) = replay(&path);
+    let (code2, stdout2) = replay(&path);
+    assert_eq!(code1, Some(1));
+    assert_eq!(code2, Some(1));
+    assert!(stdout1.contains("verdict: FAIL"), "got:\n{stdout1}");
+    assert_eq!(
+        stdout1, stdout2,
+        "replay stdout must be byte-identical run to run"
+    );
+}

@@ -98,6 +98,14 @@ impl LapiContext {
         self.engine.outstanding_to(target)
     }
 
+    /// `LAPI_Rmw` tickets still awaiting a reply. A ticket whose issue
+    /// failed (e.g. [`crate::LapiError::DeliveryTimeout`]) is unwound
+    /// before the error surfaces, so after every outstanding
+    /// [`crate::RmwFuture`] has resolved this is 0.
+    pub fn rmw_pending(&self) -> usize {
+        self.engine.rmw_pending()
+    }
+
     /// `LAPI_Qenv`.
     pub fn qenv(&self, q: Qenv) -> usize {
         let cfg = self.engine.config();

@@ -108,7 +108,11 @@ impl Counter {
     pub fn try_consume(&self, clock: &VClock, val: i64) -> bool {
         let mut st = self.inner.state.lock();
         if st.value >= val {
-            st.value -= val;
+            // Harness mutant (disarmed in production): skip the decrement,
+            // leaving stale credit for the conformance oracle to catch.
+            if !spsim::mutation::armed(spsim::Mutant::SkipCounterDecrement) {
+                st.value -= val;
+            }
             let t = st.last_event;
             drop(st);
             clock.merge(t);
@@ -139,7 +143,10 @@ impl Counter {
                 );
             }
         }
-        st.value -= val;
+        // Harness mutant (disarmed in production): see `try_consume`.
+        if !spsim::mutation::armed(spsim::Mutant::SkipCounterDecrement) {
+            st.value -= val;
+        }
         let t = st.last_event;
         drop(st);
         clock.merge(t);

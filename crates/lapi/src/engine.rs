@@ -422,6 +422,10 @@ impl Engine {
         self.outstanding.lock()[target]
     }
 
+    pub(crate) fn rmw_pending(&self) -> usize {
+        self.rmw_slots.lock().len()
+    }
+
     /// `LAPI_Put`: fragment `data` and inject it toward `target`.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn issue_put(

@@ -1,0 +1,100 @@
+//! Edge semantics of LAPI completion counters (§2.3): `LAPI_Waitcntr`
+//! consumes credit that is already present without blocking, `LAPI_Setcntr`
+//! overwrites the value while in-flight increments still land on top of
+//! the new value, and zero-byte transfers signal every associated counter
+//! exactly once even though no data moves.
+
+use lapi::{LapiWorld, Mode};
+use spsim::{run_spmd_with, MachineConfig};
+
+fn world(n: usize, mode: Mode) -> Vec<lapi::LapiContext> {
+    LapiWorld::init(n, MachineConfig::default().with_no_faults(), mode)
+}
+
+#[test]
+fn waitcntr_on_already_satisfied_counter_returns_immediately() {
+    let ctxs = world(2, Mode::Interrupt);
+    run_spmd_with(ctxs, |rank, ctx| {
+        if rank == 0 {
+            let c = ctx.new_counter();
+            ctx.setcntr(&c, 5);
+            // Credit is already there: the wait consumes 3 of it without
+            // ever blocking (a block would hit the deadlock escape, since
+            // nobody is going to bump this counter).
+            ctx.waitcntr(&c, 3);
+            assert_eq!(ctx.getcntr(&c), 2, "wait decrements by exactly val");
+            // The remaining credit satisfies a second wait the same way.
+            ctx.waitcntr(&c, 2);
+            assert_eq!(ctx.getcntr(&c), 0);
+        }
+        ctx.barrier();
+    });
+}
+
+#[test]
+fn setcntr_overwrite_composes_with_in_flight_increment() {
+    // Polling mode makes the race deterministic: the put's counter bump is
+    // processed only inside the target's own LAPI calls, so the target can
+    // overwrite the counter while the increment is provably still in
+    // flight (queued or on the wire), then observe it land on top of the
+    // new value.
+    let ctxs = world(2, Mode::Polling);
+    run_spmd_with(ctxs, |rank, ctx| {
+        let buf = ctx.alloc(8);
+        let addrs = ctx.address_init(buf);
+        let tgt = ctx.new_counter();
+        let remotes = ctx.counter_init(&tgt);
+        ctx.barrier();
+        if rank == 0 {
+            let cmpl = ctx.new_counter();
+            ctx.put(1, addrs[1], &[9u8; 8], Some(remotes[1]), None, Some(&cmpl))
+                .unwrap();
+            ctx.waitcntr(&cmpl, 1);
+        } else {
+            // The barrier is in-memory: passing it processes no packets,
+            // so the bump cannot have been applied yet.
+            assert_eq!(ctx.getcntr(&tgt), 0);
+            ctx.setcntr(&tgt, 10);
+            // The wait polls the adapter; the in-flight increment lands on
+            // top of the overwritten value: 10 + 1 = 11.
+            ctx.waitcntr(&tgt, 11);
+            assert_eq!(ctx.getcntr(&tgt), 0, "11 credits consumed in one wait");
+            assert_eq!(ctx.mem_read(buf, 8), vec![9u8; 8]);
+        }
+        ctx.barrier();
+    });
+}
+
+#[test]
+fn zero_byte_put_and_get_fire_counters_exactly_once() {
+    // A zero-length transfer is a pure synchronization event (the
+    // conformance harness leans on this for its drain tokens): all three
+    // put counters and the get's origin counter must tick exactly once.
+    let ctxs = world(2, Mode::Interrupt);
+    run_spmd_with(ctxs, |rank, ctx| {
+        let buf = ctx.alloc(8);
+        let addrs = ctx.address_init(buf);
+        let tgt = ctx.new_counter();
+        let remotes = ctx.counter_init(&tgt);
+        ctx.barrier();
+        if rank == 0 {
+            let org = ctx.new_counter();
+            let cmpl = ctx.new_counter();
+            ctx.put(1, addrs[1], &[], Some(remotes[1]), Some(&org), Some(&cmpl))
+                .unwrap();
+            ctx.waitcntr(&org, 1);
+            ctx.waitcntr(&cmpl, 1);
+            assert_eq!(ctx.getcntr(&org), 0, "org fired exactly once");
+            assert_eq!(ctx.getcntr(&cmpl), 0, "cmpl fired exactly once");
+
+            let get_org = ctx.new_counter();
+            ctx.get(1, addrs[1], 0, buf, None, Some(&get_org)).unwrap();
+            ctx.waitcntr(&get_org, 1);
+            assert_eq!(ctx.getcntr(&get_org), 0, "zero-byte get fired exactly once");
+        } else {
+            ctx.waitcntr(&tgt, 1);
+            assert_eq!(ctx.getcntr(&tgt), 0, "tgt fired exactly once");
+        }
+        ctx.gfence().unwrap();
+    });
+}

@@ -18,7 +18,16 @@ fn arb_msgs() -> impl Strategy<Value = Vec<(i32, usize)>> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig {
+        cases: 10,
+        // Replay the committed corpus before the random budget; the runner
+        // errors if the file goes missing, so CI notices.
+        regressions: Some(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/tests/ordering_props.proptest-regressions"
+        )),
+        ..ProptestConfig::default()
+    })]
 
     #[test]
     fn soup_delivers_exactly_and_in_order(msgs in arb_msgs(), seed in 0u64..500, skew in 0u64..20) {

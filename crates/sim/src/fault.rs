@@ -134,6 +134,103 @@ impl FaultPlan {
     pub fn has_windows(&self, src: NodeId, dst: NodeId) -> bool {
         self.windows.iter().any(|w| w.src == src && w.dst == dst)
     }
+
+    /// All per-link overrides, in builder order.
+    pub fn overrides(&self) -> &[(NodeId, NodeId, LinkFaults)] {
+        &self.overrides
+    }
+
+    /// All black-hole windows, in builder order.
+    pub fn windows(&self) -> &[FaultWindow] {
+        &self.windows
+    }
+
+    /// Serialize the plan as a line-based text block for replay artifacts:
+    ///
+    /// ```text
+    /// link 0 2 0.25 0.1
+    /// window 0 2 5000000 8000000
+    /// window 1 0 1000 inf
+    /// ```
+    ///
+    /// (`link` fields are `src dst drop_prob dup_prob`; `window` fields are
+    /// `src dst from_ns until_ns`, with `inf` for a link that never comes
+    /// back.) Rust's shortest-round-trip float formatting makes the
+    /// serialization lossless: [`FaultPlan::parse`] reconstructs an equal
+    /// plan.
+    pub fn serialize(&self) -> String {
+        let mut out = String::new();
+        for &(src, dst, f) in &self.overrides {
+            out.push_str(&format!(
+                "link {src} {dst} {} {}\n",
+                f.drop_prob, f.dup_prob
+            ));
+        }
+        for w in &self.windows {
+            let until = if w.until == VTime::MAX {
+                "inf".to_string()
+            } else {
+                w.until.as_ns().to_string()
+            };
+            out.push_str(&format!(
+                "window {} {} {} {until}\n",
+                w.src,
+                w.dst,
+                w.from.as_ns()
+            ));
+        }
+        out
+    }
+
+    /// Parse the text produced by [`FaultPlan::serialize`]. Blank lines and
+    /// `#` comments are ignored.
+    pub fn parse(text: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let err = |what: &str| format!("fault plan line {}: {what}: {raw:?}", lineno + 1);
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            match fields.as_slice() {
+                ["link", src, dst, drop, dup] => {
+                    let src: NodeId = src.parse().map_err(|_| err("bad src"))?;
+                    let dst: NodeId = dst.parse().map_err(|_| err("bad dst"))?;
+                    let drop_prob: f64 = drop.parse().map_err(|_| err("bad drop_prob"))?;
+                    let dup_prob: f64 = dup.parse().map_err(|_| err("bad dup_prob"))?;
+                    if !(0.0..1.0).contains(&drop_prob) || !(0.0..=1.0).contains(&dup_prob) {
+                        return Err(err("probability out of range"));
+                    }
+                    plan = plan.with_link(
+                        src,
+                        dst,
+                        LinkFaults {
+                            drop_prob,
+                            dup_prob,
+                        },
+                    );
+                }
+                ["window", src, dst, from, until] => {
+                    let src: NodeId = src.parse().map_err(|_| err("bad src"))?;
+                    let dst: NodeId = dst.parse().map_err(|_| err("bad dst"))?;
+                    let from_ns: u64 = from.parse().map_err(|_| err("bad from"))?;
+                    let from = VTime::from_ns(from_ns);
+                    let until = if *until == "inf" {
+                        VTime::MAX
+                    } else {
+                        VTime::from_ns(until.parse().map_err(|_| err("bad until"))?)
+                    };
+                    if from >= until {
+                        return Err(err("empty window"));
+                    }
+                    plan = plan.with_black_hole(src, dst, from, until);
+                }
+                _ => return Err(err("unrecognized directive")),
+            }
+        }
+        Ok(plan)
+    }
 }
 
 /// The env-selected fault profile applied to [`crate::MachineConfig`]
@@ -232,6 +329,52 @@ mod tests {
     #[should_panic(expected = "non-empty")]
     fn empty_window_rejected() {
         let _ = FaultPlan::new().with_black_hole(0, 1, VTime::from_us(5), VTime::from_us(5));
+    }
+
+    #[test]
+    fn serialization_round_trips() {
+        let p = FaultPlan::new()
+            .with_link(
+                0,
+                2,
+                LinkFaults {
+                    drop_prob: 0.257,
+                    dup_prob: 0.1,
+                },
+            )
+            .with_black_hole(0, 2, VTime::from_us(5_000), VTime::from_us(8_000))
+            .with_link_dead(1, 0, VTime::from_ns(1_000));
+        let text = p.serialize();
+        let q = FaultPlan::parse(&text).unwrap();
+        assert_eq!(p, q);
+        assert_eq!(q.serialize(), text);
+        assert!(text.contains("inf"), "dead link serializes as inf");
+    }
+
+    #[test]
+    fn empty_plan_serializes_empty_and_parses_back() {
+        assert_eq!(FaultPlan::new().serialize(), "");
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+        assert!(FaultPlan::parse("# comment\n\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(FaultPlan::parse("link 0 1 2.0 0.0").is_err());
+        assert!(FaultPlan::parse("window 0 1 5 5").is_err());
+        assert!(FaultPlan::parse("frobnicate 1 2").is_err());
+        assert!(FaultPlan::parse("link 0 1").is_err());
+    }
+
+    #[test]
+    fn accessors_expose_builder_contents() {
+        let p = FaultPlan::new()
+            .with_link(3, 1, LinkFaults::NONE)
+            .with_black_hole(0, 1, VTime::from_us(1), VTime::from_us(2));
+        assert_eq!(p.overrides().len(), 1);
+        assert_eq!(p.overrides()[0].0, 3);
+        assert_eq!(p.windows().len(), 1);
+        assert_eq!(p.windows()[0].dst, 1);
     }
 
     #[test]

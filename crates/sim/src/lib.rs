@@ -38,6 +38,7 @@ pub mod barrier;
 pub mod clock;
 pub mod config;
 pub mod fault;
+pub mod mutation;
 pub mod queue;
 pub mod rng;
 pub mod runtime;
@@ -49,9 +50,10 @@ pub use barrier::VBarrier;
 pub use clock::VClock;
 pub use config::MachineConfig;
 pub use fault::{FaultPlan, FaultProfile, FaultWindow, LinkFaults};
+pub use mutation::Mutant;
 pub use queue::{QueueClosed, Stamped, TimedQueue};
 pub use rng::SimRng;
-pub use runtime::{run_spmd, run_spmd_with, NodeId};
+pub use runtime::{run_spmd, run_spmd_with, schedule_tiebreak, set_schedule_tiebreak, NodeId};
 pub use stats::{Histogram, StatCounter};
 pub use time::{VDur, VTime};
 pub use trace::{EventKind, Timeline, TraceEvent, TraceSession, TraceSink};

@@ -1,0 +1,135 @@
+//! Seeded protocol mutants for validating the conformance harness.
+//!
+//! A test harness that never fails proves nothing. This module hosts a
+//! small registry of deliberately broken protocol variants that the
+//! `check` crate's mutation smoke test arms one at a time: each mutant
+//! must be *caught* by the harness's oracle within a bounded case budget,
+//! which demonstrates the oracle actually observes the property the
+//! mutant breaks.
+//!
+//! The mutants are compiled into the production code paths but gated on a
+//! process-global atomic that is disarmed by default — the cost on the
+//! hot path is one relaxed load at the handful of sites a mutant can
+//! fire, mirroring the zero-cost discipline of [`crate::trace`]. Arming
+//! is process-global, so callers must serialize simulated runs while a
+//! mutant is armed (the harness holds a lock) and disarm afterwards.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// A deliberately broken protocol variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutant {
+    /// `lapi::Counter` waits observe the value but skip the decrement, so
+    /// counters only ever grow. Breaks tri-counter accounting: the
+    /// oracle's final residue check (`Getcntr == 0` after consuming the
+    /// expected totals) sees stale credit.
+    SkipCounterDecrement,
+    /// The receive-side dedup cursor is off by one: the first duplicate
+    /// copy of a packet (fabric duplication or a spurious retransmit) is
+    /// delivered to the protocol instead of suppressed. Breaks
+    /// exactly-once delivery: counters over-fire and Rmw requests can
+    /// apply twice.
+    DedupCursorOffByOne,
+    /// A lost packet's retransmit timer is dropped: the sender reports
+    /// success without ever re-offering the packet. Breaks at-least-once
+    /// delivery: the target's counters never fire and waits hang (caught
+    /// by the real-time escape as a simulated deadlock).
+    DropRetransmitTimer,
+}
+
+impl Mutant {
+    /// Stable name used in serialized replay cases.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mutant::SkipCounterDecrement => "skip-counter-decrement",
+            Mutant::DedupCursorOffByOne => "dedup-cursor-off-by-one",
+            Mutant::DropRetransmitTimer => "drop-retransmit-timer",
+        }
+    }
+
+    /// Inverse of [`Mutant::name`].
+    pub fn from_name(name: &str) -> Option<Mutant> {
+        match name {
+            "skip-counter-decrement" => Some(Mutant::SkipCounterDecrement),
+            "dedup-cursor-off-by-one" => Some(Mutant::DedupCursorOffByOne),
+            "drop-retransmit-timer" => Some(Mutant::DropRetransmitTimer),
+            _ => None,
+        }
+    }
+
+    /// Every known mutant, for iteration in smoke tests.
+    pub const ALL: [Mutant; 3] = [
+        Mutant::SkipCounterDecrement,
+        Mutant::DedupCursorOffByOne,
+        Mutant::DropRetransmitTimer,
+    ];
+}
+
+const DISARMED: u8 = 0;
+
+static ARMED: AtomicU8 = AtomicU8::new(DISARMED);
+
+fn code(m: Mutant) -> u8 {
+    match m {
+        Mutant::SkipCounterDecrement => 1,
+        Mutant::DedupCursorOffByOne => 2,
+        Mutant::DropRetransmitTimer => 3,
+    }
+}
+
+/// Arm `mutant` process-wide (or disarm with `None`). See the module notes
+/// on serialization.
+pub fn set(mutant: Option<Mutant>) {
+    ARMED.store(mutant.map_or(DISARMED, code), Ordering::Relaxed);
+}
+
+/// Is `mutant` the currently armed mutant? One relaxed atomic load.
+#[inline]
+pub fn armed(mutant: Mutant) -> bool {
+    ARMED.load(Ordering::Relaxed) == code(mutant)
+}
+
+/// The currently armed mutant, if any.
+pub fn current() -> Option<Mutant> {
+    match ARMED.load(Ordering::Relaxed) {
+        1 => Some(Mutant::SkipCounterDecrement),
+        2 => Some(Mutant::DedupCursorOffByOne),
+        3 => Some(Mutant::DropRetransmitTimer),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for m in Mutant::ALL {
+            assert_eq!(Mutant::from_name(m.name()), Some(m));
+        }
+        assert_eq!(Mutant::from_name("no-such-mutant"), None);
+    }
+
+    #[test]
+    fn arm_disarm_cycle() {
+        // Single test exercising the global state (no parallel conflicts:
+        // this is the only sim-crate test touching it).
+        assert_eq!(current(), None);
+        for m in Mutant::ALL {
+            set(Some(m));
+            assert!(armed(m));
+            assert_eq!(current(), Some(m));
+            for other in Mutant::ALL {
+                if other != m {
+                    assert!(!armed(other));
+                }
+            }
+        }
+        set(None);
+        assert_eq!(current(), None);
+        for m in Mutant::ALL {
+            assert!(!armed(m));
+        }
+    }
+}

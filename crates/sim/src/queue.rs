@@ -41,12 +41,19 @@ pub struct Stamped<T> {
 
 struct Entry<T> {
     at: VTime,
+    tie: u64,
     seq: u64,
     item: T,
 }
 
 // BinaryHeap is a max-heap; invert ordering to pop the earliest timestamp,
-// breaking ties by insertion sequence for determinism.
+// breaking ties by the tie-break key computed at push time. With the
+// scheduler perturbation hook disarmed (the default) the key *is* the
+// insertion sequence, so same-timestamp events pop in insertion order;
+// with it armed (see [`crate::runtime::set_schedule_tiebreak`]) the key is
+// a seeded hash and same-timestamp events pop in a deterministic
+// seed-dependent permutation. Either way the order is a pure function of
+// (timestamps, push order, seed) — never of host scheduling.
 impl<T> PartialEq for Entry<T> {
     fn eq(&self, other: &Self) -> bool {
         self.at == other.at && self.seq == other.seq
@@ -60,7 +67,7 @@ impl<T> PartialOrd for Entry<T> {
 }
 impl<T> Ord for Entry<T> {
     fn cmp(&self, other: &Self) -> CmpOrdering {
-        (other.at, other.seq).cmp(&(self.at, self.seq))
+        (other.at, other.tie, other.seq).cmp(&(self.at, self.tie, self.seq))
     }
 }
 
@@ -130,7 +137,8 @@ impl<T> TimedQueue<T> {
         }
         let seq = st.next_seq;
         st.next_seq += 1;
-        st.heap.push(Entry { at, seq, item });
+        let tie = crate::runtime::tiebreak_key(seq);
+        st.heap.push(Entry { at, tie, seq, item });
         drop(st);
         self.inner.cond.notify_all();
     }
@@ -316,8 +324,21 @@ mod tests {
         assert_eq!(clock.now(), VTime::from_us(30));
     }
 
+    // The tie-break hook is process-global; tests that touch (or depend on)
+    // it serialize here so parallel test threads cannot interfere.
+    static TIEBREAK_GUARD: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn drain_order(q: &TimedQueue<usize>) -> Vec<usize> {
+        let mut out = Vec::new();
+        while let Ok(Some(s)) = q.try_recv() {
+            out.push(s.item);
+        }
+        out
+    }
+
     #[test]
     fn ties_break_by_insertion_order() {
+        let _g = TIEBREAK_GUARD.lock().unwrap();
         let q = TimedQueue::new();
         for i in 0..10 {
             q.push(VTime::from_us(5), i);
@@ -325,6 +346,50 @@ mod tests {
         let clock = VClock::new();
         for i in 0..10 {
             assert_eq!(q.recv_merge(&clock).unwrap().item, i);
+        }
+    }
+
+    #[test]
+    fn armed_tiebreak_permutes_same_time_events_deterministically() {
+        let _g = TIEBREAK_GUARD.lock().unwrap();
+        let fill = |seed: Option<u64>| {
+            crate::runtime::set_schedule_tiebreak(seed);
+            let q = TimedQueue::new();
+            for i in 0..16usize {
+                q.push(VTime::from_us(5), i);
+            }
+            crate::runtime::set_schedule_tiebreak(None);
+            drain_order(&q)
+        };
+        let baseline = fill(None);
+        assert_eq!(baseline, (0..16).collect::<Vec<_>>());
+        let a1 = fill(Some(0xA11CE));
+        let a2 = fill(Some(0xA11CE));
+        let b = fill(Some(0xB0B));
+        assert_eq!(a1, a2, "same seed, same permutation");
+        assert_ne!(a1, baseline, "seeded permutation differs from insertion");
+        assert_ne!(a1, b, "different seeds explore different interleavings");
+        let mut sorted = a1.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, baseline, "a permutation, not a loss");
+    }
+
+    #[test]
+    fn armed_tiebreak_preserves_timestamp_order() {
+        let _g = TIEBREAK_GUARD.lock().unwrap();
+        crate::runtime::set_schedule_tiebreak(Some(7));
+        let q = TimedQueue::new();
+        for i in 0..12usize {
+            // Three distinct instants, four same-time events each.
+            q.push(VTime::from_us(10 * (i as u64 % 3)), i);
+        }
+        crate::runtime::set_schedule_tiebreak(None);
+        let clock = VClock::new();
+        let mut prev = VTime::ZERO;
+        for _ in 0..12 {
+            let s = q.recv_merge(&clock).unwrap();
+            assert!(s.at >= prev, "timestamp order is never violated");
+            prev = s.at;
         }
     }
 

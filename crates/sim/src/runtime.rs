@@ -8,10 +8,66 @@
 //! the test that ran it.
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::thread;
 
 /// Rank of a simulated node within its job, `0..n`.
 pub type NodeId = usize;
+
+// Scheduler tie-break perturbation. When armed, events enqueued at the
+// *same* virtual instant are popped from [`crate::TimedQueue`]s in a
+// seed-dependent permutation instead of insertion order, so a conformance
+// harness can explore alternative legal interleavings. Disarmed (the
+// default) the tie-break is exactly the insertion sequence, bit-for-bit
+// identical to the behaviour before the hook existed — one relaxed atomic
+// load per push is the entire cost.
+static TIEBREAK_ON: AtomicBool = AtomicBool::new(false);
+static TIEBREAK_SEED: AtomicU64 = AtomicU64::new(0);
+
+/// Arm (`Some(seed)`) or disarm (`None`) the global same-virtual-time
+/// scheduler tie-break perturbation.
+///
+/// The hook is process-global: callers that arm it around a simulated run
+/// must serialize those runs (the `check` harness holds a lock) and disarm
+/// it afterwards. Two runs with the same seed perturb identically.
+pub fn set_schedule_tiebreak(seed: Option<u64>) {
+    match seed {
+        Some(s) => {
+            TIEBREAK_SEED.store(s, Ordering::Relaxed);
+            TIEBREAK_ON.store(true, Ordering::Relaxed);
+        }
+        None => {
+            TIEBREAK_ON.store(false, Ordering::Relaxed);
+            TIEBREAK_SEED.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// The currently armed tie-break seed, if any.
+pub fn schedule_tiebreak() -> Option<u64> {
+    if TIEBREAK_ON.load(Ordering::Relaxed) {
+        Some(TIEBREAK_SEED.load(Ordering::Relaxed))
+    } else {
+        None
+    }
+}
+
+/// Tie-break key for the `n`-th element pushed onto a queue: the insertion
+/// sequence itself when the hook is disarmed, or a SplitMix64 hash of
+/// (seed, seq) when armed — a deterministic pseudo-random permutation of
+/// same-timestamp events.
+#[inline]
+pub(crate) fn tiebreak_key(seq: u64) -> u64 {
+    if !TIEBREAK_ON.load(Ordering::Relaxed) {
+        return seq;
+    }
+    let mut z = TIEBREAK_SEED
+        .load(Ordering::Relaxed)
+        .wrapping_add(seq.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// Run `f(rank)` on `n` threads and collect results in rank order.
 ///

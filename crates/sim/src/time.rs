@@ -31,6 +31,12 @@ impl VTime {
         VTime(us * 1_000)
     }
 
+    /// Construct from nanoseconds since the simulation epoch.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
+        VTime(ns)
+    }
+
     /// Nanoseconds since the simulation epoch.
     #[inline]
     pub const fn as_ns(self) -> u64 {

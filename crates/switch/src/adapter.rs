@@ -186,7 +186,7 @@ pub struct Adapter<M> {
     armed: bool,
 }
 
-impl<M: Send + 'static> Adapter<M> {
+impl<M: Send + Clone + 'static> Adapter<M> {
     pub(crate) fn new(
         id: NodeId,
         cfg: Arc<MachineConfig>,
@@ -353,6 +353,12 @@ impl<M: Send + 'static> Adapter<M> {
         let route = rng.next_below(self.cfg.num_routes as u64) as usize;
         let skew = self.cfg.route_skew * route as u64;
 
+        // Harness mutant (disarmed in production — one relaxed load): the
+        // dedup-cursor-off-by-one variant keeps a clone so the first
+        // duplicate copy can be (incorrectly) delivered instead of
+        // suppressed. See `spsim::mutation`.
+        let mut mutant_dup_copy: Option<M> =
+            spsim::mutation::armed(spsim::Mutant::DedupCursorOffByOne).then(|| body.clone());
         let mut body = Some(body);
         let mut attempt = injected_at; // last byte off our injection link
         let mut retries: u32 = 0;
@@ -408,8 +414,34 @@ impl<M: Send + 'static> Adapter<M> {
                     // link too, then the dedup discards it.
                     if rng.chance(faults.dup_prob) {
                         let dup_at = port.ejection.reserve(eject, ser) + skew;
-                        port.stats.dups_suppressed.incr();
-                        trace::emit(dst, dup_at, trace::EventKind::Dup, "pkt", seq, wire_bytes);
+                        if let Some(extra) = mutant_dup_copy.take() {
+                            // Mutant: cursor off by one — the duplicate is
+                            // handed to the protocol as if it were new.
+                            port.stats.packets_received.incr();
+                            trace::emit(
+                                dst,
+                                dup_at,
+                                trace::EventKind::Eject,
+                                "pkt",
+                                self.id as u64,
+                                wire_bytes,
+                            );
+                            port.rx.push(
+                                dup_at,
+                                WirePacket {
+                                    src: self.id,
+                                    dst,
+                                    wire_bytes,
+                                    route,
+                                    seq,
+                                    injected_at,
+                                    body: extra,
+                                },
+                            );
+                        } else {
+                            port.stats.dups_suppressed.incr();
+                            trace::emit(dst, dup_at, trace::EventKind::Dup, "pkt", seq, wire_bytes);
+                        }
                     }
                     // ACK coalescing: this acceptance joins the batch.
                     if self.armed {
@@ -426,8 +458,33 @@ impl<M: Send + 'static> Adapter<M> {
                     // A spurious retransmission of an already-accepted
                     // sequence (its ACK was lost): suppressed by dedup.
                     let dup_at = port.ejection.reserve(arrival, ser) + skew;
-                    port.stats.dups_suppressed.incr();
-                    trace::emit(dst, dup_at, trace::EventKind::Dup, "pkt", seq, wire_bytes);
+                    if let Some(extra) = mutant_dup_copy.take() {
+                        // Mutant: cursor off by one — see above.
+                        port.stats.packets_received.incr();
+                        trace::emit(
+                            dst,
+                            dup_at,
+                            trace::EventKind::Eject,
+                            "pkt",
+                            self.id as u64,
+                            wire_bytes,
+                        );
+                        port.rx.push(
+                            dup_at,
+                            WirePacket {
+                                src: self.id,
+                                dst,
+                                wire_bytes,
+                                route,
+                                seq,
+                                injected_at,
+                                body: extra,
+                            },
+                        );
+                    } else {
+                        port.stats.dups_suppressed.incr();
+                        trace::emit(dst, dup_at, trace::EventKind::Dup, "pkt", seq, wire_bytes);
+                    }
                     dup_at
                 };
                 // -- acknowledgement transit (reverse direction) --
@@ -449,6 +506,16 @@ impl<M: Send + 'static> Adapter<M> {
             }
             if round_ok {
                 break;
+            }
+            // Harness mutant: the retransmit timer for a lost packet is
+            // dropped — the sender reports success without ever
+            // re-offering the data. Only fires for genuine silent loss
+            // (nothing delivered yet), the failure the timer exists for.
+            if accepted.is_none() && spsim::mutation::armed(spsim::Mutant::DropRetransmitTimer) {
+                return Ok(SendReceipt {
+                    injected_at,
+                    delivered_at: arrival,
+                });
             }
             // -- bounded retransmission --
             if retries >= self.cfg.max_retransmits {

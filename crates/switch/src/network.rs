@@ -11,7 +11,7 @@ pub struct Network<M> {
     adapters: Vec<Adapter<M>>,
 }
 
-impl<M: Send + 'static> Network<M> {
+impl<M: Send + Clone + 'static> Network<M> {
     /// Wire up `n` nodes with the given cost model. `seed` drives route
     /// selection and drop injection deterministically.
     pub fn new(n: usize, cfg: Arc<MachineConfig>, seed: u64) -> Self {

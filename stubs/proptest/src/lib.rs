@@ -4,18 +4,33 @@
 //! subset of proptest the workspace's property tests use: the [`Strategy`]
 //! trait with `prop_map` / `prop_flat_map` / `boxed`, range and tuple
 //! strategies, [`collection::vec`], `Just`, `prop_oneof!`, the `proptest!`
-//! test macro, and `prop_assert*` macros.
+//! test macro, and `prop_assert*` macros — plus **shrinking**: a failing
+//! case is minimized by greedy descent over [`Strategy::shrink`] candidates
+//! (integer ranges step toward their lower bound, vectors drop and shrink
+//! elements, tuples shrink per component) before the panic reports the
+//! minimal counterexample.
 //!
 //! Differences from real proptest, deliberately accepted:
 //!
-//! * **No shrinking.** A failing case reports the generated inputs (via the
-//!   panic message of the underlying `assert`) but is not minimized.
-//! * **Deterministic seeding.** Cases are generated from a SplitMix64 stream
-//!   seeded by the test function's name and the case index, so failures are
-//!   reproducible run-to-run without persistence files
-//!   (`.proptest-regressions` files are ignored).
+//! * **No value tree.** `generate` yields values directly; shrinking
+//!   re-runs the property on candidate values instead of walking a
+//!   recorded tree, so `prop_map`/`prop_flat_map`/`Union` outputs do not
+//!   shrink (raw ranges, tuples and vectors — what the workspace's
+//!   harnesses generate — do).
+//! * **Deterministic seeding.** Cases are generated from a SplitMix64
+//!   stream seeded by the test function's name and the case index, so
+//!   failures are reproducible run-to-run without persistence files.
+//!   `.proptest-regressions` files written by real proptest are honoured
+//!   in spirit: point [`ProptestConfig::regressions`] at one and each
+//!   recorded `cc` entry is folded into a 64-bit seed whose case is
+//!   replayed before the regular budget (the stub cannot reconstruct real
+//!   proptest's exact inputs, but the corpus keeps exercising distinct,
+//!   stable cases — and the file is checked to exist).
 
+use std::cell::Cell;
 use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Once;
 
 /// Deterministic RNG used for case generation (SplitMix64).
 #[derive(Debug, Clone)]
@@ -35,6 +50,11 @@ impl TestRng {
         TestRng {
             state: h ^ ((case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
         }
+    }
+
+    /// RNG from a raw 64-bit seed (used for regression-corpus replay).
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { state: seed }
     }
 
     /// Next raw 64-bit sample.
@@ -58,16 +78,51 @@ impl TestRng {
     }
 }
 
+/// A failed property-test case (what `prop_assert*` produce). Unlike a
+/// panic, returning this lets the runner re-try shrunk candidates quietly.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    /// Human-readable description of the violated assertion.
+    pub message: String,
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Result type of a `proptest!` body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
 /// A generator of test-case values.
 ///
-/// Unlike real proptest there is no value tree: `generate` directly yields a
-/// value and no shrinking is performed.
+/// Unlike real proptest there is no value tree: `generate` directly yields
+/// a value, and [`Strategy::shrink`] proposes simpler variants of a
+/// concrete failing value (empty by default).
 pub trait Strategy {
     /// The type of value this strategy produces.
     type Value;
 
     /// Produce one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Propose strictly simpler candidate values derived from `value`.
+    /// The runner keeps any candidate that still fails and iterates to a
+    /// local minimum. The default proposes nothing (no shrinking).
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
 
     /// Map generated values through `f`.
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
@@ -101,12 +156,16 @@ pub trait Strategy {
 trait DynStrategy {
     type Value;
     fn generate_dyn(&self, rng: &mut TestRng) -> Self::Value;
+    fn shrink_dyn(&self, value: &Self::Value) -> Vec<Self::Value>;
 }
 
 impl<S: Strategy> DynStrategy for S {
     type Value = S::Value;
     fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
         self.generate(rng)
+    }
+    fn shrink_dyn(&self, value: &S::Value) -> Vec<S::Value> {
+        self.shrink(value)
     }
 }
 
@@ -117,6 +176,9 @@ impl<V> Strategy for BoxedStrategy<V> {
     type Value = V;
     fn generate(&self, rng: &mut TestRng) -> V {
         self.0.generate_dyn(rng)
+    }
+    fn shrink(&self, value: &V) -> Vec<V> {
+        self.0.shrink_dyn(value)
     }
 }
 
@@ -183,6 +245,8 @@ impl<V> Strategy for Union<V> {
         let idx = rng.below(self.0.len() as u64) as usize;
         self.0[idx].generate(rng)
     }
+    // No shrink: the producing arm of a concrete value is unknown, and a
+    // candidate from the wrong arm could violate that arm's invariants.
 }
 
 macro_rules! int_range_strategy {
@@ -194,34 +258,70 @@ macro_rules! int_range_strategy {
                 assert!(span > 0, "strategy over empty range");
                 (self.start as i128 + rng.below(span as u64) as i128) as $t
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                // Toward the lower bound: the bound itself, the midpoint,
+                // and one step down — big bites first, then fine steps.
+                let (v, lo) = (*value as i128, self.start as i128);
+                let mut out = Vec::new();
+                for cand in [lo, lo + (v - lo) / 2, v - 1] {
+                    let cand = cand as $t;
+                    if (cand as i128) >= lo && (cand as i128) < v && !out.contains(&cand) {
+                        out.push(cand);
+                    }
+                }
+                out
+            }
         }
     )*};
 }
 
 int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
 
-impl Strategy for Range<f64> {
-    type Value = f64;
-    fn generate(&self, rng: &mut TestRng) -> f64 {
-        assert!(self.end > self.start, "strategy over empty range");
-        self.start + rng.unit_f64() * (self.end - self.start)
-    }
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.end > self.start, "strategy over empty range");
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let mut out = Vec::new();
+                if *value != self.start {
+                    out.push(self.start);
+                    let mid = self.start + (*value - self.start) / 2.0;
+                    if mid != self.start && mid != *value {
+                        out.push(mid);
+                    }
+                }
+                out
+            }
+        }
+    )*};
 }
 
-impl Strategy for Range<f32> {
-    type Value = f32;
-    fn generate(&self, rng: &mut TestRng) -> f32 {
-        assert!(self.end > self.start, "strategy over empty range");
-        self.start + (rng.unit_f64() as f32) * (self.end - self.start)
-    }
-}
+float_range_strategy!(f32, f64);
 
 macro_rules! tuple_strategy {
     ($(($($s:ident . $idx:tt),+))*) => {$(
-        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+)
+        where
+            $($s::Value: Clone),+
+        {
             type Value = ($($s::Value,)+);
             fn generate(&self, rng: &mut TestRng) -> Self::Value {
                 ($(self.$idx.generate(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
             }
         }
     )*};
@@ -253,59 +353,279 @@ pub mod collection {
         VecStrategy { element, len }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let span = (self.len.end - self.len.start) as u64;
             let n = self.len.start + rng.below(span) as usize;
             (0..n).map(|_| self.element.generate(rng)).collect()
         }
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            let min = self.len.start;
+            // Big bite: keep only the first half.
+            if value.len() / 2 >= min && value.len() / 2 < value.len() {
+                out.push(value[..value.len() / 2].to_vec());
+            }
+            // Drop each single element.
+            if value.len() > min {
+                for i in 0..value.len() {
+                    let mut next = value.clone();
+                    next.remove(i);
+                    out.push(next);
+                }
+            }
+            // Shrink elements in place (a few candidates each).
+            for i in 0..value.len() {
+                for cand in self.element.shrink(&value[i]).into_iter().take(3) {
+                    let mut next = value.clone();
+                    next[i] = cand;
+                    out.push(next);
+                }
+            }
+            out
+        }
     }
 }
 
-/// Runner configuration. Only `cases` is honoured; the remaining fields
-/// exist so `..ProptestConfig::default()` struct-update syntax works.
+/// Runner configuration.
 #[derive(Debug, Clone)]
 pub struct ProptestConfig {
     /// Number of cases to generate per test.
     pub cases: u32,
-    /// Ignored (kept for API compatibility).
+    /// Cap on the number of shrink candidates evaluated for one failure.
     pub max_shrink_iters: u32,
+    /// Optional path to a `.proptest-regressions` corpus. Each recorded
+    /// `cc` entry is folded into a seed and replayed before the regular
+    /// case budget; a configured path that does not exist is an error (so
+    /// CI notices a corpus going missing).
+    pub regressions: Option<&'static str>,
 }
 
 impl Default for ProptestConfig {
     fn default() -> Self {
         ProptestConfig {
             cases: 32,
-            max_shrink_iters: 0,
+            max_shrink_iters: 512,
+            regressions: None,
         }
     }
+}
+
+/// Fold the `cc <hex>` entries of a `.proptest-regressions` corpus into
+/// replay seeds: each 64-bit word of the recorded value is XOR-folded, so
+/// any length of hex digest maps to a stable `u64`.
+pub fn parse_regression_seeds(text: &str) -> Vec<u64> {
+    text.lines()
+        .filter_map(|line| {
+            let rest = line.trim().strip_prefix("cc ")?;
+            let hex = rest.split_whitespace().next()?;
+            let mut seed = 0u64;
+            let mut acc = 0u64;
+            let mut nibbles = 0u32;
+            for c in hex.chars() {
+                let d = c.to_digit(16)?;
+                acc = (acc << 4) | d as u64;
+                nibbles += 1;
+                if nibbles == 16 {
+                    seed ^= acc;
+                    acc = 0;
+                    nibbles = 0;
+                }
+            }
+            if nibbles > 0 {
+                seed ^= acc;
+            }
+            Some(seed)
+        })
+        .collect()
+}
+
+// While the runner probes shrink candidates it expects failures; a
+// thread-local flag keeps the default panic hook from spamming a
+// backtrace per probed candidate. Panics on other threads (e.g. simulated
+// nodes spawned by a property body) still print normally.
+thread_local! {
+    static QUIET_PANICS: Cell<bool> = const { Cell::new(false) };
+}
+
+fn install_quiet_hook() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !QUIET_PANICS.with(|q| q.get()) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run `test` on `value`; `Some(message)` if it fails (by `Err` or panic).
+fn run_one<V, F>(test: &F, value: V) -> Option<String>
+where
+    F: Fn(V) -> TestCaseResult,
+{
+    QUIET_PANICS.with(|q| q.set(true));
+    let outcome = catch_unwind(AssertUnwindSafe(|| test(value)));
+    QUIET_PANICS.with(|q| q.set(false));
+    match outcome {
+        Ok(Ok(())) => None,
+        Ok(Err(e)) => Some(e.message),
+        Err(payload) => Some(panic_message(payload)),
+    }
+}
+
+/// The engine behind `proptest!`: generate `config.cases` values (plus any
+/// regression-corpus seeds first), run `test` on each, and on failure
+/// greedily shrink to a local minimum before panicking with the minimal
+/// counterexample.
+pub fn run_property_test<S, F>(name: &str, config: &ProptestConfig, strategy: S, test: F)
+where
+    S: Strategy,
+    S::Value: Clone + std::fmt::Debug,
+    F: Fn(S::Value) -> TestCaseResult,
+{
+    install_quiet_hook();
+    if let Some(path) = config.regressions {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            panic!("proptest: {name}: configured regressions corpus {path} unreadable: {e}")
+        });
+        for (i, seed) in parse_regression_seeds(&text).into_iter().enumerate() {
+            let mut rng = TestRng::from_seed(seed);
+            let value = strategy.generate(&mut rng);
+            let origin = format!("regression #{i}, seed {seed:#018x}");
+            check_case(name, config, &strategy, &test, value, &origin);
+        }
+    }
+    for case in 0..config.cases {
+        let mut rng = TestRng::for_case(name, case);
+        let value = strategy.generate(&mut rng);
+        let origin = format!("case {case}");
+        check_case(name, config, &strategy, &test, value, &origin);
+    }
+}
+
+fn check_case<S, F>(
+    name: &str,
+    config: &ProptestConfig,
+    strategy: &S,
+    test: &F,
+    value: S::Value,
+    origin: &str,
+) where
+    S: Strategy,
+    S::Value: Clone + std::fmt::Debug,
+    F: Fn(S::Value) -> TestCaseResult,
+{
+    let Some(mut message) = run_one(test, value.clone()) else {
+        return;
+    };
+    // Greedy descent: take the first shrink candidate that still fails,
+    // repeat from there; stop at a local minimum or the iteration cap.
+    let mut current = value;
+    let mut iters = 0u32;
+    'descent: while iters < config.max_shrink_iters {
+        for candidate in strategy.shrink(&current) {
+            iters += 1;
+            if let Some(m) = run_one(test, candidate.clone()) {
+                current = candidate;
+                message = m;
+                continue 'descent;
+            }
+            if iters >= config.max_shrink_iters {
+                break;
+            }
+        }
+        break;
+    }
+    panic!(
+        "proptest: {name} failed ({origin}; {iters} shrink iterations)\n\
+         minimal failing input: {current:?}\n\
+         {message}"
+    );
 }
 
 /// Everything a property test module needs.
 pub mod prelude {
     pub use crate::{
         prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy, Just,
-        ProptestConfig, Strategy,
+        ProptestConfig, Strategy, TestCaseError,
     };
 }
 
-/// Assert a condition inside a `proptest!` body.
+/// Assert a condition inside a `proptest!` body. On failure, returns a
+/// [`TestCaseError`] from the enclosing body (so the runner can shrink)
+/// instead of panicking.
 #[macro_export]
 macro_rules! prop_assert {
-    ($($tt:tt)*) => { assert!($($tt)*) };
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "{}", concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
 }
 
-/// Assert equality inside a `proptest!` body.
+/// Assert equality inside a `proptest!` body (shrink-friendly).
 #[macro_export]
 macro_rules! prop_assert_eq {
-    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+    ($left:expr, $right:expr $(,)?) => {{
+        let (lv, rv) = (&$left, &$right);
+        $crate::prop_assert!(
+            *lv == *rv,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            lv,
+            rv
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (lv, rv) = (&$left, &$right);
+        $crate::prop_assert!(
+            *lv == *rv,
+            "{}\n  left: `{:?}`\n right: `{:?}`",
+            format!($($fmt)+),
+            lv,
+            rv
+        );
+    }};
 }
 
-/// Assert inequality inside a `proptest!` body.
+/// Assert inequality inside a `proptest!` body (shrink-friendly).
 #[macro_export]
 macro_rules! prop_assert_ne {
-    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+    ($left:expr, $right:expr $(,)?) => {{
+        let (lv, rv) = (&$left, &$right);
+        $crate::prop_assert!(
+            *lv != *rv,
+            "assertion failed: `left != right`\n  both: `{:?}`",
+            lv
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (lv, rv) = (&$left, &$right);
+        $crate::prop_assert!(
+            *lv != *rv,
+            "{}\n  both: `{:?}`",
+            format!($($fmt)+),
+            lv
+        );
+    }};
 }
 
 /// Uniform choice among strategies yielding the same value type.
@@ -319,6 +639,10 @@ macro_rules! prop_oneof {
 /// Define property tests. Supports an optional leading
 /// `#![proptest_config(expr)]` and any number of
 /// `#[test] fn name(arg in strategy, ...) { body }` items.
+///
+/// The body runs as a closure returning [`TestCaseResult`]; `prop_assert*`
+/// failures are returned (not panicked) so the runner can shrink the
+/// inputs before reporting.
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
@@ -334,11 +658,15 @@ macro_rules! proptest {
             $(#[$meta])*
             fn $name() {
                 let config: $crate::ProptestConfig = $cfg;
-                for case in 0..config.cases {
-                    let mut rng = $crate::TestRng::for_case(stringify!($name), case);
-                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
-                    $body
-                }
+                $crate::run_property_test(
+                    stringify!($name),
+                    &config,
+                    ($($strat,)+),
+                    |($($arg,)+)| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    },
+                );
             }
         )*
     };
@@ -397,6 +725,151 @@ mod tests {
         }
     }
 
+    // ---------------------------------------------------------- shrinking
+
+    /// Run `run_property_test` expecting it to fail, returning the panic
+    /// message (which reports the minimal counterexample).
+    fn failing_run<S>(strategy: S, test: impl Fn(S::Value) -> crate::TestCaseResult) -> String
+    where
+        S: Strategy,
+        S::Value: Clone + std::fmt::Debug,
+    {
+        let config = ProptestConfig::default();
+        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            crate::run_property_test("shrink_probe", &config, strategy, test);
+        }));
+        match out {
+            Ok(()) => panic!("property unexpectedly passed"),
+            Err(p) => *p.downcast::<String>().expect("panic message"),
+        }
+    }
+
+    #[test]
+    fn int_shrink_candidates_step_toward_lower_bound() {
+        let s = 0u64..1000;
+        let cands = s.shrink(&100);
+        assert_eq!(cands, vec![0, 50, 99]);
+        assert!(s.shrink(&0).is_empty(), "lower bound is minimal");
+    }
+
+    #[test]
+    fn int_failure_shrinks_to_boundary() {
+        // Fails for x >= 57: greedy descent must land exactly on 57.
+        let msg = failing_run(0u64..1000, |x| {
+            prop_assert!(x < 57, "too big: {x}");
+            Ok(())
+        });
+        assert!(
+            msg.contains("minimal failing input: 57"),
+            "got message: {msg}"
+        );
+    }
+
+    #[test]
+    fn tuple_failure_shrinks_componentwise() {
+        // Fails when a >= 7 && b >= 5: from any failing start, greedy
+        // per-component descent reaches the unique minimum (7, 5).
+        let msg = failing_run((0u32..100, 0u32..100), |(a, b)| {
+            prop_assert!(a < 7 || b < 5);
+            Ok(())
+        });
+        assert!(
+            msg.contains("minimal failing input: (7, 5)"),
+            "got message: {msg}"
+        );
+    }
+
+    #[test]
+    fn vec_failure_shrinks_elements_and_length() {
+        // Fails when the vec has >= 3 elements: the minimum is three
+        // minimal elements.
+        let msg = failing_run(crate::collection::vec(0u32..10, 0..20), |v| {
+            prop_assert!(v.len() < 3, "len {}", v.len());
+            Ok(())
+        });
+        assert!(
+            msg.contains("minimal failing input: [0, 0, 0]"),
+            "got message: {msg}"
+        );
+    }
+
+    #[test]
+    fn panicking_bodies_also_shrink() {
+        // A body that panics (rather than prop_assert-ing) still shrinks.
+        let msg = failing_run(0i32..500, |x| {
+            assert!(x < 123, "kaboom at {x}");
+            Ok(())
+        });
+        assert!(
+            msg.contains("minimal failing input: 123"),
+            "got message: {msg}"
+        );
+        assert!(msg.contains("kaboom at 123"), "got message: {msg}");
+    }
+
+    #[test]
+    fn prop_asserts_return_errors_not_panics() {
+        let body = |x: u32| -> crate::TestCaseResult {
+            prop_assert!(x > 10, "x was {x}");
+            prop_assert_eq!(x % 2, 0);
+            prop_assert_ne!(x, 12);
+            Ok(())
+        };
+        assert!(body(14).is_ok());
+        assert_eq!(body(3).unwrap_err().message, "x was 3");
+        assert!(body(13).unwrap_err().message.contains("left == right"));
+        assert!(body(12).unwrap_err().message.contains("left != right"));
+    }
+
+    // -------------------------------------------------------- regressions
+
+    #[test]
+    fn regression_seeds_fold_hex_words() {
+        let text = "# comment preserved by real proptest\n\
+                    cc 0000000000000001000000000000000200000000000000040000000000000008 # shrinks to ...\n\
+                    cc ff00\n\
+                    not a cc line\n";
+        assert_eq!(
+            crate::parse_regression_seeds(text),
+            vec![1 ^ 2 ^ 4 ^ 8, 0xff00]
+        );
+    }
+
+    #[test]
+    fn regression_corpus_replays_before_cases() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let dir = std::env::temp_dir().join(format!("proptest-stub-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corpus.proptest-regressions");
+        std::fs::write(&path, "cc 00000000000000aa\ncc 00000000000000bb\n").unwrap();
+        let path: &'static str = Box::leak(path.to_str().unwrap().to_string().into_boxed_str());
+        static RUNS: AtomicU32 = AtomicU32::new(0);
+        let config = ProptestConfig {
+            cases: 3,
+            regressions: Some(path),
+            ..ProptestConfig::default()
+        };
+        crate::run_property_test("corpus_probe", &config, 0u8..10, |_| {
+            RUNS.fetch_add(1, Ordering::SeqCst);
+            Ok(())
+        });
+        assert_eq!(RUNS.load(Ordering::SeqCst), 5, "2 corpus seeds + 3 cases");
+    }
+
+    #[test]
+    fn missing_regression_corpus_is_an_error() {
+        let config = ProptestConfig {
+            cases: 1,
+            regressions: Some("/nonexistent/corpus.proptest-regressions"),
+            ..ProptestConfig::default()
+        };
+        let out = std::panic::catch_unwind(|| {
+            crate::run_property_test("missing_probe", &config, 0u8..10, |_| Ok(()));
+        });
+        let msg = *out.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("unreadable"), "got message: {msg}");
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig { cases: 5, ..ProptestConfig::default() })]
 
@@ -405,6 +878,13 @@ mod tests {
             prop_assert!(x < 100);
             prop_assert!(pair.0 < 5);
             prop_assert_ne!(pair.1, 2.0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_default_config(x in 1u8..7) {
+            prop_assert!(x >= 1);
         }
     }
 }
