@@ -7,7 +7,9 @@
 //! the final memory image is schedule-independent and a sequential oracle
 //! can predict it exactly.
 
-use std::collections::HashMap;
+// BTreeMap, not HashMap: slot assignment order feeds decoded op programs,
+// which must be stable across runs for replayable counterexamples (lint L2).
+use std::collections::BTreeMap;
 
 /// Write slots per (origin, target) pair in each region.
 pub const MAX_SLOTS: usize = 8;
@@ -259,7 +261,7 @@ pub type RawOp = (u8, u8, u8, u8, u16);
 pub fn decode_ops(nodes: usize, slot_bytes: usize, raw: &[RawOp]) -> Vec<Vec<Op>> {
     let mut ops: Vec<Vec<Op>> = vec![Vec::new(); nodes];
     // (origin, target, is_am) -> next free slot
-    let mut slots: HashMap<(usize, usize, bool), usize> = HashMap::new();
+    let mut slots: BTreeMap<(usize, usize, bool), usize> = BTreeMap::new();
     for &(rank_sel, kind_sel, target_sel, pat, len_sel) in raw {
         let rank = rank_sel as usize % nodes;
         let target = target_sel as usize % nodes;

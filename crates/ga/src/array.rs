@@ -187,9 +187,11 @@ impl GlobalArray {
     /// Gather the elements at `points` (blocking).
     pub fn gather(&self, points: &[(usize, usize)]) -> Vec<f64> {
         let mut out = vec![0.0; points.len()];
-        // Remember each point's position to restore request order.
-        let mut index: std::collections::HashMap<usize, Vec<usize>> =
-            std::collections::HashMap::new();
+        // Remember each point's position to restore request order. BTreeMap,
+        // not HashMap: gather issues one get per owner in iteration order, so
+        // the map order shapes the wire traffic (lint rule L2).
+        let mut index: std::collections::BTreeMap<usize, Vec<usize>> =
+            std::collections::BTreeMap::new();
         for (k, &(i, j)) in points.iter().enumerate() {
             index
                 .entry(self.meta.dist.locate(i, j))

@@ -207,6 +207,8 @@ impl LapiGaBackend {
     }
 
     fn gen_issue(&self, target: NodeId, k: i64) {
+        // ordering: issue tally read only by this rank's own fence() —
+        // single-writer, single-reader on the same thread.
         self.gen[target].issued.fetch_add(k, Ordering::Relaxed);
     }
 
@@ -719,6 +721,8 @@ impl GaBackend for LapiGaBackend {
         // Generalized-counter fence: wait for the completion of every
         // store-type operation issued toward `target`, including the
         // completion handlers of bulk accumulates (§5.3.2).
+        // ordering: same-thread pairing with gen_issue — the issuing rank is
+        // the fencing rank, so no cross-thread visibility is needed.
         let want = self.gen[target].issued.swap(0, Ordering::Relaxed);
         if want > 0 {
             self.ctx.waitcntr(&self.gen[target].cntr, want);

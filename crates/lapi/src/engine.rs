@@ -14,13 +14,15 @@
 //! All of them charge their CPU costs to the *same* node clock, modelling
 //! the single P2SC processor each paper node had.
 
-use std::collections::HashMap;
+// BTreeMap, not HashMap: handler tables, reassembly state and rmw slots are
+// iterated by diagnostics and live on trace-sensitive paths (lint rule L2).
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex, RwLock};
-use spsim::{trace, MachineConfig, NodeId, Stamped, TimedQueue, VClock, VTime};
+use spsim::{trace, MachineConfig, NodeId, OrDiag, Stamped, TimedQueue, VClock, VTime};
 use spswitch::{Adapter, DeliveryTimeout, SendReceipt, WirePacket};
 
 use crate::addr::{Addr, AddressSpace};
@@ -118,7 +120,7 @@ impl RmwFuture {
                         );
                     }
                 }
-                st.expect("checked above")
+                st.or_diag("rmw slot filled but empty after wakeup")
             }
             Mode::Polling => {
                 let deadline = Instant::now() + engine.escape;
@@ -143,11 +145,11 @@ pub struct Engine {
     adapter: Adapter<LapiBody>,
     space: Mutex<AddressSpace>,
     counters: Mutex<Vec<Counter>>,
-    handlers: RwLock<HashMap<u32, HeaderHandlerFn>>,
-    reasm: Mutex<HashMap<(NodeId, MsgId), Reasm>>,
+    handlers: RwLock<BTreeMap<u32, HeaderHandlerFn>>,
+    reasm: Mutex<BTreeMap<(NodeId, MsgId), Reasm>>,
     outstanding: Mutex<Vec<i64>>,
     outstanding_cv: Condvar,
-    rmw_slots: Mutex<HashMap<u64, Arc<RmwSlot>>>,
+    rmw_slots: Mutex<BTreeMap<u64, Arc<RmwSlot>>>,
     next_msg: AtomicU64,
     next_ticket: AtomicU64,
     mode: Mutex<Mode>,
@@ -166,11 +168,11 @@ impl Engine {
             adapter,
             space: Mutex::new(AddressSpace::new()),
             counters: Mutex::new(Vec::new()),
-            handlers: RwLock::new(HashMap::new()),
-            reasm: Mutex::new(HashMap::new()),
+            handlers: RwLock::new(BTreeMap::new()),
+            reasm: Mutex::new(BTreeMap::new()),
             outstanding: Mutex::new(vec![0; n]),
             outstanding_cv: Condvar::new(),
-            rmw_slots: Mutex::new(HashMap::new()),
+            rmw_slots: Mutex::new(BTreeMap::new()),
             next_msg: AtomicU64::new(1),
             next_ticket: AtomicU64::new(1),
             mode: Mutex::new(mode),
@@ -380,7 +382,7 @@ impl Engine {
         self.counters
             .lock()
             .get(id as usize)
-            .unwrap_or_else(|| panic!("node {}: no counter with id {id}", self.id()))
+            .unwrap_or_else(|| spsim::sim_panic!("node {}: no counter with id {id}", self.id()))
             .clone()
     }
 
@@ -403,6 +405,8 @@ impl Engine {
     // -------------------------------------------------------- issue paths
 
     fn alloc_msg_id(&self) -> MsgId {
+        // ordering: pure id allocation — only uniqueness matters, no other
+        // memory is published under this counter.
         self.next_msg.fetch_add(1, Ordering::Relaxed)
     }
 
@@ -733,6 +737,8 @@ impl Engine {
         self.stats.rmws.incr();
         self.track_outstanding(target);
         let cfg = self.config();
+        // ordering: ticket allocation only needs uniqueness; the slot itself
+        // is published through the rmw_slots mutex below.
         let ticket = self.next_ticket.fetch_add(1, Ordering::Relaxed);
         let slot = Arc::new(RmwSlot {
             st: Mutex::new(None),
@@ -886,7 +892,7 @@ impl Engine {
                     .rmw_slots
                     .lock()
                     .remove(&ticket)
-                    .expect("rmw reply for unknown ticket");
+                    .or_diag("rmw reply for unknown ticket");
                 *slot.st.lock() = Some(prev);
                 slot.cv.notify_all();
                 self.outstanding_decr(src);
@@ -926,7 +932,8 @@ impl Engine {
                     false
                 }
             }
-            _ => panic!("message {msg_id} from {src} mixes AM and data reassembly"),
+            // sim_panic (not deadlock_report): the reasm lock is held here.
+            _ => spsim::sim_panic!("message {msg_id} from {src} mixes AM and data reassembly"),
         }
     }
 
@@ -961,7 +968,8 @@ impl Engine {
         let outcome = {
             let handlers = self.handlers.read();
             let h = handlers.get(&handler).unwrap_or_else(|| {
-                panic!(
+                // sim_panic (not deadlock_report): the handlers lock is held.
+                spsim::sim_panic!(
                     "node {}: active message from {src} names unregistered handler {handler}",
                     self.id()
                 )
@@ -977,7 +985,7 @@ impl Engine {
         };
         self.tr(trace::EventKind::HandlerExit, "hdr", msg_id, total_len);
         if total_len > 0 && outcome.buffer.is_none() {
-            panic!(
+            spsim::sim_panic!(
                 "node {}: header handler {handler} returned no buffer for a \
                  {total_len}-byte message — LAPI header handlers cannot refuse data (§5.3.1)",
                 self.id()
@@ -995,7 +1003,8 @@ impl Engine {
             let mut map = self.reasm.lock();
             match map.remove(&(src, msg_id)) {
                 Some(Reasm::AmEarly { stash }) => stash,
-                Some(_) => panic!("AM header collides with non-AM reassembly state"),
+                // sim_panic (not deadlock_report): the reasm lock is held here.
+                Some(_) => spsim::sim_panic!("AM header collides with non-AM reassembly state"),
                 None => Vec::new(),
             }
         };
@@ -1031,7 +1040,7 @@ impl Engine {
             Reasm::Am {
                 buffer, received, ..
             } => {
-                let buf = buffer.expect("data-bearing AM must have a buffer");
+                let buf = buffer.or_diag("data-bearing AM has no buffer");
                 *received += data.len();
                 let done = *received >= total;
                 // Write under the reasm lock is fine: space is a separate lock.
@@ -1056,7 +1065,8 @@ impl Engine {
                 stash.push((offset, data));
             }
             Reasm::Data { .. } | Reasm::VecPut { .. } => {
-                panic!("AM fragment collides with other reassembly state")
+                // sim_panic (not deadlock_report): the reasm lock is held here.
+                spsim::sim_panic!("AM fragment collides with other reassembly state")
             }
         }
     }
@@ -1148,7 +1158,8 @@ impl Engine {
             let mut map = self.reasm.lock();
             match map.remove(&(src, msg_id)) {
                 Some(Reasm::AmEarly { stash }) => stash,
-                Some(_) => panic!("putv header collides with other reassembly state"),
+                // sim_panic (not deadlock_report): the reasm lock is held here.
+                Some(_) => spsim::sim_panic!("putv header collides with other reassembly state"),
                 None => Vec::new(),
             }
         };
@@ -1201,7 +1212,8 @@ impl Engine {
                 self.stats.early_am_data.incr();
                 stash.push((offset, data));
             }
-            _ => panic!("putv fragment collides with other reassembly state"),
+            // sim_panic (not deadlock_report): the reasm lock is held here.
+            _ => spsim::sim_panic!("putv fragment collides with other reassembly state"),
         }
     }
 
@@ -1334,7 +1346,7 @@ impl Engine {
                     );
                 }
             }
-            Err(_) => panic!("adapter receive queue closed while waiting for progress"),
+            Err(_) => spsim::sim_panic!("adapter receive queue closed while waiting for progress"),
         }
     }
 

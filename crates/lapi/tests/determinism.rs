@@ -1,0 +1,113 @@
+//! Same-seed trace identity (lint rule L2's reason for existing).
+//!
+//! After the HashMap→BTreeMap migration in the engines, a fixed-seed run of
+//! a 3-node workload must produce a byte-identical rendered trace every
+//! time. The workload stays inside the simulator's deterministic envelope:
+//!
+//! * polling mode — interrupt delivery racing the main thread against real
+//!   time is *intentionally* outside it;
+//! * causally serialized traffic — each rank only transmits after the
+//!   previous rank's message has landed (token-passing rotation, then
+//!   strictly sequential gets), so no two node threads ever contend for an
+//!   ejection-link reservation. Free-running many-to-one traffic reserves
+//!   links in real-time arrival order and is deliberately not covered.
+//!
+//! Within that envelope, any run-to-run divergence means an
+//! ordering-sensitive path is iterating a randomized collection — exactly
+//! what the BTreeMap migration (and lint rule L2) exists to prevent.
+
+use lapi::{LapiContext, LapiWorld, Mode};
+use spsim::{run_spmd_with, MachineConfig};
+
+const SEED: u64 = 0x7E57_5EED;
+const LEN: usize = 192;
+
+fn run_once() -> String {
+    let session = spsim::trace::session();
+    let ctxs = LapiWorld::init_seeded(3, MachineConfig::default(), Mode::Polling, SEED);
+    run_spmd_with(ctxs, |rank, ctx| workload(rank, &ctx));
+    let timeline = session.finish();
+    assert_eq!(
+        timeline.evicted, 0,
+        "trace ring overflowed; shrink workload"
+    );
+    timeline.render()
+}
+
+fn workload(rank: usize, ctx: &LapiContext) {
+    let buf = ctx.alloc(256);
+    let well = ctx.alloc(LEN);
+    // Written before the collectives below, which double as an
+    // "everyone is ready" barrier — so gets against the well see this.
+    ctx.mem_write(well, &[rank as u8 + 0x40; LEN]);
+    let addrs = ctx.address_init(buf);
+    let wells = ctx.address_init(well);
+    let org = ctx.new_counter();
+    let cmpl = ctx.new_counter();
+    let tgt = ctx.new_counter();
+    let remotes = ctx.counter_init(&tgt);
+
+    // Token-passing rotation: rank r puts to (r+1)%3, but only after the
+    // previous rank's put has landed here — so exactly one rank is driving
+    // the fabric at a time.
+    if rank > 0 {
+        ctx.waitcntr(&tgt, 1);
+    }
+    let next = (rank + 1) % 3;
+    let data = vec![rank as u8 + 1; LEN];
+    ctx.put(
+        next,
+        addrs[next],
+        &data,
+        Some(remotes[next]),
+        Some(&org),
+        Some(&cmpl),
+    )
+    .unwrap();
+    // Waitcntr is LAPI_Waitcntr: it decrements by `val`, so every wait
+    // below counts the *delta* since the previous one.
+    ctx.waitcntr(&org, 1);
+    ctx.waitcntr(&cmpl, 1);
+    if rank == 0 {
+        ctx.waitcntr(&tgt, 1); // rank 2's put (ranks 1, 2 consumed theirs as the token)
+    }
+
+    let prev = (rank + 2) % 3;
+    assert_eq!(ctx.mem_read(buf, LEN), vec![prev as u8 + 1; LEN]);
+
+    // Rank 0 pulls each peer's well, one get at a time (the org wait
+    // serializes them). The gets bump the peers' target counters; the
+    // peers' tgt wait keeps them polling so the requests get served.
+    if rank == 0 {
+        for peer in [1usize, 2] {
+            let scratch = ctx.alloc(LEN);
+            ctx.get(
+                peer,
+                wells[peer],
+                LEN,
+                scratch,
+                Some(remotes[peer]),
+                Some(&org),
+            )
+            .unwrap();
+            ctx.waitcntr(&org, 1);
+            assert_eq!(ctx.mem_read(scratch, LEN), vec![peer as u8 + 0x40; LEN]);
+        }
+    } else {
+        ctx.waitcntr(&tgt, 1);
+    }
+    ctx.gfence().unwrap();
+    ctx.barrier();
+}
+
+#[test]
+fn same_seed_three_node_trace_is_byte_identical() {
+    let first = run_once();
+    let second = run_once();
+    assert!(!first.is_empty(), "workload produced no trace events");
+    assert_eq!(
+        first, second,
+        "same-seed runs diverged — an ordering-sensitive path is iterating \
+         a randomized collection (see lint rule L2)"
+    );
+}

@@ -6,13 +6,13 @@
 //! in polling mode) and a dispatcher thread (interrupt mode / `rcvncall`).
 //! All CPU costs are charged to the node's single virtual clock.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
-use spsim::{trace, MachineConfig, NodeId, Stamped, StatCounter, VClock, VTime};
+use spsim::{trace, MachineConfig, NodeId, OrDiag, Stamped, StatCounter, VClock, VTime};
 use spswitch::{Adapter, SendReceipt, WirePacket};
 
 use crate::context::{MplHandlerCtx, MplMode, Status};
@@ -235,7 +235,9 @@ struct MatchState {
     posted: VecDeque<Posted>,
     streams: Vec<StreamIn>,
     send_seq: Vec<Seq>,
-    rndv_sends: HashMap<(NodeId, Seq), RndvSend>,
+    // BTreeMap, not HashMap: parked sends are iterated by diagnostics and
+    // the map lives on the trace-sensitive matching path (lint rule L2).
+    rndv_sends: BTreeMap<(NodeId, Seq), RndvSend>,
 }
 
 /// Per-node MPL machinery.
@@ -258,7 +260,7 @@ impl MplEngine {
                 posted: VecDeque::new(),
                 streams: (0..n).map(|_| StreamIn::default()).collect(),
                 send_seq: vec![0; n],
-                rndv_sends: HashMap::new(),
+                rndv_sends: BTreeMap::new(),
             }),
             mode: Mutex::new(mode),
             mode_cv: Condvar::new(),
@@ -346,7 +348,7 @@ impl MplEngine {
         self.adapter
             .try_send_at(self.clock().now(), dst, wire_bytes, body)
             .unwrap_or_else(|e| {
-                panic!(
+                spsim::sim_panic!(
                     "node {}: MPL cannot honour its delivery guarantee: {e}",
                     self.id()
                 )
@@ -509,7 +511,10 @@ impl MplEngine {
     ) {
         let cfg = self.config();
         let clock = self.clock();
-        let msg = st.streams[src].msgs.get_mut(&seq).expect("message exists");
+        let msg = st.streams[src]
+            .msgs
+            .get_mut(&seq)
+            .or_diag("matched message missing from its stream");
         debug_assert!(msg.dest.is_none());
         self.tr(trace::EventKind::Match, "recv", seq, msg.total);
         {
@@ -560,8 +565,11 @@ impl MplEngine {
     ) {
         let cfg = self.config();
         let clock = self.clock();
-        let msg = st.streams[src].msgs.remove(&seq).expect("message exists");
-        let dest = msg.dest.expect("finished message was matched");
+        let msg = st.streams[src]
+            .msgs
+            .remove(&seq)
+            .or_diag("finished message missing from its stream");
+        let dest = msg.dest.or_diag("finished message was never matched");
         clock.advance(cfg.mpl_recv_match);
         self.stats.recvs.incr();
         self.tr(trace::EventKind::Complete, "recv", seq, msg.total);
@@ -648,7 +656,7 @@ impl MplEngine {
                 let rndv = st
                     .rndv_sends
                     .remove(&(src, seq))
-                    .expect("CTS for unknown rendezvous send");
+                    .or_diag("CTS for unknown rendezvous send");
                 drop(st);
                 // Inject the parked data straight from the user buffer
                 // (no extra copy — the rendezvous advantage). The send only
@@ -751,7 +759,7 @@ impl MplEngine {
             p.src.map(|s| s == src).unwrap_or(true) && p.tag.map(|t| t == tag).unwrap_or(true)
         });
         if let Some(idx) = idx {
-            let posted = st.posted.remove(idx).expect("index valid");
+            let posted = st.posted.remove(idx).or_diag("posted index out of range");
             self.match_msg(st, src, seq, posted, fires);
         }
     }
@@ -766,7 +774,10 @@ impl MplEngine {
         data: Vec<u8>,
         fires: &mut Vec<HandlerFire>,
     ) {
-        let msg = st.streams[src].msgs.get_mut(&seq).expect("envelope seen");
+        let msg = st.streams[src]
+            .msgs
+            .get_mut(&seq)
+            .or_diag("fragment arrived before its envelope was recorded");
         msg.received += data.len();
         msg.frags_seen += 1;
         let complete = msg.received >= msg.total;
@@ -798,7 +809,7 @@ impl MplEngine {
                     );
                 }
             }
-            Err(_) => panic!("MPL adapter queue closed while waiting for progress"),
+            Err(_) => spsim::sim_panic!("MPL adapter queue closed while waiting for progress"),
         }
     }
 

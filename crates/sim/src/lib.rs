@@ -31,12 +31,15 @@
 //!   merged deterministic timeline. Disabled by default (one atomic load on
 //!   the hot path); powers the deadlock diagnostics and
 //!   [`trace::TraceSink::assert_quiescent`].
+//! * [`diag`] — the diagnostic-panic discipline for engine hot paths
+//!   ([`sim_panic!`], [`OrDiag`]); enforced statically by `spsim-lint`.
 
 #![warn(missing_docs)]
 
 pub mod barrier;
 pub mod clock;
 pub mod config;
+pub mod diag;
 pub mod fault;
 pub mod mutation;
 pub mod queue;
@@ -49,6 +52,7 @@ pub mod trace;
 pub use barrier::VBarrier;
 pub use clock::VClock;
 pub use config::MachineConfig;
+pub use diag::OrDiag;
 pub use fault::{FaultPlan, FaultProfile, FaultWindow, LinkFaults};
 pub use mutation::Mutant;
 pub use queue::{QueueClosed, Stamped, TimedQueue};

@@ -80,17 +80,20 @@ fn code(m: Mutant) -> u8 {
 /// Arm `mutant` process-wide (or disarm with `None`). See the module notes
 /// on serialization.
 pub fn set(mutant: Option<Mutant>) {
+    // ordering: armed/disarmed only between serialized runs (module notes).
     ARMED.store(mutant.map_or(DISARMED, code), Ordering::Relaxed);
 }
 
 /// Is `mutant` the currently armed mutant? One relaxed atomic load.
 #[inline]
 pub fn armed(mutant: Mutant) -> bool {
+    // ordering: stable for the whole run (set only between runs).
     ARMED.load(Ordering::Relaxed) == code(mutant)
 }
 
 /// The currently armed mutant, if any.
 pub fn current() -> Option<Mutant> {
+    // ordering: stable for the whole run (set only between runs).
     match ARMED.load(Ordering::Relaxed) {
         1 => Some(Mutant::SkipCounterDecrement),
         2 => Some(Mutant::DedupCursorOffByOne),

@@ -21,6 +21,7 @@ use std::time::Duration;
 use parking_lot::{Condvar, Mutex};
 
 use crate::clock::VClock;
+use crate::diag::OrDiag;
 use crate::time::VTime;
 
 /// Default real-time escape for blocking receives.
@@ -186,7 +187,7 @@ impl<T> TimedQueue<T> {
         let mut st = self.inner.heap.lock();
         if let Some(top) = st.heap.peek() {
             if top.at <= now {
-                let e = st.heap.pop().expect("peeked");
+                let e = st.heap.pop().or_diag("heap emptied between peek and pop");
                 return Ok(Some(Stamped {
                     at: e.at,
                     item: e.item,
@@ -295,7 +296,7 @@ impl<T> TimedQueue<T> {
             if top.at > now {
                 break;
             }
-            let e = st.heap.pop().expect("peeked");
+            let e = st.heap.pop().or_diag("heap emptied between peek and pop");
             out.push(Stamped {
                 at: e.at,
                 item: e.item,

@@ -33,10 +33,13 @@ static TIEBREAK_SEED: AtomicU64 = AtomicU64::new(0);
 pub fn set_schedule_tiebreak(seed: Option<u64>) {
     match seed {
         Some(s) => {
+            // ordering: callers serialize arming around whole runs (see
+            // above), so no simulated thread races these two stores.
             TIEBREAK_SEED.store(s, Ordering::Relaxed);
             TIEBREAK_ON.store(true, Ordering::Relaxed);
         }
         None => {
+            // ordering: same serialization argument as arming.
             TIEBREAK_ON.store(false, Ordering::Relaxed);
             TIEBREAK_SEED.store(0, Ordering::Relaxed);
         }
@@ -45,6 +48,7 @@ pub fn set_schedule_tiebreak(seed: Option<u64>) {
 
 /// The currently armed tie-break seed, if any.
 pub fn schedule_tiebreak() -> Option<u64> {
+    // ordering: read under the same caller-side serialization as set().
     if TIEBREAK_ON.load(Ordering::Relaxed) {
         Some(TIEBREAK_SEED.load(Ordering::Relaxed))
     } else {
@@ -58,10 +62,13 @@ pub fn schedule_tiebreak() -> Option<u64> {
 /// same-timestamp events.
 #[inline]
 pub(crate) fn tiebreak_key(seq: u64) -> u64 {
+    // ordering: the hook is armed/disarmed only between runs (callers
+    // serialize), so pushes within a run observe a stable flag and seed.
     if !TIEBREAK_ON.load(Ordering::Relaxed) {
         return seq;
     }
     let mut z = TIEBREAK_SEED
+        // ordering: see the flag load above.
         .load(Ordering::Relaxed)
         .wrapping_add(seq.wrapping_mul(0x9E37_79B9_7F4A_7C15));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);

@@ -27,18 +27,21 @@ impl StatCounter {
     /// Add one.
     #[inline]
     pub fn incr(&self) {
+        // ordering: monotone stat counter, read after threads join.
         self.n.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Add `k`.
     #[inline]
     pub fn add(&self, k: u64) {
+        // ordering: monotone stat counter, read after threads join.
         self.n.fetch_add(k, Ordering::Relaxed);
     }
 
     /// Current value.
     #[inline]
     pub fn get(&self) -> u64 {
+        // ordering: stat read; exact only once the counting threads joined.
         self.n.load(Ordering::Relaxed)
     }
 }

@@ -230,6 +230,8 @@ impl TraceSink {
     /// Is event recording currently enabled?
     #[inline]
     pub fn enabled(&self) -> bool {
+        // ordering: hot-path gate; stale reads only delay when recording
+        // starts/stops by a few events, which the session lock tolerates.
         self.enabled.load(Ordering::Relaxed)
     }
 
@@ -260,25 +262,22 @@ impl TraceSink {
         msg_id: u64,
         bytes: usize,
     ) {
-        match kind {
-            EventKind::Inject => {
-                self.injected.fetch_add(1, Ordering::Relaxed);
-            }
-            EventKind::Deliver => {
-                self.delivered.fetch_add(1, Ordering::Relaxed);
-            }
-            EventKind::Drop => {
-                self.dropped_pkts.fetch_add(1, Ordering::Relaxed);
-            }
-            EventKind::Ack => {
-                self.acks.fetch_add(1, Ordering::Relaxed);
-            }
-            EventKind::Dup => {
-                self.dups.fetch_add(1, Ordering::Relaxed);
-            }
-            _ => {}
+        let stat = match kind {
+            EventKind::Inject => Some(&self.injected),
+            EventKind::Deliver => Some(&self.delivered),
+            EventKind::Drop => Some(&self.dropped_pkts),
+            EventKind::Ack => Some(&self.acks),
+            EventKind::Dup => Some(&self.dups),
+            _ => None,
+        };
+        if let Some(stat) = stat {
+            // ordering: independent monotone stat counters; totals are read
+            // after the traced threads join (or as a heuristic mid-run).
+            stat.fetch_add(1, Ordering::Relaxed);
         }
         let ring = self.ring(node);
+        // ordering: per-node sequence — only uniqueness/monotonicity within
+        // one ring matters; merged order is rebuilt from the sort key.
         let seq = ring.next_seq.fetch_add(1, Ordering::Relaxed);
         let ev = TraceEvent {
             vtime,
@@ -289,10 +288,13 @@ impl TraceSink {
             bytes,
             seq,
         };
+        // ordering: capacity is configured before a session starts; a stale
+        // read can only mis-size the ring by a few events.
         let cap = self.capacity.load(Ordering::Relaxed).max(1);
         let mut q = ring.events.lock();
         if q.len() >= cap {
             q.pop_front();
+            // ordering: eviction tally, read after the session seals.
             ring.evicted.fetch_add(1, Ordering::Relaxed);
         }
         q.push_back(ev);
@@ -314,11 +316,13 @@ impl TraceSink {
 
     /// Number of packets injected into the switch since the last reset.
     pub fn injected(&self) -> u64 {
+        // ordering: stat read; exact only once the traced threads joined.
         self.injected.load(Ordering::Relaxed)
     }
 
     /// Number of packets consumed by a protocol engine since the last reset.
     pub fn delivered(&self) -> u64 {
+        // ordering: stat read; exact only once the traced threads joined.
         self.delivered.load(Ordering::Relaxed)
     }
 
@@ -336,18 +340,21 @@ impl TraceSink {
     /// reset. By construction every drop costs the sender exactly one
     /// retransmission round.
     pub fn fabric_drops(&self) -> u64 {
+        // ordering: stat read; exact only once the traced threads joined.
         self.dropped_pkts.load(Ordering::Relaxed)
     }
 
     /// Wire acknowledgements charged by receiving adapters since the last
     /// reset.
     pub fn acks(&self) -> u64 {
+        // ordering: stat read; exact only once the traced threads joined.
         self.acks.load(Ordering::Relaxed)
     }
 
     /// Duplicate copies suppressed by receiving adapters since the last
     /// reset.
     pub fn dups_suppressed(&self) -> u64 {
+        // ordering: stat read; exact only once the traced threads joined.
         self.dups.load(Ordering::Relaxed)
     }
 
@@ -393,6 +400,7 @@ impl TraceSink {
         self.rings
             .read()
             .iter()
+            // ordering: stat read; exact only after the session seals.
             .map(|r| r.evicted.load(Ordering::Relaxed))
             .sum()
     }
@@ -410,6 +418,7 @@ impl TraceSink {
             self.injected(),
             self.delivered(),
             self.in_flight(),
+            // ordering: best-effort snapshot inside a diagnostic report.
             self.dropped_pkts.load(Ordering::Relaxed),
             self.acks(),
             self.dups_suppressed(),
@@ -444,11 +453,14 @@ impl TraceSink {
         let rings = self.rings.read();
         for ring in rings.iter() {
             ring.events.lock().clear();
+            // ordering: reset runs with no traced threads alive (session
+            // lock held, recording disabled) — no concurrent accesses race.
             ring.next_seq.store(0, Ordering::Relaxed);
             ring.evicted.store(0, Ordering::Relaxed);
         }
         drop(rings);
         self.sealed.lock().clear();
+        // ordering: see above — reset is quiescent by construction.
         self.injected.store(0, Ordering::Relaxed);
         self.delivered.store(0, Ordering::Relaxed);
         self.dropped_pkts.store(0, Ordering::Relaxed);
@@ -458,6 +470,7 @@ impl TraceSink {
 
     /// Set the per-node ring capacity (events kept before eviction).
     pub fn set_capacity(&self, cap: usize) {
+        // ordering: configuration knob, set before a session starts.
         self.capacity.store(cap.max(1), Ordering::Relaxed);
     }
 }
@@ -526,6 +539,8 @@ pub struct TraceSession {
 pub fn session() -> TraceSession {
     let lock = SESSION_LOCK.lock();
     SINK.reset();
+    // ordering: SeqCst fences the reset above against the first recorded
+    // event on any thread spawned after session() returns.
     SINK.enabled.store(true, Ordering::SeqCst);
     TraceSession { _lock: lock }
 }
@@ -549,6 +564,8 @@ impl TraceSession {
 
 impl Drop for TraceSession {
     fn drop(&mut self) {
+        // ordering: SeqCst fences disabling against the reset that follows,
+        // so a straggler record cannot land in a cleared sink.
         SINK.enabled.store(false, Ordering::SeqCst);
         SINK.reset();
     }

@@ -1,0 +1,214 @@
+//! `lint.toml` — the machine-readable suppression list.
+//!
+//! The file is a TOML *subset* parsed by hand (the registry is offline, so
+//! no toml crate): comments, blank lines, `[[allow]]` array-of-tables
+//! headers, and `key = "string"` assignments. Every entry must name a rule
+//! and carry a non-empty `reason`; an entry with neither `path` nor
+//! `contains` would suppress a rule globally and is rejected.
+
+use std::cell::Cell;
+
+use crate::rules::{Finding, Rule};
+
+/// One suppression entry.
+#[derive(Debug)]
+pub struct Allow {
+    /// Rule the entry suppresses.
+    pub rule: Rule,
+    /// Substring the finding's path must contain.
+    pub path: Option<String>,
+    /// Substring the offending *source line* must contain.
+    pub contains: Option<String>,
+    /// Why the violation is acceptable. Required, surfaced in reports.
+    pub reason: String,
+    hits: Cell<u32>,
+}
+
+/// The parsed allowlist.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    entries: Vec<Allow>,
+}
+
+/// A parse/validation error with its `lint.toml` line.
+#[derive(Debug, PartialEq, Eq)]
+pub struct AllowlistError {
+    /// 1-based line in the allowlist file.
+    pub line: u32,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl std::fmt::Display for AllowlistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.msg)
+    }
+}
+
+impl Allowlist {
+    /// Parse the subset-TOML text.
+    pub fn parse(text: &str) -> Result<Allowlist, AllowlistError> {
+        let mut entries: Vec<(u32, PartialEntry)> = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx as u32 + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "[[allow]]" {
+                entries.push((lineno, PartialEntry::default()));
+                continue;
+            }
+            let (key, value) = parse_assignment(line).ok_or(AllowlistError {
+                line: lineno,
+                msg: format!("expected `[[allow]]` or `key = \"value\"`, got `{line}`"),
+            })?;
+            let Some((_, cur)) = entries.last_mut() else {
+                return Err(AllowlistError {
+                    line: lineno,
+                    msg: "assignment before the first [[allow]] header".into(),
+                });
+            };
+            let slot = match key {
+                "rule" => &mut cur.rule,
+                "path" => &mut cur.path,
+                "contains" => &mut cur.contains,
+                "reason" => &mut cur.reason,
+                _ => {
+                    return Err(AllowlistError {
+                        line: lineno,
+                        msg: format!("unknown key `{key}` (rule/path/contains/reason)"),
+                    })
+                }
+            };
+            if slot.replace(value.to_string()).is_some() {
+                return Err(AllowlistError {
+                    line: lineno,
+                    msg: format!("duplicate key `{key}` in one [[allow]] entry"),
+                });
+            }
+        }
+        let mut out = Vec::with_capacity(entries.len());
+        for (lineno, e) in entries {
+            let rule_str = e.rule.ok_or(AllowlistError {
+                line: lineno,
+                msg: "entry is missing `rule`".into(),
+            })?;
+            let rule = Rule::from_code(&rule_str).ok_or(AllowlistError {
+                line: lineno,
+                msg: format!("unknown rule `{rule_str}`"),
+            })?;
+            let reason = e.reason.unwrap_or_default();
+            if reason.trim().is_empty() {
+                return Err(AllowlistError {
+                    line: lineno,
+                    msg: "entry is missing a non-empty `reason` — every suppression \
+                          must say why"
+                        .into(),
+                });
+            }
+            if e.path.is_none() && e.contains.is_none() {
+                return Err(AllowlistError {
+                    line: lineno,
+                    msg: "entry needs `path` and/or `contains` — suppressing a rule \
+                          everywhere defeats it"
+                        .into(),
+                });
+            }
+            out.push(Allow {
+                rule,
+                path: e.path,
+                contains: e.contains,
+                reason,
+                hits: Cell::new(0),
+            });
+        }
+        Ok(Allowlist { entries: out })
+    }
+
+    /// Does some entry suppress this finding? `line_text` is the offending
+    /// source line (for `contains` matching). Hit counts are recorded so
+    /// stale entries can be reported.
+    pub fn suppresses(&self, f: &Finding, line_text: &str) -> bool {
+        for a in &self.entries {
+            if a.rule != f.rule {
+                continue;
+            }
+            if let Some(p) = &a.path {
+                if !f.path.contains(p.as_str()) {
+                    continue;
+                }
+            }
+            if let Some(c) = &a.contains {
+                if !line_text.contains(c.as_str()) {
+                    continue;
+                }
+            }
+            a.hits.set(a.hits.get() + 1);
+            return true;
+        }
+        false
+    }
+
+    /// Entries that never matched a finding (candidates for deletion).
+    pub fn unused(&self) -> Vec<String> {
+        self.entries
+            .iter()
+            .filter(|a| a.hits.get() == 0)
+            .map(|a| {
+                format!(
+                    "unused suppression: rule={} path={} contains={}",
+                    a.rule.code(),
+                    a.path.as_deref().unwrap_or("*"),
+                    a.contains.as_deref().unwrap_or("*"),
+                )
+            })
+            .collect()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the list empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[derive(Default)]
+struct PartialEntry {
+    rule: Option<String>,
+    path: Option<String>,
+    contains: Option<String>,
+    reason: Option<String>,
+}
+
+/// Strip a `#` comment, respecting `#` inside double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut prev_backslash = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' if !prev_backslash => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        prev_backslash = c == '\\' && !prev_backslash;
+    }
+    line
+}
+
+/// Parse `key = "value"`.
+fn parse_assignment(line: &str) -> Option<(&str, String)> {
+    let (key, rest) = line.split_once('=')?;
+    let key = key.trim();
+    let rest = rest.trim();
+    if !key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') || key.is_empty() {
+        return None;
+    }
+    let inner = rest.strip_prefix('"')?.strip_suffix('"')?;
+    // Minimal escape handling: the workspace only needs \" and \\.
+    Some((key, inner.replace("\\\"", "\"").replace("\\\\", "\\")))
+}

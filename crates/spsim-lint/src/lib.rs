@@ -1,0 +1,115 @@
+//! spsim-lint: project-specific static analysis for the LAPI simulator.
+//!
+//! The simulator's guarantees (same-seed byte-identical traces, virtual-time
+//! purity, diagnosable failures) rest on conventions the compiler cannot
+//! check. This crate walks every `.rs` file under `crates/` and `src/` and
+//! enforces them as five rules — see [`rules::Rule`] and DESIGN §10:
+//!
+//! * **L1** virtual-time purity — no `Instant`/`SystemTime`/`thread::sleep`
+//!   in simulated code outside allowlisted real-time bridges.
+//! * **L2** determinism — no `HashMap`/`HashSet` on ordering-sensitive paths.
+//! * **L3** atomics hygiene — `Relaxed`/`SeqCst` need `// ordering:` comments.
+//! * **L4** no lock guard held across a blocking wait/recv/pump/send call.
+//! * **L5** panic discipline — hot paths use the diagnostic helpers.
+//!
+//! Suppressions live in `lint.toml` at the repo root; every entry carries a
+//! required reason string ([`allowlist::Allowlist`]).
+
+#![warn(missing_docs)]
+
+pub mod allowlist;
+pub mod lexer;
+pub mod rules;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use allowlist::Allowlist;
+use rules::{classify, lint_source, FileClass, Finding};
+
+/// Result of a full lint run.
+pub struct Report {
+    /// Findings that survived the allowlist, sorted by (path, line, rule).
+    pub findings: Vec<Finding>,
+    /// Non-fatal notes (unused suppressions, unreadable files).
+    pub warnings: Vec<String>,
+    /// Files inspected.
+    pub files: usize,
+}
+
+/// Lint one file on disk. `rel` is the repo-relative path used for
+/// classification and reporting; fixture files may override their class
+/// with a first-line `// lint-as: <path>` comment.
+pub fn lint_file(rel: &str, src: &str, allow: &Allowlist) -> Vec<Finding> {
+    let class = match fixture_class(src).or_else(|| classify(rel)) {
+        Some(c) => c,
+        None => return Vec::new(),
+    };
+    let lines: Vec<&str> = src.lines().collect();
+    lint_source(rel, src, class)
+        .into_iter()
+        .filter(|f| {
+            let text = lines.get(f.line as usize - 1).copied().unwrap_or("");
+            !allow.suppresses(f, text)
+        })
+        .collect()
+}
+
+/// Honor a `// lint-as: crates/lapi/src/engine.rs` header comment, which
+/// lets fixture files borrow the class of a real path.
+fn fixture_class(src: &str) -> Option<FileClass> {
+    let first = src.lines().next()?.trim();
+    let as_path = first.strip_prefix("// lint-as:")?.trim();
+    classify(as_path)
+}
+
+/// Walk `crates/` and `src/` under `root` and lint everything in scope.
+pub fn lint_root(root: &Path, allow: &Allowlist) -> Report {
+    let mut files = Vec::new();
+    for top in ["crates", "src"] {
+        collect_rs(&root.join(top), &mut files);
+    }
+    files.sort();
+    let mut findings = Vec::new();
+    let mut warnings = Vec::new();
+    let mut inspected = 0usize;
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        if rules::excluded(&rel) {
+            continue;
+        }
+        match fs::read_to_string(path) {
+            Ok(src) => {
+                inspected += 1;
+                findings.extend(lint_file(&rel, &src, allow));
+            }
+            Err(e) => warnings.push(format!("{rel}: unreadable: {e}")),
+        }
+    }
+    findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    warnings.extend(allow.unused());
+    Report {
+        findings,
+        warnings,
+        files: inspected,
+    }
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(rd) = fs::read_dir(dir) else { return };
+    for entry in rd.flatten() {
+        let p = entry.path();
+        if p.is_dir() {
+            if p.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            collect_rs(&p, out);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! CLI driver: `cargo run -p spsim-lint [-- --root DIR --allow FILE file…]`.
+//!
+//! With no file arguments, lints every `.rs` file under `<root>/crates` and
+//! `<root>/src` against `<root>/lint.toml`. With file arguments, lints just
+//! those files (fixtures use a `// lint-as:` header to pick their class).
+//! Exit status: 0 clean, 1 findings, 2 configuration error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use spsim_lint::allowlist::Allowlist;
+use spsim_lint::{lint_file, lint_root};
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut allow_path: Option<PathBuf> = None;
+    let mut files: Vec<PathBuf> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root needs a directory"),
+            },
+            "--allow" => match args.next() {
+                Some(v) => allow_path = Some(PathBuf::from(v)),
+                None => return usage("--allow needs a file"),
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: spsim-lint [--root DIR] [--allow FILE] [file.rs …]");
+                return ExitCode::SUCCESS;
+            }
+            _ => files.push(PathBuf::from(a)),
+        }
+    }
+
+    let allow_path = allow_path.unwrap_or_else(|| root.join("lint.toml"));
+    let allow = match std::fs::read_to_string(&allow_path) {
+        Ok(text) => match Allowlist::parse(&text) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("spsim-lint: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        // A missing allowlist is an empty one (fixture runs use --allow).
+        Err(_) => Allowlist::default(),
+    };
+
+    let (findings, warnings, files_seen) = if files.is_empty() {
+        let report = lint_root(&root, &allow);
+        (report.findings, report.warnings, report.files)
+    } else {
+        let mut findings = Vec::new();
+        let n = files.len();
+        for f in &files {
+            let src = match std::fs::read_to_string(f) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("spsim-lint: {}: {e}", f.display());
+                    return ExitCode::from(2);
+                }
+            };
+            findings.extend(lint_file(&f.to_string_lossy(), &src, &allow));
+        }
+        (findings, allow.unused(), n)
+    };
+
+    for w in &warnings {
+        eprintln!("spsim-lint: warning: {w}");
+    }
+    for f in &findings {
+        println!("{}", f.render());
+    }
+    if findings.is_empty() {
+        eprintln!(
+            "spsim-lint: clean ({files_seen} files, {} suppressions)",
+            allow.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "spsim-lint: {} finding(s) in {files_seen} files",
+            findings.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("spsim-lint: {msg}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,13 @@
+// lint-as: crates/lapi/src/engine.rs
+// Fixture: wall-clock primitives in simulated code. Expect five L1 findings:
+// Instant and SystemTime on the use line, then Instant::now, SystemTime::now,
+// and thread::sleep in the body.
+
+use std::time::{Duration, Instant, SystemTime};
+
+fn wall_clock_wait() {
+    let start = Instant::now();
+    let _epoch = SystemTime::now();
+    std::thread::sleep(Duration::from_millis(5));
+    let _ = start.elapsed();
+}

@@ -1,0 +1,21 @@
+// lint-as: crates/lapi/src/engine.rs
+// Fixture: clean virtual-time code. Duration alone is fine (escape spans),
+// and test modules may use wall clocks freely.
+
+use std::time::Duration;
+
+const ESCAPE: Duration = Duration::from_secs(30);
+
+fn virtual_wait(clock: &u64) -> u64 {
+    let _ = ESCAPE;
+    *clock + 10
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn real_time_is_fine_in_tests() {
+        let _t = std::time::Instant::now();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+}

@@ -1,0 +1,11 @@
+// lint-as: crates/lapi/src/engine.rs
+// Fixture: randomized-order maps on an ordering-sensitive path. Expect four L2
+// findings: HashMap and HashSet on the use line and again at each use site.
+
+use std::collections::{HashMap, HashSet};
+
+fn routes() -> usize {
+    let m: HashMap<u32, u32> = Default::default();
+    let s: HashSet<u32> = Default::default();
+    m.len() + s.len()
+}

@@ -1,0 +1,13 @@
+// lint-as: crates/lapi/src/engine.rs
+// Fixture: deterministic maps, plus "HashMap" appearing only in comments
+// and strings, which must not fire.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+// A HashMap here would be wrong; this comment must not trip the rule.
+fn routes() -> usize {
+    let m: BTreeMap<u32, u32> = BTreeMap::new();
+    let s: BTreeSet<u32> = BTreeSet::new();
+    let label = "HashMap in a string is data, not code";
+    m.len() + s.len() + label.len()
+}

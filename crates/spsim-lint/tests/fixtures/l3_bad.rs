@@ -1,0 +1,19 @@
+// lint-as: crates/sim/src/trace.rs
+// Fixture: unjustified orderings. Expect two L3 findings: the bare Relaxed
+// below, and the SeqCst whose comment is too far away (4 lines up).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static N: AtomicU64 = AtomicU64::new(0);
+
+fn bump() {
+    N.fetch_add(1, Ordering::Relaxed);
+}
+
+// ordering: this comment is four lines above the site — out of the window.
+//
+//
+//
+fn too_far() -> u64 {
+    N.load(Ordering::SeqCst)
+}

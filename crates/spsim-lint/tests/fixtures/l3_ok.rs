@@ -1,0 +1,30 @@
+// lint-as: crates/sim/src/trace.rs
+// Fixture: every Relaxed/SeqCst site justified — by an adjacent comment,
+// a trailing same-line comment, or chaining through a contiguous run.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static A: AtomicU64 = AtomicU64::new(0);
+static B: AtomicU64 = AtomicU64::new(0);
+
+fn adjacent() {
+    // ordering: stat counter, read after join.
+    A.fetch_add(1, Ordering::Relaxed);
+}
+
+fn trailing() -> u64 {
+    A.load(Ordering::SeqCst) // ordering: fences the reset handshake.
+}
+
+fn run() {
+    // ordering: quiescent reset — one comment covers the whole run.
+    A.store(0, Ordering::Relaxed);
+    B.store(0, Ordering::Relaxed);
+    A.store(1, Ordering::Relaxed);
+    B.store(1, Ordering::Relaxed);
+}
+
+fn acquire_release_are_exempt() {
+    A.store(1, Ordering::Release);
+    let _ = A.load(Ordering::Acquire);
+}

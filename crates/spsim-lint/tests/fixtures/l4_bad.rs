@@ -1,0 +1,16 @@
+// lint-as: crates/lapi/src/engine.rs
+// Fixture: lock guards held across blocking calls. Expect two L4 findings
+// (recv under `st`, pump under `flows`).
+
+fn guard_across_recv(q: &Queue, ch: &Chan) {
+    let mut st = q.state.lock();
+    st.pending += 1;
+    let _pkt = ch.recv();
+    st.pending -= 1;
+}
+
+fn guard_across_pump(a: &Adapter, now: u64) {
+    let flows = a.flows.read();
+    let _n = flows.len();
+    a.pump(now);
+}

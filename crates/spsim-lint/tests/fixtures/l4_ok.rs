@@ -1,0 +1,25 @@
+// lint-as: crates/lapi/src/engine.rs
+// Fixture: the three sanctioned shapes — guard passed to the wait (condvar
+// pattern), guard dropped first, and guard confined to an inner scope.
+
+fn condvar_wait(slot: &Slot) {
+    let mut st = slot.st.lock();
+    while st.is_none() {
+        slot.cv.wait_until(&mut st, deadline());
+    }
+}
+
+fn drop_before_recv(q: &Queue, ch: &Chan) {
+    let mut st = q.state.lock();
+    st.pending += 1;
+    drop(st);
+    let _pkt = ch.recv();
+}
+
+fn scope_before_recv(q: &Queue, ch: &Chan) {
+    {
+        let mut st = q.state.lock();
+        st.pending += 1;
+    }
+    let _pkt = ch.recv();
+}

@@ -1,0 +1,12 @@
+// lint-as: crates/lapi/src/engine.rs
+// Fixture: undiagnosable failures on a hot path. Expect three L5 findings
+// (bare panic!, .unwrap(), .expect()).
+
+fn hot_path(msg: Option<u32>, res: Result<u32, ()>) -> u32 {
+    if msg.is_none() {
+        panic!("message vanished");
+    }
+    let a = msg.unwrap();
+    let b = res.expect("engine state corrupt");
+    a + b
+}

@@ -1,0 +1,24 @@
+// lint-as: crates/lapi/src/engine.rs
+// Fixture: the sanctioned failure forms — sim_panic!, panic! that embeds a
+// diagnostic report, or_diag, and the *_or_else family.
+
+fn hot_path(msg: Option<u32>, engine: &Engine) -> u32 {
+    if msg.is_none() {
+        spsim::sim_panic!("message vanished mid-protocol");
+    }
+    let a = msg.or_diag("matched message missing");
+    let b = engine.slot.unwrap_or_else(|| {
+        panic!("{}", engine.deadlock_report("slot never filled"))
+    });
+    let c = engine.tail.unwrap_or_default();
+    a + b + c
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+}

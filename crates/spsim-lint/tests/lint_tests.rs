@@ -1,0 +1,239 @@
+//! Self-tests for spsim-lint: fixture positive/negative cases per rule,
+//! allowlist round-trips, binary exit codes, and the meta-test that the
+//! live workspace is lint-clean.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use spsim_lint::allowlist::Allowlist;
+use spsim_lint::rules::Rule;
+use spsim_lint::{lint_file, lint_root};
+
+fn fixture(name: &str) -> (String, String) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let src = std::fs::read_to_string(&path).expect("fixture readable");
+    (path.to_string_lossy().into_owned(), src)
+}
+
+/// Lint a fixture with an empty allowlist; return (rule, line) pairs.
+fn run_fixture(name: &str) -> Vec<(Rule, u32)> {
+    let (path, src) = fixture(name);
+    let allow = Allowlist::default();
+    lint_file(&path, &src, &allow)
+        .into_iter()
+        .map(|f| (f.rule, f.line))
+        .collect()
+}
+
+fn rules_of(findings: &[(Rule, u32)]) -> Vec<Rule> {
+    findings.iter().map(|(r, _)| *r).collect()
+}
+
+// ------------------------------------------------------------ per-rule
+
+#[test]
+fn l1_fires_on_wall_clock_and_not_on_clean_code() {
+    let bad = run_fixture("l1_bad.rs");
+    assert_eq!(rules_of(&bad), vec![Rule::L1; 5], "bad: {bad:?}");
+    assert!(run_fixture("l1_ok.rs").is_empty());
+}
+
+#[test]
+fn l2_fires_on_hash_collections_and_not_on_btree() {
+    let bad = run_fixture("l2_bad.rs");
+    assert_eq!(rules_of(&bad), vec![Rule::L2; 4], "bad: {bad:?}");
+    assert!(run_fixture("l2_ok.rs").is_empty());
+}
+
+#[test]
+fn l3_fires_on_unjustified_orderings_only() {
+    let bad = run_fixture("l3_bad.rs");
+    assert_eq!(rules_of(&bad), vec![Rule::L3; 2], "bad: {bad:?}");
+    assert!(run_fixture("l3_ok.rs").is_empty());
+}
+
+#[test]
+fn l4_fires_on_guard_across_wait_only() {
+    let bad = run_fixture("l4_bad.rs");
+    assert_eq!(rules_of(&bad), vec![Rule::L4; 2], "bad: {bad:?}");
+    assert!(run_fixture("l4_ok.rs").is_empty());
+}
+
+#[test]
+fn l5_fires_on_bare_panics_only() {
+    let bad = run_fixture("l5_bad.rs");
+    assert_eq!(rules_of(&bad), vec![Rule::L5; 3], "bad: {bad:?}");
+    assert!(run_fixture("l5_ok.rs").is_empty());
+}
+
+#[test]
+fn findings_carry_stable_lines() {
+    // Line numbers must address the offending token, not drift with
+    // multi-line strings or comments above.
+    let (path, src) = fixture("l5_bad.rs");
+    let allow = Allowlist::default();
+    let findings = lint_file(&path, &src, &allow);
+    for f in &findings {
+        let line = src.lines().nth(f.line as usize - 1).unwrap_or("");
+        assert!(
+            line.contains("panic!") || line.contains(".unwrap()") || line.contains(".expect("),
+            "finding line {} does not contain the violation: `{line}`",
+            f.line
+        );
+    }
+}
+
+// ------------------------------------------------------------ allowlist
+
+#[test]
+fn suppression_round_trip() {
+    let (path, src) = fixture("l1_bad.rs");
+    let toml = r#"
+        # suppress exactly the Instant::now finding, leave the rest
+        [[allow]]
+        rule = "L1"
+        path = "l1_bad.rs"
+        contains = "Instant::now"
+        reason = "fixture round-trip"
+    "#;
+    let allow = Allowlist::parse(toml).expect("parses");
+    let findings = lint_file(&path, &src, &allow);
+    assert_eq!(findings.len(), 4, "Instant::now suppressed: {findings:?}");
+    assert!(findings.iter().all(|f| !src
+        .lines()
+        .nth(f.line as usize - 1)
+        .unwrap()
+        .contains("Instant::now")));
+    assert!(allow.unused().is_empty(), "the entry matched");
+}
+
+#[test]
+fn suppression_without_reason_is_rejected() {
+    let err = Allowlist::parse("[[allow]]\nrule = \"L1\"\npath = \"x.rs\"\n").unwrap_err();
+    assert!(err.msg.contains("reason"), "got: {err}");
+    let err = Allowlist::parse("[[allow]]\nrule = \"L1\"\npath = \"x.rs\"\nreason = \"  \"\n")
+        .unwrap_err();
+    assert!(err.msg.contains("reason"), "got: {err}");
+}
+
+#[test]
+fn global_suppressions_are_rejected() {
+    let err = Allowlist::parse("[[allow]]\nrule = \"L5\"\nreason = \"everything\"\n").unwrap_err();
+    assert!(err.msg.contains("path"), "got: {err}");
+}
+
+#[test]
+fn unknown_rule_and_key_are_rejected() {
+    assert!(Allowlist::parse("[[allow]]\nrule = \"L9\"\npath = \"x\"\nreason = \"r\"\n").is_err());
+    assert!(Allowlist::parse("[[allow]]\nrule = \"L1\"\nfile = \"x\"\nreason = \"r\"\n").is_err());
+}
+
+#[test]
+fn unused_suppressions_are_reported() {
+    let toml = "[[allow]]\nrule = \"L2\"\npath = \"no/such/file.rs\"\nreason = \"stale\"\n";
+    let allow = Allowlist::parse(toml).expect("parses");
+    let (path, src) = fixture("l1_ok.rs");
+    let _ = lint_file(&path, &src, &allow);
+    assert_eq!(allow.unused().len(), 1);
+}
+
+#[test]
+fn repo_lint_toml_parses_and_every_entry_has_a_reason() {
+    let root = workspace_root();
+    let text = std::fs::read_to_string(root.join("lint.toml")).expect("lint.toml exists");
+    let allow = Allowlist::parse(&text).expect("lint.toml is valid");
+    assert!(!allow.is_empty());
+}
+
+// ------------------------------------------------------------ meta
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn live_workspace_is_lint_clean() {
+    let root = workspace_root();
+    let text = std::fs::read_to_string(root.join("lint.toml")).expect("lint.toml exists");
+    let allow = Allowlist::parse(&text).expect("lint.toml is valid");
+    let report = lint_root(&root, &allow);
+    assert!(report.files > 50, "walked the real tree ({})", report.files);
+    let rendered: Vec<String> = report.findings.iter().map(|f| f.render()).collect();
+    assert!(
+        rendered.is_empty(),
+        "workspace has lint findings:\n{}",
+        rendered.join("\n")
+    );
+    // Every suppression must still be earning its keep.
+    assert!(
+        report
+            .warnings
+            .iter()
+            .all(|w| !w.contains("unused suppression")),
+        "stale lint.toml entries: {:?}",
+        report.warnings
+    );
+}
+
+// ------------------------------------------------------------ binary
+
+#[test]
+fn binary_exits_nonzero_on_each_bad_fixture_and_zero_on_workspace() {
+    let bin = env!("CARGO_BIN_EXE_spsim-lint");
+    for name in [
+        "l1_bad.rs",
+        "l2_bad.rs",
+        "l3_bad.rs",
+        "l4_bad.rs",
+        "l5_bad.rs",
+    ] {
+        let (path, _) = fixture(name);
+        let out = Command::new(bin)
+            .args(["--allow", "/nonexistent-empty-allowlist", &path])
+            .output()
+            .expect("binary runs");
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "{name}: expected findings, got {}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+        assert!(!out.stdout.is_empty(), "{name}: findings printed");
+    }
+    for name in ["l1_ok.rs", "l2_ok.rs", "l3_ok.rs", "l4_ok.rs", "l5_ok.rs"] {
+        let (path, _) = fixture(name);
+        let out = Command::new(bin)
+            .args(["--allow", "/nonexistent-empty-allowlist", &path])
+            .output()
+            .expect("binary runs");
+        assert_eq!(out.status.code(), Some(0), "{name} must be clean");
+    }
+    let out = Command::new(bin)
+        .arg("--root")
+        .arg(workspace_root())
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "workspace run: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn binary_exits_two_on_bad_allowlist() {
+    let bin = env!("CARGO_BIN_EXE_spsim-lint");
+    let dir = std::env::temp_dir().join("spsim-lint-test-bad-allow");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.toml");
+    std::fs::write(&bad, "[[allow]]\nrule = \"L1\"\npath = \"x\"\n").unwrap();
+    let (path, _) = fixture("l1_ok.rs");
+    let out = Command::new(bin)
+        .args(["--allow", &bad.to_string_lossy(), &path])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -43,7 +43,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use spsim::{trace, MachineConfig, NodeId, SimRng, StatCounter, TimedQueue, VClock, VTime};
+use spsim::{trace, MachineConfig, NodeId, OrDiag, SimRng, StatCounter, TimedQueue, VClock, VTime};
 
 use crate::link::Link;
 use crate::packet::WirePacket;
@@ -407,7 +407,7 @@ impl<M: Send + Clone + 'static> Adapter<M> {
                             route,
                             seq,
                             injected_at,
-                            body: body.take().expect("body delivered once"),
+                            body: body.take().or_diag("packet body delivered twice"),
                         },
                     );
                     // Fabric duplication: the copy crosses the ejection
@@ -569,7 +569,7 @@ impl<M: Send + Clone + 'static> Adapter<M> {
 
         Ok(SendReceipt {
             injected_at,
-            delivered_at: accepted.expect("successful round delivered"),
+            delivered_at: accepted.or_diag("send loop exited without a delivered round"),
         })
     }
 
