@@ -366,9 +366,23 @@ impl LapiContext {
     }
 
     /// `LAPI_Gfence`: fence against all tasks, then synchronize all tasks.
+    ///
+    /// In polling mode the barrier wait keeps servicing the receive queue:
+    /// a peer may still be blocked on a request (rmw, get) it issued before
+    /// heading to its own fence, and polling-mode LAPI only makes progress
+    /// when the target polls. Parking without draining would strand that
+    /// request and deadlock the job.
     pub fn gfence(&self) -> LapiResult {
         self.engine.fence_all()?;
-        self.barrier.wait(self.engine.clock());
+        match self.engine.mode() {
+            Mode::Polling => {
+                self.barrier
+                    .wait_with_progress(self.engine.clock(), || self.engine.drain_arrived());
+            }
+            Mode::Interrupt => {
+                self.barrier.wait(self.engine.clock());
+            }
+        }
         Ok(())
     }
 

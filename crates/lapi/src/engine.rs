@@ -30,7 +30,7 @@ use crate::counter::{Counter, CounterId, RemoteCounter};
 use crate::error::LapiError;
 use crate::handlers::{AmInfo, CompletionFn, HandlerCtx, HeaderHandlerFn};
 use crate::stats::LapiStats;
-use crate::wire::{DataKind, IoVec, LapiBody, MsgId, RmwOp};
+use crate::wire::{Bytes, DataKind, IoVec, LapiBody, MsgId, RmwOp};
 use crate::LapiResult;
 
 /// Progress mode (§2.1): the typical mode is interrupt; polling avoids the
@@ -78,7 +78,7 @@ enum Reasm {
     },
     /// Active-message or putv data that arrived before its header packet
     /// (out-of-order routes): stash until the header shows up.
-    AmEarly { stash: Vec<(usize, Vec<u8>)> },
+    AmEarly { stash: Vec<(usize, Bytes)> },
 }
 
 /// Work handed to the completion-handler thread.
@@ -347,6 +347,85 @@ impl Engine {
         }
     }
 
+    /// Batched counterpart of [`Self::wire_send`]: inject every fragment of
+    /// one message with one batched link reservation
+    /// ([`Adapter::try_send_batch_at`]), fragment `i` timed at
+    /// `now + i * step`, then charge the clock the same `(k-1) * step` the
+    /// fragment-at-a-time loop would have. Returns the last receipt.
+    fn wire_send_batch(
+        &self,
+        target: NodeId,
+        step: spsim::VDur,
+        frags: Vec<(usize, LapiBody)>,
+    ) -> LapiResult<Option<SendReceipt>> {
+        let k = frags.len();
+        if k == 0 {
+            return Ok(None);
+        }
+        match self
+            .adapter
+            .try_send_batch_at(self.clock().now(), step, target, frags)
+        {
+            Ok(receipts) => {
+                if k > 1 {
+                    self.clock().advance(step * (k as u64 - 1));
+                }
+                Ok(receipts.into_iter().last())
+            }
+            Err(e) => {
+                let err = self.delivery_error(e);
+                self.outstanding_decr(target);
+                if let Some(h) = self.err_hndlr.read().clone() {
+                    h(&err);
+                }
+                Err(err)
+            }
+        }
+    }
+
+    /// Batched counterpart of [`Self::wire_send_async`]: same injection and
+    /// clock algebra as [`Self::wire_send_batch`], but delivery timeouts are
+    /// routed to the registered `err_hndlr` (there is no user call to return
+    /// through). Returns `None` when the batch could not be delivered.
+    fn wire_send_batch_async(
+        &self,
+        target: NodeId,
+        step: spsim::VDur,
+        frags: Vec<(usize, LapiBody)>,
+    ) -> Option<SendReceipt> {
+        let k = frags.len();
+        if k == 0 {
+            return None;
+        }
+        match self
+            .adapter
+            .try_send_batch_at(self.clock().now(), step, target, frags)
+        {
+            Ok(receipts) => {
+                if k > 1 {
+                    self.clock().advance(step * (k as u64 - 1));
+                }
+                receipts.into_iter().last()
+            }
+            Err(e) => {
+                let err = self.delivery_error(e);
+                match self.err_hndlr.read().clone() {
+                    Some(h) => {
+                        h(&err);
+                        None
+                    }
+                    None => panic!(
+                        "{}",
+                        self.deadlock_report(&format!(
+                            "unrecoverable communication failure with no err_hndlr \
+                             registered: {err}"
+                        ))
+                    ),
+                }
+            }
+        }
+    }
+
     // ------------------------------------------------------------- memory
 
     pub(crate) fn alloc(&self, len: usize) -> Addr {
@@ -456,28 +535,28 @@ impl Engine {
         };
         self.clock().advance(issue_cost);
         self.tr(trace::EventKind::Issue, "put", msg_id, data.len());
-        let mut last = None;
+        // One allocation for the whole message; every fragment is a window.
+        let payload = Bytes::from(data);
+        let mut frags = Vec::with_capacity(data.len() / cap + 1);
         let mut offset = 0usize;
-        let chunks: Vec<&[u8]> = if data.is_empty() {
-            vec![&[][..]]
-        } else {
-            data.chunks(cap).collect()
-        };
-        for (i, chunk) in chunks.iter().enumerate() {
-            if i > 0 {
-                self.clock().advance(cfg.lapi_pkt_issue);
+        loop {
+            let end = (offset + cap).min(data.len());
+            frags.push((
+                cfg.lapi_header_bytes + (end - offset),
+                LapiBody::Data {
+                    msg_id,
+                    offset,
+                    total_len: data.len(),
+                    data: payload.slice(offset..end),
+                    kind: kind.clone(),
+                },
+            ));
+            offset = end;
+            if offset >= data.len() {
+                break;
             }
-            let body = LapiBody::Data {
-                msg_id,
-                offset,
-                total_len: data.len(),
-                data: chunk.to_vec(),
-                kind: kind.clone(),
-            };
-            let wire = cfg.lapi_header_bytes + chunk.len();
-            last = Some(self.wire_send(target, wire, body)?);
-            offset += chunk.len();
         }
+        let last = self.wire_send_batch(target, cfg.lapi_pkt_issue, frags)?;
         if let (Some(c), Some(r)) = (org_cntr, last) {
             // Origin buffer reusable once the last fragment is on the wire.
             c.incr_at(r.injected_at);
@@ -553,44 +632,43 @@ impl Engine {
         self.tr(trace::EventKind::Issue, "amsend", msg_id, udata.len());
 
         // First packet: uhdr plus whatever data fits after it.
+        let payload = Bytes::from(udata);
         let head_cap = cfg
             .packet_size
             .saturating_sub(cfg.lapi_header_bytes + uhdr.len());
-        let first_chunk = &udata[..udata.len().min(head_cap)];
-        let head_wire = cfg.lapi_header_bytes + uhdr.len() + first_chunk.len();
-        let mut last = self.wire_send(
-            target,
-            head_wire,
+        let head_len = udata.len().min(head_cap);
+        let cap = cfg.payload_per_packet(cfg.lapi_header_bytes);
+        let mut frags = vec![(
+            cfg.lapi_header_bytes + uhdr.len() + head_len,
             LapiBody::AmHeader {
                 msg_id,
                 handler,
                 uhdr: uhdr.to_vec(),
                 total_len: udata.len(),
-                chunk: first_chunk.to_vec(),
+                chunk: payload.slice(0..head_len),
                 tgt_cntr: tgt_cntr.map(|r| r.0),
                 cmpl_cntr: cmpl_cntr.map(Counter::id),
             },
-        )?;
-
+        )];
         // Remaining data as plain AM fragments.
-        let cap = cfg.payload_per_packet(cfg.lapi_header_bytes);
-        let mut offset = first_chunk.len();
+        let mut offset = head_len;
         while offset < udata.len() {
             let end = (offset + cap).min(udata.len());
-            self.clock().advance(cfg.lapi_pkt_issue);
-            last = self.wire_send(
-                target,
+            frags.push((
                 cfg.lapi_header_bytes + (end - offset),
                 LapiBody::Data {
                     msg_id,
                     offset,
                     total_len: udata.len(),
-                    data: udata[offset..end].to_vec(),
+                    data: payload.slice(offset..end),
                     kind: DataKind::AmData,
                 },
-            )?;
+            ));
             offset = end;
         }
+        let last = self
+            .wire_send_batch(target, cfg.lapi_pkt_issue, frags)?
+            .or_diag("batch contained at least the header packet");
         if let Some(c) = org_cntr {
             c.incr_at(last.injected_at);
             trace::emit(
@@ -638,40 +716,41 @@ impl Engine {
         self.tr(trace::EventKind::Issue, "putv", msg_id, data.len());
 
         // Header packet: the vector table plus whatever data still fits.
+        let payload = Bytes::from(data);
         let head_cap = cfg
             .packet_size
             .saturating_sub(cfg.lapi_header_bytes + desc_bytes);
-        let first_chunk = &data[..data.len().min(head_cap)];
-        let mut last = self.wire_send(
-            target,
-            cfg.lapi_header_bytes + desc_bytes + first_chunk.len(),
+        let head_len = data.len().min(head_cap);
+        let cap = cfg.payload_per_packet(cfg.lapi_header_bytes);
+        let mut frags = vec![(
+            cfg.lapi_header_bytes + desc_bytes + head_len,
             LapiBody::PutVHeader {
                 msg_id,
                 vecs: vecs.to_vec(),
                 total_len: data.len(),
-                chunk: first_chunk.to_vec(),
+                chunk: payload.slice(0..head_len),
                 tgt_cntr: tgt_cntr.map(|r| r.0),
                 cmpl_cntr: cmpl_cntr.map(Counter::id),
             },
-        )?;
-        let cap = cfg.payload_per_packet(cfg.lapi_header_bytes);
-        let mut offset = first_chunk.len();
+        )];
+        let mut offset = head_len;
         while offset < data.len() {
             let end = (offset + cap).min(data.len());
-            self.clock().advance(cfg.lapi_pkt_issue);
-            last = self.wire_send(
-                target,
+            frags.push((
                 cfg.lapi_header_bytes + (end - offset),
                 LapiBody::Data {
                     msg_id,
                     offset,
                     total_len: data.len(),
-                    data: data[offset..end].to_vec(),
+                    data: payload.slice(offset..end),
                     kind: DataKind::VecData,
                 },
-            )?;
+            ));
             offset = end;
         }
+        let last = self
+            .wire_send_batch(target, cfg.lapi_pkt_issue, frags)?
+            .or_diag("batch contained at least the header packet");
         if let Some(c) = org_cntr {
             c.incr_at(last.injected_at);
         }
@@ -956,7 +1035,7 @@ impl Engine {
         handler: u32,
         uhdr: Vec<u8>,
         total_len: usize,
-        chunk: Vec<u8>,
+        chunk: Bytes,
         tgt_cntr: Option<CounterId>,
         cmpl_cntr: Option<CounterId>,
     ) {
@@ -1031,7 +1110,7 @@ impl Engine {
         }
     }
 
-    fn am_data(&self, src: NodeId, msg_id: MsgId, offset: usize, total: usize, data: Vec<u8>) {
+    fn am_data(&self, src: NodeId, msg_id: MsgId, offset: usize, total: usize, data: Bytes) {
         let mut map = self.reasm.lock();
         match map
             .entry((src, msg_id))
@@ -1142,7 +1221,7 @@ impl Engine {
         msg_id: MsgId,
         vecs: Vec<IoVec>,
         total_len: usize,
-        chunk: Vec<u8>,
+        chunk: Bytes,
         tgt_cntr: Option<CounterId>,
         cmpl_cntr: Option<CounterId>,
     ) {
@@ -1183,7 +1262,7 @@ impl Engine {
     }
 
     /// A putv data fragment (scatter it, or stash until the table arrives).
-    fn vec_data(&self, src: NodeId, msg_id: MsgId, offset: usize, total: usize, data: Vec<u8>) {
+    fn vec_data(&self, src: NodeId, msg_id: MsgId, offset: usize, total: usize, data: Bytes) {
         let mut map = self.reasm.lock();
         match map
             .entry((src, msg_id))
@@ -1239,39 +1318,49 @@ impl Engine {
                 data.extend_from_slice(sp.read(v.addr, v.len));
             }
         });
+        let frags = self.reply_frags(cfg, msg_id, data, org_addr, org_cntr);
+        // A dead reply flow yields None; the origin's own wait diagnoses it.
+        if let (Some(id), Some(r)) = (
+            tgt_cntr,
+            self.wire_send_batch_async(src, cfg.lapi_pkt_issue, frags),
+        ) {
+            self.bump_counter(id, r.injected_at);
+        }
+    }
+
+    /// Fragment a get/getv reply into `(wire_bytes, body)` pairs for one
+    /// batched injection: one shared allocation, one window per packet.
+    fn reply_frags(
+        &self,
+        cfg: &spsim::MachineConfig,
+        msg_id: MsgId,
+        data: Vec<u8>,
+        org_addr: Addr,
+        org_cntr: Option<CounterId>,
+    ) -> Vec<(usize, LapiBody)> {
         let cap = cfg.payload_per_packet(cfg.lapi_header_bytes);
         let kind = DataKind::GetReply { org_addr, org_cntr };
-        let chunks: Vec<&[u8]> = if data.is_empty() {
-            vec![&[][..]]
-        } else {
-            data.chunks(cap).collect()
-        };
-        let mut offset = 0;
-        let mut last = None;
-        for (i, chunk) in chunks.iter().enumerate() {
-            if i > 0 {
-                clock.advance(cfg.lapi_pkt_issue);
-            }
-            match self.wire_send_async(
-                src,
-                cfg.lapi_header_bytes + chunk.len(),
+        let payload = Bytes::from(data);
+        let mut frags = Vec::with_capacity(payload.len() / cap + 1);
+        let mut offset = 0usize;
+        loop {
+            let end = (offset + cap).min(payload.len());
+            frags.push((
+                cfg.lapi_header_bytes + (end - offset),
                 LapiBody::Data {
                     msg_id,
                     offset,
-                    total_len: data.len(),
-                    data: chunk.to_vec(),
+                    total_len: payload.len(),
+                    data: payload.slice(offset..end),
                     kind: kind.clone(),
                 },
-            ) {
-                Some(r) => last = Some(r),
-                // Reply flow is dead; the origin's own wait will diagnose.
-                None => return,
+            ));
+            offset = end;
+            if offset >= payload.len() {
+                break;
             }
-            offset += chunk.len();
         }
-        if let (Some(id), Some(r)) = (tgt_cntr, last) {
-            self.bump_counter(id, r.injected_at);
-        }
+        frags
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -1289,37 +1378,12 @@ impl Engine {
         let clock = self.clock();
         clock.advance(cfg.lapi_handler_issue);
         let data = self.mem_read(tgt_addr, len);
-        let cap = cfg.payload_per_packet(cfg.lapi_header_bytes);
-        let kind = DataKind::GetReply { org_addr, org_cntr };
-        let chunks: Vec<&[u8]> = if data.is_empty() {
-            vec![&[][..]]
-        } else {
-            data.chunks(cap).collect()
-        };
-        let mut offset = 0;
-        let mut last = None;
-        for (i, chunk) in chunks.iter().enumerate() {
-            if i > 0 {
-                clock.advance(cfg.lapi_pkt_issue);
-            }
-            match self.wire_send_async(
-                src,
-                cfg.lapi_header_bytes + chunk.len(),
-                LapiBody::Data {
-                    msg_id,
-                    offset,
-                    total_len: data.len(),
-                    data: chunk.to_vec(),
-                    kind: kind.clone(),
-                },
-            ) {
-                Some(r) => last = Some(r),
-                // Reply flow is dead; the origin's own wait will diagnose.
-                None => return,
-            }
-            offset += chunk.len();
-        }
-        if let (Some(id), Some(r)) = (tgt_cntr, last) {
+        let frags = self.reply_frags(cfg, msg_id, data, org_addr, org_cntr);
+        // A dead reply flow yields None; the origin's own wait diagnoses it.
+        if let (Some(id), Some(r)) = (
+            tgt_cntr,
+            self.wire_send_batch_async(src, cfg.lapi_pkt_issue, frags),
+        ) {
             // Target-side completion of a get: data copied out (§2.3).
             self.bump_counter(id, r.injected_at);
         }
@@ -1350,13 +1414,38 @@ impl Engine {
         }
     }
 
-    /// Drain everything already arrived (non-blocking). Returns how many
-    /// packets were processed. This is `LAPI_Probe`.
-    pub(crate) fn probe(&self) -> usize {
+    /// Process everything already arrived without charging any polling
+    /// cost when the queue is empty — the progress hook a parked barrier
+    /// wait runs (`LAPI_Gfence` in polling mode). Unlike [`Self::probe`]
+    /// it never advances the clock on an empty queue, so virtual time
+    /// stays decoupled from how long the barrier waits in real time.
+    pub(crate) fn drain_arrived(&self) {
+        // Lock-free emptiness hint: this runs on every real-time tick of a
+        // parked barrier wait, so don't touch the queue locks when idle.
+        if self.adapter.rx().is_empty() {
+            return;
+        }
         let mut n = 0;
         while let Ok(Some(s)) = self.adapter.rx().try_recv() {
             self.process_packet(s);
             n += 1;
+        }
+        if n > 0 {
+            self.adapter.pump(self.clock().now());
+        }
+    }
+
+    /// Drain everything already arrived (non-blocking). Returns how many
+    /// packets were processed. This is `LAPI_Probe`.
+    pub(crate) fn probe(&self) -> usize {
+        let mut n = 0;
+        // Lock-free emptiness hint gates the drain: polling loops call this
+        // back-to-back, and the common case is an empty queue.
+        if !self.adapter.rx().is_empty() {
+            while let Ok(Some(s)) = self.adapter.rx().try_recv() {
+                self.process_packet(s);
+                n += 1;
+            }
         }
         if n == 0 {
             self.clock().advance(self.config().lapi_poll);

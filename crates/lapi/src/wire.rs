@@ -6,8 +6,102 @@
 //! Here the header fields are the enum payloads below; the 48-byte tax is
 //! charged via `MachineConfig::lapi_header_bytes` when sizing packets.
 
+use std::fmt;
+use std::ops::{Deref, Range};
+use std::sync::Arc;
+
 use crate::addr::Addr;
 use crate::counter::CounterId;
+
+/// An immutable, cheaply cloneable byte buffer: a shared allocation plus a
+/// window into it.
+///
+/// Packet bodies cross the simulated switch by value, and the adapter
+/// clones them again on fabric duplicates and go-back-N retransmissions.
+/// With `Vec<u8>` payloads each of those clones is a fresh allocation and
+/// a memcpy of up to a packet's payload; with `Bytes` a message's payload
+/// is allocated once at issue time and every fragment, duplicate, and
+/// retransmission is a reference-counted window (`Arc` bump) into it.
+#[derive(Clone)]
+pub struct Bytes {
+    buf: Arc<[u8]>,
+    off: usize,
+    len: usize,
+}
+
+impl Bytes {
+    /// An empty buffer (no allocation is shared ownership of a static).
+    pub fn new() -> Self {
+        Bytes {
+            buf: Arc::from(&[][..]),
+            off: 0,
+            len: 0,
+        }
+    }
+
+    /// A sub-window of this buffer sharing the same allocation.
+    pub fn slice(&self, r: Range<usize>) -> Bytes {
+        assert!(r.start <= r.end && r.end <= self.len, "slice out of range");
+        Bytes {
+            buf: Arc::clone(&self.buf),
+            off: self.off + r.start,
+            len: r.end - r.start,
+        }
+    }
+
+    /// Window length in bytes.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf[self.off..self.off + self.len]
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let len = v.len();
+        Bytes {
+            buf: v.into(),
+            off: 0,
+            len,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(s: &[u8]) -> Self {
+        Bytes {
+            buf: Arc::from(s),
+            off: 0,
+            len: s.len(),
+        }
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+impl Eq for Bytes {}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bytes({}B)", self.len)
+    }
+}
 
 /// One run of a noncontiguous transfer (the §6 "non-contiguous interface
 /// to LAPI_Put and LAPI_Get" extension).
@@ -106,7 +200,7 @@ pub enum LapiBody {
         /// arrive in any order so each must be self-describing).
         total_len: usize,
         /// Fragment payload.
-        data: Vec<u8>,
+        data: Bytes,
         /// Deposit/completion routing.
         kind: DataKind,
     },
@@ -122,7 +216,7 @@ pub enum LapiBody {
         /// Total user-data length of the message.
         total_len: usize,
         /// Data carried in this first packet, if any.
-        chunk: Vec<u8>,
+        chunk: Bytes,
         /// Target counter to bump at completion.
         tgt_cntr: Option<CounterId>,
         /// Origin counter to bump (via `Done`) after the completion handler
@@ -176,7 +270,7 @@ pub enum LapiBody {
         /// Total stream length (= sum of vector lengths).
         total_len: usize,
         /// Data carried in this first packet.
-        chunk: Vec<u8>,
+        chunk: Bytes,
         /// Target counter bumped at completion.
         tgt_cntr: Option<CounterId>,
         /// Origin counter bumped (via `Done`) after landing.
@@ -246,12 +340,30 @@ mod tests {
     }
 
     #[test]
+    fn bytes_slices_and_clones_share_one_allocation() {
+        let b = Bytes::from(vec![1u8, 2, 3, 4, 5]);
+        let s = b.slice(1..4);
+        assert!(Arc::ptr_eq(&b.buf, &s.buf), "slice must not copy");
+        assert_eq!(&s[..], &[2, 3, 4]);
+        let c = s.clone();
+        assert!(Arc::ptr_eq(&s.buf, &c.buf), "clone must not copy");
+        assert_eq!(s, c);
+        assert_eq!(s.slice(1..2)[..], [3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "slice out of range")]
+    fn bytes_slice_out_of_range_panics() {
+        Bytes::from(vec![0u8; 4]).slice(2..6);
+    }
+
+    #[test]
     fn payload_lengths() {
         let d = LapiBody::Data {
             msg_id: 0,
             offset: 0,
             total_len: 4,
-            data: vec![0; 4],
+            data: vec![0; 4].into(),
             kind: DataKind::AmData,
         };
         assert_eq!(d.payload_len(), 4);
@@ -260,7 +372,7 @@ mod tests {
             handler: 0,
             uhdr: vec![0; 10],
             total_len: 0,
-            chunk: vec![0; 5],
+            chunk: vec![0; 5].into(),
             tgt_cntr: None,
             cmpl_cntr: None,
         };

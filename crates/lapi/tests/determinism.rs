@@ -17,14 +17,18 @@
 //! what the BTreeMap migration (and lint rule L2) exists to prevent.
 
 use lapi::{LapiContext, LapiWorld, Mode};
-use spsim::{run_spmd_with, MachineConfig};
+use spsim::{run_spmd_with, DeliveryPath, MachineConfig};
 
 const SEED: u64 = 0x7E57_5EED;
 const LEN: usize = 192;
 
 fn run_once() -> String {
+    run_once_on(MachineConfig::default())
+}
+
+fn run_once_on(cfg: MachineConfig) -> String {
     let session = spsim::trace::session();
-    let ctxs = LapiWorld::init_seeded(3, MachineConfig::default(), Mode::Polling, SEED);
+    let ctxs = LapiWorld::init_seeded(3, cfg, Mode::Polling, SEED);
     run_spmd_with(ctxs, |rank, ctx| workload(rank, &ctx));
     let timeline = session.finish();
     assert_eq!(
@@ -109,5 +113,22 @@ fn same_seed_three_node_trace_is_byte_identical() {
         first, second,
         "same-seed runs diverged — an ordering-sensitive path is iterating \
          a randomized collection (see lint rule L2)"
+    );
+}
+
+/// The SPSC delivery rings are a drop-in replacement for the legacy
+/// `TimedQueue` delivery path: within the deterministic envelope a
+/// same-seed run must produce a byte-identical trace through either path,
+/// regardless of which one `SPSIM_DELIVERY` selects for the rest of the
+/// suite.
+#[test]
+fn legacy_heap_and_spsc_ring_paths_produce_byte_identical_traces() {
+    let heap = run_once_on(MachineConfig::default().with_delivery_path(DeliveryPath::Heap));
+    let rings = run_once_on(MachineConfig::default().with_delivery_path(DeliveryPath::Rings));
+    assert!(!heap.is_empty(), "workload produced no trace events");
+    assert_eq!(
+        heap, rings,
+        "delivery paths diverged — the ring path must reproduce the \
+         TimedQueue's (time, tie, seq) pop order exactly"
     );
 }

@@ -412,9 +412,10 @@ impl MplEngine {
         state
     }
 
-    /// Fragment a buffer onto the wire (16-byte headers). Returns the time
-    /// the last fragment finished injecting (when the source buffer has
-    /// been fully read by the adapter).
+    /// Fragment a buffer onto the wire (16-byte headers) with one batched
+    /// link reservation for the whole message. Returns the time the last
+    /// fragment finished injecting (when the source buffer has been fully
+    /// read by the adapter).
     fn inject_fragments(
         &self,
         dst: NodeId,
@@ -424,22 +425,37 @@ impl MplEngine {
         let cfg = self.config();
         let clock = self.clock();
         let cap = cfg.payload_per_packet(cfg.mpl_header_bytes);
-        let chunks: Vec<&[u8]> = if data.is_empty() {
-            vec![&[][..]]
-        } else {
-            data.chunks(cap).collect()
-        };
-        let mut offset = 0;
-        let mut last = clock.now();
-        for (i, chunk) in chunks.iter().enumerate() {
-            if i > 0 {
-                clock.advance(cfg.lapi_pkt_issue);
+        let mut frags = Vec::with_capacity(data.len() / cap + 1);
+        let mut offset = 0usize;
+        loop {
+            let end = (offset + cap).min(data.len());
+            frags.push((
+                cfg.mpl_header_bytes + (end - offset),
+                mk(offset, &data[offset..end]),
+            ));
+            offset = end;
+            if offset >= data.len() {
+                break;
             }
-            let r = self.wire_send(dst, cfg.mpl_header_bytes + chunk.len(), mk(offset, chunk));
-            last = r.injected_at;
-            offset += chunk.len();
         }
-        last
+        let k = frags.len();
+        let receipts = self
+            .adapter
+            .try_send_batch_at(clock.now(), cfg.lapi_pkt_issue, dst, frags)
+            .unwrap_or_else(|e| {
+                spsim::sim_panic!(
+                    "node {}: MPL cannot honour its delivery guarantee: {e}",
+                    self.id()
+                )
+            });
+        // Charge the same per-fragment issue gap the one-at-a-time loop did.
+        if k > 1 {
+            clock.advance(cfg.lapi_pkt_issue * (k as u64 - 1));
+        }
+        receipts
+            .last()
+            .map(|r| r.injected_at)
+            .unwrap_or_else(|| clock.now())
     }
 
     // ---------------------------------------------------------- receiving

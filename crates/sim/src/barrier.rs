@@ -64,6 +64,21 @@ impl VBarrier {
     /// real-time bound — that means a peer died or deadlocked, and hanging
     /// the whole job would mask the failure.
     pub fn wait(&self, clock: &VClock) -> VTime {
+        self.wait_with_progress(clock, || {})
+    }
+
+    /// Enter the barrier, invoking `progress` periodically (with the barrier
+    /// lock released) while waiting for stragglers.
+    ///
+    /// This exists for protocols where a parked participant must still
+    /// service incoming requests: polling-mode LAPI makes no progress unless
+    /// the target polls, so a node that reaches `LAPI_Gfence` first has to
+    /// keep draining its receive queue — a peer may be blocked on a request
+    /// (e.g. an rmw) that it sent *before* heading to its own fence, and
+    /// that request is only served here. `progress` must be non-blocking
+    /// and must not advance the virtual clock when there is no work, or the
+    /// wait would couple virtual time to real time.
+    pub fn wait_with_progress(&self, clock: &VClock, mut progress: impl FnMut()) -> VTime {
         let mut st = self.inner.state.lock();
         let my_gen = st.generation;
         st.max_time = st.max_time.max(clock.now());
@@ -79,18 +94,24 @@ impl VBarrier {
             clock.merge(release);
             return release;
         }
+        // Wait in short real-time slices so `progress` keeps running; a
+        // peer that dies or deadlocks trips the escape after ~60s.
+        const TICK: std::time::Duration = std::time::Duration::from_millis(5);
+        const MAX_TICKS: u32 = 12_000;
+        let mut ticks: u32 = 0;
         while st.generation == my_gen {
-            if self
-                .inner
-                .cond
-                .wait_for(&mut st, std::time::Duration::from_secs(60))
-                .timed_out()
-            {
-                panic!(
-                    "VBarrier: only {}/{} participants arrived within 60s of real \
-                     time — a peer died or deadlocked",
-                    st.arrived, self.inner.n
-                );
+            if self.inner.cond.wait_for(&mut st, TICK).timed_out() {
+                ticks += 1;
+                if ticks > MAX_TICKS {
+                    panic!(
+                        "VBarrier: only {}/{} participants arrived within 60s of real \
+                         time — a peer died or deadlocked",
+                        st.arrived, self.inner.n
+                    );
+                }
+                drop(st);
+                progress();
+                st = self.inner.state.lock();
             }
         }
         let release = st.release_time;

@@ -13,6 +13,33 @@ use crate::fault::{FaultPlan, FaultProfile, LinkFaults};
 use crate::runtime::NodeId;
 use crate::time::VDur;
 
+/// Which receive-queue implementation the switch wires into each port.
+///
+/// Both paths deliver in the same `(timestamp, tie-break, push-order)`
+/// order, byte-identically under the same seed (asserted by
+/// `crates/lapi/tests/determinism.rs`); they differ only in wall-clock
+/// cost. Selectable per config so A/B tests and the benchmark baseline can
+/// pin either path, and via `SPSIM_DELIVERY=heap|rings` for whole-suite
+/// sweeps (mirroring `SPSIM_FAULT_PROFILE`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeliveryPath {
+    /// SPSC circular rings per source lane (the fast path, default).
+    Rings,
+    /// The legacy mutex-protected timestamp heap (`TimedQueue`).
+    Heap,
+}
+
+impl DeliveryPath {
+    /// Read `SPSIM_DELIVERY` from the environment; unset or unrecognized
+    /// values select the default fast path.
+    pub fn from_env() -> Self {
+        match std::env::var("SPSIM_DELIVERY").as_deref() {
+            Ok("heap") | Ok("legacy") => DeliveryPath::Heap,
+            _ => DeliveryPath::Rings,
+        }
+    }
+}
+
 /// Cost model and hardware parameters of the simulated RS/6000 SP.
 #[derive(Clone, Debug)]
 pub struct MachineConfig {
@@ -69,6 +96,15 @@ pub struct MachineConfig {
     /// standalone packet this long after the oldest unacknowledged-on-the-
     /// wire delivery, even if the batch is not full.
     pub ack_delay: VDur,
+    /// Which receive-queue implementation the switch uses (see
+    /// [`DeliveryPath`]); purely a wall-clock/throughput knob, never a
+    /// virtual-time one.
+    pub delivery_path: DeliveryPath,
+    /// Capacity of each SPSC delivery ring in packets (rounded up to a
+    /// power of two). Must exceed the largest burst a sender can inject
+    /// before the receiver drains; a full ring applies real-time
+    /// backpressure to the producing thread.
+    pub delivery_ring_capacity: usize,
 
     // ---------------------------------------------------------------- lapi
     /// Origin CPU cost for a `LAPI_Put` call to return control ("pipeline
@@ -172,6 +208,8 @@ impl Default for MachineConfig {
             max_retransmits: 64,
             ack_every: 4,
             ack_delay: VDur::from_us(100),
+            delivery_path: DeliveryPath::from_env(),
+            delivery_ring_capacity: 4096,
 
             lapi_put_issue: VDur::from_us(16),
             lapi_get_issue: VDur::from_us(19),
@@ -292,6 +330,21 @@ impl MachineConfig {
             || self.dup_prob > 0.0
             || self.ack_drop_prob.is_some_and(|p| p > 0.0)
             || !self.faults.is_empty()
+    }
+
+    /// Builder-style: pin the delivery-queue implementation, overriding the
+    /// env-selected default (A/B determinism tests and the benchmark
+    /// baseline use this).
+    pub fn with_delivery_path(mut self, path: DeliveryPath) -> Self {
+        self.delivery_path = path;
+        self
+    }
+
+    /// Builder-style: set the per-lane SPSC ring capacity.
+    pub fn with_ring_capacity(mut self, packets: usize) -> Self {
+        assert!(packets >= 2, "a ring needs at least two slots");
+        self.delivery_ring_capacity = packets;
+        self
     }
 
     /// Builder-style: set `MP_EAGER_LIMIT` (clamped to the maximum, like

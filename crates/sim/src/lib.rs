@@ -45,19 +45,21 @@ pub mod mutation;
 pub mod queue;
 pub mod rng;
 pub mod runtime;
+pub mod spsc;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
 pub use barrier::VBarrier;
 pub use clock::VClock;
-pub use config::MachineConfig;
+pub use config::{DeliveryPath, MachineConfig};
 pub use diag::OrDiag;
 pub use fault::{FaultPlan, FaultProfile, FaultWindow, LinkFaults};
 pub use mutation::Mutant;
 pub use queue::{QueueClosed, Stamped, TimedQueue};
 pub use rng::SimRng;
 pub use runtime::{run_spmd, run_spmd_with, schedule_tiebreak, set_schedule_tiebreak, NodeId};
+pub use spsc::{DeliveryQueue, DeliveryRings};
 pub use stats::{Histogram, StatCounter};
 pub use time::{VDur, VTime};
 pub use trace::{EventKind, Timeline, TraceEvent, TraceSession, TraceSink};

@@ -15,6 +15,7 @@
 
 use std::cmp::Ordering as CmpOrdering;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -75,12 +76,19 @@ impl<T> Ord for Entry<T> {
 struct Inner<T> {
     heap: Mutex<HeapState<T>>,
     cond: Condvar,
+    /// Mirror of `heap.len()`, maintained on every push/pop so the hot
+    /// emptiness polls (`len`/`is_empty`) never take the heap lock.
+    depth: AtomicUsize,
 }
 
 struct HeapState<T> {
     heap: BinaryHeap<Entry<T>>,
     next_seq: u64,
     closed: bool,
+    /// Receivers currently parked on the condvar. Tracked under the heap
+    /// lock, so a pusher sees an exact count: zero waiters means the
+    /// notification can be skipped entirely (the common streaming case).
+    waiters: usize,
 }
 
 /// A blocking min-heap queue ordered by virtual timestamp.
@@ -120,8 +128,10 @@ impl<T> TimedQueue<T> {
                     heap: BinaryHeap::new(),
                     next_seq: 0,
                     closed: false,
+                    waiters: 0,
                 }),
                 cond: Condvar::new(),
+                depth: AtomicUsize::new(0),
             }),
             escape,
         }
@@ -140,8 +150,18 @@ impl<T> TimedQueue<T> {
         st.next_seq += 1;
         let tie = crate::runtime::tiebreak_key(seq);
         st.heap.push(Entry { at, tie, seq, item });
+        // ordering: Relaxed — the hint is published under the heap lock;
+        // readers tolerate momentary staleness (see `len`).
+        self.inner.depth.fetch_add(1, Ordering::Relaxed);
+        // Waiters register under the heap lock before parking, so the count
+        // read here is exact: a waiter is either already parked (the notify
+        // wakes it) or still holds/awaits the lock and will see the pushed
+        // element before it ever parks. No waiters — no syscall.
+        let notify = st.waiters > 0;
         drop(st);
-        self.inner.cond.notify_all();
+        if notify {
+            self.inner.cond.notify_one();
+        }
     }
 
     /// Close the queue: blocked and future receivers get [`QueueClosed`]
@@ -156,14 +176,25 @@ impl<T> TimedQueue<T> {
         self.inner.heap.lock().closed
     }
 
-    /// Number of elements currently enqueued.
+    /// Number of elements currently enqueued — a lock-free hint read from
+    /// an atomic mirror of the heap length (exact when quiescent,
+    /// momentarily stale against concurrent pushes/pops). Hot poll loops
+    /// use this instead of taking the heap lock per iteration.
     pub fn len(&self) -> usize {
-        self.inner.heap.lock().heap.len()
+        // ordering: Relaxed — a pure hint; the heap lock is the source of
+        // truth and every consumer re-checks under it before acting.
+        self.inner.depth.load(Ordering::Relaxed)
     }
 
-    /// Is the queue currently empty?
+    /// Is the queue currently empty? Lock-free, see [`Self::len`].
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Record that one element left the heap (caller holds the heap lock).
+    fn note_pop(&self) {
+        // ordering: Relaxed — hint mirror, see `len`.
+        self.inner.depth.fetch_sub(1, Ordering::Relaxed);
     }
 
     /// Nonblocking: take the earliest-stamped element, regardless of its
@@ -171,10 +202,13 @@ impl<T> TimedQueue<T> {
     pub fn try_recv(&self) -> Result<Option<Stamped<T>>, QueueClosed> {
         let mut st = self.inner.heap.lock();
         match st.heap.pop() {
-            Some(e) => Ok(Some(Stamped {
-                at: e.at,
-                item: e.item,
-            })),
+            Some(e) => {
+                self.note_pop();
+                Ok(Some(Stamped {
+                    at: e.at,
+                    item: e.item,
+                }))
+            }
             None if st.closed => Err(QueueClosed),
             None => Ok(None),
         }
@@ -188,6 +222,7 @@ impl<T> TimedQueue<T> {
         if let Some(top) = st.heap.peek() {
             if top.at <= now {
                 let e = st.heap.pop().or_diag("heap emptied between peek and pop");
+                self.note_pop();
                 return Ok(Some(Stamped {
                     at: e.at,
                     item: e.item,
@@ -212,6 +247,7 @@ impl<T> TimedQueue<T> {
         let mut st = self.inner.heap.lock();
         loop {
             if let Some(e) = st.heap.pop() {
+                self.note_pop();
                 drop(st);
                 clock.merge(e.at);
                 return Ok(Stamped {
@@ -222,7 +258,10 @@ impl<T> TimedQueue<T> {
             if st.closed {
                 return Err(QueueClosed);
             }
-            if self.inner.cond.wait_for(&mut st, self.escape).timed_out() {
+            st.waiters += 1;
+            let timed_out = self.inner.cond.wait_for(&mut st, self.escape).timed_out();
+            st.waiters -= 1;
+            if timed_out {
                 panic!(
                     "TimedQueue::recv_merge: no event within {:?} of real time — \
                      the simulated program is deadlocked (is anyone making progress? \
@@ -246,6 +285,7 @@ impl<T> TimedQueue<T> {
         let mut st = self.inner.heap.lock();
         loop {
             if let Some(e) = st.heap.pop() {
+                self.note_pop();
                 return Ok(Some(Stamped {
                     at: e.at,
                     item: e.item,
@@ -254,7 +294,10 @@ impl<T> TimedQueue<T> {
             if st.closed {
                 return Err(QueueClosed);
             }
-            if self.inner.cond.wait_until(&mut st, deadline).timed_out() {
+            st.waiters += 1;
+            let timed_out = self.inner.cond.wait_until(&mut st, deadline).timed_out();
+            st.waiters -= 1;
+            if timed_out {
                 return Ok(None);
             }
         }
@@ -266,6 +309,7 @@ impl<T> TimedQueue<T> {
         let mut st = self.inner.heap.lock();
         loop {
             if let Some(e) = st.heap.pop() {
+                self.note_pop();
                 return Ok(Stamped {
                     at: e.at,
                     item: e.item,
@@ -274,7 +318,10 @@ impl<T> TimedQueue<T> {
             if st.closed {
                 return Err(QueueClosed);
             }
-            if self.inner.cond.wait_for(&mut st, self.escape).timed_out() {
+            st.waiters += 1;
+            let timed_out = self.inner.cond.wait_for(&mut st, self.escape).timed_out();
+            st.waiters -= 1;
+            if timed_out {
                 panic!(
                     "TimedQueue::recv: no event within {:?} of real time — \
                      the simulated program is deadlocked\n\
@@ -297,6 +344,7 @@ impl<T> TimedQueue<T> {
                 break;
             }
             let e = st.heap.pop().or_diag("heap emptied between peek and pop");
+            self.note_pop();
             out.push(Stamped {
                 at: e.at,
                 item: e.item,
@@ -450,6 +498,66 @@ mod tests {
         let (item, t) = h.join().unwrap();
         assert_eq!(item, "pkt");
         assert_eq!(t, VTime::from_us(42));
+    }
+
+    #[test]
+    fn push_races_parked_recv_without_missed_wakeup() {
+        // Regression for the targeted-notify change: a push that races a
+        // `recv_merge` park must always wake the waiter. The waiter count
+        // is read under the same lock the waiter registers under, so a
+        // sleeping consumer can never be missed — hammer the interleaving
+        // to prove it.
+        let q = TimedQueue::new();
+        let q2 = q.clone();
+        let n = 500u64;
+        let h = thread::spawn(move || {
+            let clock = VClock::new();
+            for _ in 0..n {
+                q2.recv_merge(&clock).unwrap();
+            }
+        });
+        for i in 0..n {
+            q.push(VTime::from_us(i), i);
+            if i % 7 == 0 {
+                // Let the consumer drain and park again mid-stream.
+                thread::sleep(std::time::Duration::from_micros(200));
+            }
+        }
+        h.join().unwrap();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn multiple_parked_waiters_all_wake() {
+        // One targeted notify per push must still serve several parked
+        // consumers: each push wakes exactly one, and every element is
+        // delivered exactly once.
+        let q: TimedQueue<u64> = TimedQueue::new();
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let q2 = q.clone();
+                thread::spawn(move || {
+                    let clock = VClock::new();
+                    let mut got = Vec::new();
+                    while let Ok(s) = q2.recv_merge(&clock) {
+                        got.push(s.item);
+                    }
+                    got
+                })
+            })
+            .collect();
+        thread::sleep(std::time::Duration::from_millis(20));
+        for i in 0..200u64 {
+            q.push(VTime::from_us(i), i);
+        }
+        thread::sleep(std::time::Duration::from_millis(50));
+        q.close();
+        let mut all: Vec<u64> = consumers
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..200).collect::<Vec<_>>());
     }
 
     #[test]

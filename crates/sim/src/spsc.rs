@@ -1,0 +1,930 @@
+//! The delivery fast path: per-source SPSC rings behind a timed facade.
+//!
+//! [`TimedQueue`] serializes every producer and consumer on one mutex and,
+//! before the waiter-count fix, paid a `notify_all` per push. That is fine
+//! for genuinely multi-producer lanes (the LAPI completion queue) but it is
+//! the wrong shape for packet delivery: the adapter already serializes all
+//! packets of a directed `(src, dst)` flow under the sender-side flow lock,
+//! so each *source* is a single producer into the destination's receive
+//! queue. [`DeliveryRings`] exploits that: one fixed-capacity SPSC circular
+//! ring per source lane (modeled on cpp-ipc's circular-array channels),
+//! lock-free on the producer side, with a spin-then-park protocol for
+//! blocked consumers.
+//!
+//! Ordering semantics are identical to [`TimedQueue`]: elements are handed
+//! out in `(timestamp, tie-break, push-sequence)` order among those
+//! currently visible. The consumer drains every ring into a private staging
+//! heap before popping, and the push sequence comes from one shared atomic
+//! counter, so the pop order is the same pure function of (timestamps, push
+//! order, tie-break seed) that the heap path computes — same seed, same
+//! bytes, whichever path is selected (`crates/lapi/tests/determinism.rs`
+//! asserts exactly that).
+//!
+//! [`DeliveryQueue`] is the selectable facade the switch embeds: the `Rings`
+//! arm is the fast path, the `Heap` arm keeps the legacy `TimedQueue`
+//! reachable for A/B determinism tests and as the baseline lane of the
+//! wall-clock benchmark (see `MachineConfig::delivery_path`).
+
+use std::cell::UnsafeCell;
+use std::collections::BinaryHeap;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::clock::VClock;
+use crate::queue::{QueueClosed, Stamped, TimedQueue, DEFAULT_ESCAPE};
+use crate::time::VTime;
+
+/// How long a producer spins on a full ring before yielding the CPU.
+const FULL_SPINS: u32 = 64;
+
+/// One entry, ordered exactly like `TimedQueue`'s heap entries: earliest
+/// timestamp first, ties broken by the key computed at push time (insertion
+/// sequence when the scheduler perturbation hook is disarmed, a seeded hash
+/// when armed), then by raw sequence.
+struct Entry<T> {
+    at: VTime,
+    tie: u64,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; invert to pop the earliest first.
+        (other.at, other.tie, other.seq).cmp(&(self.at, self.tie, self.seq))
+    }
+}
+
+type Slot<T> = UnsafeCell<MaybeUninit<Entry<T>>>;
+
+/// One single-producer/single-consumer circular ring (one source lane).
+///
+/// The buffer is allocated lazily by the producer on first push, so an
+/// `n`-node switch does not pay `n²` ring allocations for lanes that never
+/// carry traffic. `head`/`tail` are free-running cursors; indices are
+/// `cursor & (capacity - 1)` (capacity is a power of two).
+struct Ring<T> {
+    buf: AtomicPtr<Slot<T>>,
+    head: AtomicUsize,
+    tail: AtomicUsize,
+}
+
+impl<T> Ring<T> {
+    fn new() -> Self {
+        Ring {
+            buf: AtomicPtr::new(std::ptr::null_mut()),
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+        }
+    }
+
+    /// Producer-side: get the buffer, allocating it on first use. Only the
+    /// (single) producer ever stores a non-null pointer, so no CAS is
+    /// needed; consumers treat null as "nothing was ever pushed here".
+    fn ensure_buf(&self, cap: usize) -> *mut Slot<T> {
+        // ordering: Acquire pairs with the producer's own Release store;
+        // on the single producer thread a Relaxed load would also do, but
+        // Acquire keeps the pairing uniform with the consumer side.
+        let p = self.buf.load(Ordering::Acquire);
+        if !p.is_null() {
+            return p;
+        }
+        let boxed: Box<[Slot<T>]> = (0..cap)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect();
+        let p = Box::into_raw(boxed) as *mut Slot<T>;
+        // ordering: Release publishes the initialized buffer to consumers
+        // that load it with Acquire in `drain_into`.
+        self.buf.store(p, Ordering::Release);
+        p
+    }
+}
+
+/// Shared state behind [`DeliveryRings`] handles.
+struct RingsInner<T> {
+    rings: Box<[Ring<T>]>,
+    cap: usize,
+    /// Global push order across all lanes — the `seq` every entry carries,
+    /// playing the role of `TimedQueue`'s per-push sequence counter.
+    next_seq: AtomicU64,
+    /// Entries pushed but not yet handed to a caller (staged included):
+    /// the lock-free emptiness hint `len`/`is_empty` read.
+    depth: AtomicUsize,
+    closed: AtomicBool,
+    /// Consumer staging heap: rings are FIFO per lane but route skew makes
+    /// per-lane timestamps non-monotonic, so visible entries are re-ordered
+    /// here before popping. Also serializes concurrent consumers
+    /// (dispatcher thread + application probe).
+    staged: Mutex<BinaryHeap<Entry<T>>>,
+    /// Park/wake handshake for blocked consumers (see `recv_merge`).
+    park: Mutex<()>,
+    cond: Condvar,
+    waiters: AtomicUsize,
+}
+
+// SAFETY: every slot is written by exactly one producer (guarded by the
+// adapter's per-flow lock) and read by consumers only after observing the
+// producer's Release store of `tail`; the staging heap and park state are
+// mutex-protected. `T: Send` is required because entries cross threads.
+unsafe impl<T: Send> Send for RingsInner<T> {}
+unsafe impl<T: Send> Sync for RingsInner<T> {}
+
+impl<T> Drop for RingsInner<T> {
+    fn drop(&mut self) {
+        for ring in self.rings.iter() {
+            // ordering: Relaxed — `&mut self` proves exclusive access.
+            let p = ring.buf.load(Ordering::Relaxed);
+            if p.is_null() {
+                continue;
+            }
+            // ordering: Relaxed — `&mut self` proves exclusive access.
+            let head = ring.head.load(Ordering::Relaxed);
+            // ordering: Relaxed — same exclusive access as above.
+            let tail = ring.tail.load(Ordering::Relaxed);
+            let mask = self.cap - 1;
+            let mut cur = head;
+            while cur != tail {
+                // SAFETY: entries in [head, tail) were written and never
+                // consumed; read them out so their payloads drop.
+                unsafe {
+                    drop((*(*p.add(cur & mask)).get()).assume_init_read());
+                }
+                cur = cur.wrapping_add(1);
+            }
+            // SAFETY: reconstruct the boxed slice allocated in `ensure_buf`.
+            unsafe {
+                drop(Box::from_raw(std::ptr::slice_from_raw_parts_mut(
+                    p, self.cap,
+                )));
+            }
+        }
+    }
+}
+
+/// A multi-lane SPSC delivery queue with [`TimedQueue`]-compatible
+/// semantics. Cloning yields another handle to the same queue.
+pub struct DeliveryRings<T> {
+    inner: Arc<RingsInner<T>>,
+    escape: Duration,
+}
+
+impl<T> Clone for DeliveryRings<T> {
+    fn clone(&self) -> Self {
+        DeliveryRings {
+            inner: Arc::clone(&self.inner),
+            escape: self.escape,
+        }
+    }
+}
+
+impl<T: Send> DeliveryRings<T> {
+    /// New queue with `lanes` source lanes, each a ring of `capacity`
+    /// entries (rounded up to a power of two), and the default real-time
+    /// escape for blocking operations.
+    pub fn new(lanes: usize, capacity: usize) -> Self {
+        Self::with_escape(lanes, capacity, DEFAULT_ESCAPE)
+    }
+
+    /// New queue with a custom real-time escape (tests use short escapes to
+    /// exercise the deadlock diagnostics).
+    pub fn with_escape(lanes: usize, capacity: usize, escape: Duration) -> Self {
+        assert!(lanes > 0, "a delivery queue needs at least one lane");
+        let cap = capacity.max(2).next_power_of_two();
+        DeliveryRings {
+            inner: Arc::new(RingsInner {
+                rings: (0..lanes).map(|_| Ring::new()).collect(),
+                cap,
+                next_seq: AtomicU64::new(0),
+                depth: AtomicUsize::new(0),
+                closed: AtomicBool::new(false),
+                staged: Mutex::new(BinaryHeap::new()),
+                park: Mutex::new(()),
+                cond: Condvar::new(),
+                waiters: AtomicUsize::new(0),
+            }),
+            escape,
+        }
+    }
+
+    /// Ring capacity per lane (after power-of-two rounding).
+    pub fn capacity(&self) -> usize {
+        self.inner.cap
+    }
+
+    /// Enqueue `item` on `lane` as an event at virtual time `at`.
+    ///
+    /// The caller must guarantee that pushes on one lane are serialized
+    /// (the adapter's per-flow lock provides this). Pushing to a closed
+    /// queue is a silent no-op, like [`TimedQueue::push`]. A full ring
+    /// spins-then-yields until the consumer frees a slot; if no consumer
+    /// drains within the real-time escape, the simulated program is stuck
+    /// and this panics with a diagnostic.
+    pub fn push_from(&self, lane: usize, at: VTime, item: T) {
+        let inner = &*self.inner;
+        // ordering: SeqCst — the close flag participates in the same total
+        // order as depth/waiters so a post-close push is reliably dropped.
+        if inner.closed.load(Ordering::SeqCst) {
+            return;
+        }
+        // ordering: Relaxed — the counter only needs uniqueness and
+        // monotonicity; within the deterministic envelope pushes are
+        // causally serialized, which fixes the observed order.
+        let seq = inner.next_seq.fetch_add(1, Ordering::Relaxed);
+        let tie = crate::runtime::tiebreak_key(seq);
+        let ring = &inner.rings[lane];
+        let buf = ring.ensure_buf(inner.cap);
+        // ordering: Relaxed — tail is only ever advanced by this (single)
+        // producer; no other thread writes it.
+        let tail = ring.tail.load(Ordering::Relaxed);
+        let mut spins: u32 = 0;
+        let mut deadline: Option<Instant> = None;
+        loop {
+            // ordering: Acquire pairs with the consumer's Release store in
+            // `drain_into`: observing the advanced head also means the
+            // consumer is done reading the slot we are about to overwrite.
+            let head = ring.head.load(Ordering::Acquire);
+            if tail.wrapping_sub(head) < inner.cap {
+                break;
+            }
+            // ordering: SeqCst — see the close check above.
+            if inner.closed.load(Ordering::SeqCst) {
+                return;
+            }
+            spins += 1;
+            if spins > FULL_SPINS {
+                std::thread::yield_now();
+                let now = Instant::now();
+                let dl = *deadline.get_or_insert(now + self.escape);
+                if now >= dl {
+                    panic!(
+                        "DeliveryRings::push_from: lane {lane} ring full for {:?} of real \
+                         time — no consumer is draining (simulated deadlock; is the \
+                         destination polling?)\n\
+                         ring: cap={} depth={} closed={}\n{}",
+                        self.escape,
+                        inner.cap,
+                        // ordering: SeqCst — diagnostic read of the shared counter.
+                        inner.depth.load(Ordering::SeqCst),
+                        inner.closed.load(Ordering::SeqCst),
+                        crate::trace::tail_report(crate::trace::REPORT_TAIL)
+                    );
+                }
+            }
+        }
+        let mask = inner.cap - 1;
+        // SAFETY: the slot at `tail` is unoccupied (checked against `head`
+        // above) and this thread is the lane's only producer.
+        unsafe {
+            (*buf.add(tail & mask))
+                .get()
+                .write(MaybeUninit::new(Entry { at, tie, seq, item }));
+        }
+        // ordering: Release publishes the slot write to consumers that load
+        // `tail` with Acquire in `drain_into`.
+        ring.tail.store(tail.wrapping_add(1), Ordering::Release);
+        // Dekker handshake with parking consumers: the depth increment must
+        // be globally ordered against the consumer's waiter registration so
+        // at least one side sees the other (either the consumer re-checks
+        // depth > 0 and skips the park, or we see waiters > 0 and wake it).
+        //
+        // ordering: SeqCst — first half of the handshake described above.
+        inner.depth.fetch_add(1, Ordering::SeqCst);
+        // ordering: SeqCst — second half of the handshake above.
+        if inner.waiters.load(Ordering::SeqCst) > 0 {
+            // Taking the park mutex serializes with the consumer's
+            // register-then-recheck-then-wait critical section, so the
+            // notify cannot fall between its recheck and its wait.
+            let _g = inner.park.lock();
+            inner.cond.notify_one();
+        }
+    }
+
+    /// Move every visible ring entry into the staging heap. Caller holds
+    /// the `staged` lock (the guard proves it).
+    fn drain_into(&self, staged: &mut BinaryHeap<Entry<T>>) {
+        let inner = &*self.inner;
+        let mask = inner.cap - 1;
+        for ring in inner.rings.iter() {
+            // ordering: Acquire pairs with the producer's Release store in
+            // `ensure_buf`: a non-null pointer is a fully initialized buffer.
+            let buf = ring.buf.load(Ordering::Acquire);
+            if buf.is_null() {
+                continue;
+            }
+            // ordering: Relaxed — head is only advanced under the `staged`
+            // lock, which the caller holds; the lock orders consumers.
+            let mut head = ring.head.load(Ordering::Relaxed);
+            // ordering: Acquire pairs with the producer's Release store of
+            // `tail`: entries below it are fully written.
+            let tail = ring.tail.load(Ordering::Acquire);
+            while head != tail {
+                // SAFETY: [head, tail) slots are initialized (published by
+                // the producer's Release) and not yet consumed; reading
+                // them out transfers ownership to the staging heap.
+                let e = unsafe { (*(*buf.add(head & mask)).get()).assume_init_read() };
+                staged.push(e);
+                head = head.wrapping_add(1);
+                // ordering: Release — hand the slot back to the producer;
+                // pairs with its Acquire load in the full-ring wait loop.
+                ring.head.store(head, Ordering::Release);
+            }
+        }
+    }
+
+    fn pop_staged(&self, staged: &mut BinaryHeap<Entry<T>>) -> Option<Stamped<T>> {
+        staged.pop().map(|e| {
+            // ordering: SeqCst — keeps the emptiness hint in the same total
+            // order as the park handshake in `push_from`.
+            self.inner.depth.fetch_sub(1, Ordering::SeqCst);
+            Stamped {
+                at: e.at,
+                item: e.item,
+            }
+        })
+    }
+
+    /// Close the queue: blocked and future receivers get [`QueueClosed`]
+    /// once the remaining elements are drained; late pushes are dropped.
+    pub fn close(&self) {
+        // ordering: SeqCst — ordered against the producers' close checks
+        // and the consumers' park handshake.
+        self.inner.closed.store(true, Ordering::SeqCst);
+        let _g = self.inner.park.lock();
+        self.inner.cond.notify_all();
+    }
+
+    /// Has `close` been called?
+    pub fn is_closed(&self) -> bool {
+        // ordering: SeqCst — see `close`.
+        self.inner.closed.load(Ordering::SeqCst)
+    }
+
+    /// Number of undelivered elements — a lock-free hint read from an
+    /// atomic counter (exact when producers and consumers are quiescent,
+    /// momentarily stale during concurrent pushes).
+    pub fn len(&self) -> usize {
+        // ordering: SeqCst — the hint shares the counter the park
+        // handshake uses; a plain Relaxed load would also be sound here.
+        self.inner.depth.load(Ordering::SeqCst)
+    }
+
+    /// Is the queue (apparently) empty? Lock-free, see [`Self::len`].
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Nonblocking: take the earliest-stamped visible element.
+    pub fn try_recv(&self) -> Result<Option<Stamped<T>>, QueueClosed> {
+        let mut staged = self.inner.staged.lock();
+        self.drain_into(&mut staged);
+        match self.pop_staged(&mut staged) {
+            Some(s) => Ok(Some(s)),
+            // ordering: SeqCst — see `close`.
+            None if self.inner.closed.load(Ordering::SeqCst) => Err(QueueClosed),
+            None => Ok(None),
+        }
+    }
+
+    /// Nonblocking poll at virtual time `now`: take the earliest visible
+    /// element only if its timestamp is `<= now`.
+    pub fn try_recv_ready(&self, now: VTime) -> Result<Option<Stamped<T>>, QueueClosed> {
+        let mut staged = self.inner.staged.lock();
+        self.drain_into(&mut staged);
+        if let Some(top) = staged.peek() {
+            if top.at <= now {
+                return Ok(self.pop_staged(&mut staged));
+            }
+            return Ok(None);
+        }
+        // ordering: SeqCst — see `close`.
+        if self.inner.closed.load(Ordering::SeqCst) {
+            Err(QueueClosed)
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Blocking: wait for the earliest element, merging its timestamp into
+    /// `clock`. Panics if the real-time escape elapses (simulated deadlock).
+    pub fn recv_merge(&self, clock: &VClock) -> Result<Stamped<T>, QueueClosed> {
+        match self.recv_inner(None) {
+            Ok(Some(s)) => {
+                clock.merge(s.at);
+                Ok(s)
+            }
+            Ok(None) => self.deadlock_panic(Some(clock)),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Blocking receive bounded by `dur` of *real* time: `Ok(None)` on
+    /// timeout.
+    pub fn recv_timeout(&self, dur: Duration) -> Result<Option<Stamped<T>>, QueueClosed> {
+        self.recv_inner(Some(dur))
+    }
+
+    /// Blocking receive without a clock; panics on the real-time escape.
+    pub fn recv(&self) -> Result<Stamped<T>, QueueClosed> {
+        match self.recv_inner(None) {
+            Ok(Some(s)) => Ok(s),
+            Ok(None) => self.deadlock_panic(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Drain every visible element whose timestamp is `<= now`, in
+    /// timestamp order.
+    pub fn drain_ready(&self, now: VTime) -> Vec<Stamped<T>> {
+        let mut out = Vec::new();
+        let mut staged = self.inner.staged.lock();
+        self.drain_into(&mut staged);
+        while staged.peek().is_some_and(|top| top.at <= now) {
+            if let Some(s) = self.pop_staged(&mut staged) {
+                out.push(s);
+            }
+        }
+        out
+    }
+
+    /// Shared blocking core: `Ok(None)` means the wait bound elapsed
+    /// (`bound` = `None` uses the escape; the caller panics in that case).
+    fn recv_inner(&self, bound: Option<Duration>) -> Result<Option<Stamped<T>>, QueueClosed> {
+        let inner = &*self.inner;
+        let deadline = Instant::now() + bound.unwrap_or(self.escape);
+        loop {
+            {
+                let mut staged = inner.staged.lock();
+                self.drain_into(&mut staged);
+                if let Some(s) = self.pop_staged(&mut staged) {
+                    return Ok(Some(s));
+                }
+                // ordering: SeqCst — see `close`.
+                if inner.closed.load(Ordering::SeqCst) {
+                    return Err(QueueClosed);
+                }
+            }
+            // Park protocol (producer side in `push_from`): register as a
+            // waiter, then re-check under the park mutex, then wait. The
+            // SeqCst handshake on depth/waiters plus the mutex-bracketed
+            // notify make a lost wakeup impossible; the timed wait below is
+            // belt and braces on top, not a correctness requirement.
+            //
+            // ordering: SeqCst — Dekker handshake with `push_from`.
+            inner.waiters.fetch_add(1, Ordering::SeqCst);
+            let mut g = inner.park.lock();
+            // ordering: SeqCst — re-check after registering; pairs with the
+            // producer's depth increment.
+            let timed_out = if inner.depth.load(Ordering::SeqCst) == 0
+                && !inner.closed.load(Ordering::SeqCst)
+            {
+                let now = Instant::now();
+                if now >= deadline {
+                    true
+                } else {
+                    inner.cond.wait_for(&mut g, deadline - now).timed_out()
+                }
+            } else {
+                false
+            };
+            drop(g);
+            // ordering: SeqCst — see the fetch_add above.
+            inner.waiters.fetch_sub(1, Ordering::SeqCst);
+            if timed_out && Instant::now() >= deadline {
+                return Ok(None);
+            }
+        }
+    }
+
+    /// Debug snapshot of every undelivered entry as `(at_ns, tie, seq)`,
+    /// staged and in-ring alike (drains rings into the staging heap).
+    #[doc(hidden)]
+    pub fn debug_entries(&self) -> Vec<(u64, u64, u64)> {
+        let mut staged = self.inner.staged.lock();
+        self.drain_into(&mut staged);
+        let mut out: Vec<(u64, u64, u64)> = staged
+            .iter()
+            .map(|e| (e.at.as_ns(), e.tie, e.seq))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// The real-time escape fired while blocked: the simulated program is
+    /// deadlocked. Never returns.
+    fn deadlock_panic(&self, clock: Option<&VClock>) -> ! {
+        let inner = &*self.inner;
+        panic!(
+            "DeliveryRings::recv: no event within {:?} of real time — the simulated \
+             program is deadlocked (is anyone making progress? polling-mode LAPI \
+             requires the target to poll)\n\
+             queue: depth={} closed={} waiter-clock={}ns\n{}",
+            self.escape,
+            // ordering: SeqCst — diagnostic reads.
+            inner.depth.load(Ordering::SeqCst),
+            inner.closed.load(Ordering::SeqCst),
+            clock.map_or(0, |c| c.now().as_ns()),
+            crate::trace::tail_report(crate::trace::REPORT_TAIL)
+        );
+    }
+}
+
+/// The selectable delivery queue the switch embeds in each port: the SPSC
+/// ring fast path, or the legacy multi-producer [`TimedQueue`] kept for A/B
+/// determinism tests and as the benchmark baseline. Both arms expose the
+/// same surface; `lane` is ignored by the heap arm.
+pub enum DeliveryQueue<T> {
+    /// Legacy path: one mutex-protected timestamp heap.
+    Heap(TimedQueue<T>),
+    /// Fast path: one SPSC ring per source lane plus a staging heap.
+    Rings(DeliveryRings<T>),
+}
+
+impl<T: Send> DeliveryQueue<T> {
+    /// Enqueue `item` from source `lane` at virtual time `at`. Lane pushes
+    /// must be serialized by the caller on the `Rings` arm (the adapter's
+    /// per-flow lock provides this).
+    pub fn push_from(&self, lane: usize, at: VTime, item: T) {
+        match self {
+            DeliveryQueue::Heap(q) => q.push(at, item),
+            DeliveryQueue::Rings(q) => q.push_from(lane, at, item),
+        }
+    }
+
+    /// Close the queue; see [`TimedQueue::close`].
+    pub fn close(&self) {
+        match self {
+            DeliveryQueue::Heap(q) => q.close(),
+            DeliveryQueue::Rings(q) => q.close(),
+        }
+    }
+
+    /// Has `close` been called?
+    pub fn is_closed(&self) -> bool {
+        match self {
+            DeliveryQueue::Heap(q) => q.is_closed(),
+            DeliveryQueue::Rings(q) => q.is_closed(),
+        }
+    }
+
+    /// Number of undelivered elements (lock-free on both arms).
+    pub fn len(&self) -> usize {
+        match self {
+            DeliveryQueue::Heap(q) => q.len(),
+            DeliveryQueue::Rings(q) => q.len(),
+        }
+    }
+
+    /// Is the queue empty? Lock-free on both arms.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            DeliveryQueue::Heap(q) => q.is_empty(),
+            DeliveryQueue::Rings(q) => q.is_empty(),
+        }
+    }
+
+    /// Nonblocking receive; see [`TimedQueue::try_recv`].
+    pub fn try_recv(&self) -> Result<Option<Stamped<T>>, QueueClosed> {
+        match self {
+            DeliveryQueue::Heap(q) => q.try_recv(),
+            DeliveryQueue::Rings(q) => q.try_recv(),
+        }
+    }
+
+    /// Nonblocking poll at `now`; see [`TimedQueue::try_recv_ready`].
+    pub fn try_recv_ready(&self, now: VTime) -> Result<Option<Stamped<T>>, QueueClosed> {
+        match self {
+            DeliveryQueue::Heap(q) => q.try_recv_ready(now),
+            DeliveryQueue::Rings(q) => q.try_recv_ready(now),
+        }
+    }
+
+    /// Blocking receive that merges the element's timestamp into `clock`;
+    /// see [`TimedQueue::recv_merge`].
+    pub fn recv_merge(&self, clock: &VClock) -> Result<Stamped<T>, QueueClosed> {
+        match self {
+            DeliveryQueue::Heap(q) => q.recv_merge(clock),
+            DeliveryQueue::Rings(q) => q.recv_merge(clock),
+        }
+    }
+
+    /// Blocking receive bounded by real time; see
+    /// [`TimedQueue::recv_timeout`].
+    pub fn recv_timeout(&self, dur: Duration) -> Result<Option<Stamped<T>>, QueueClosed> {
+        match self {
+            DeliveryQueue::Heap(q) => q.recv_timeout(dur),
+            DeliveryQueue::Rings(q) => q.recv_timeout(dur),
+        }
+    }
+
+    /// Blocking receive without a clock; see [`TimedQueue::recv`].
+    pub fn recv(&self) -> Result<Stamped<T>, QueueClosed> {
+        match self {
+            DeliveryQueue::Heap(q) => q.recv(),
+            DeliveryQueue::Rings(q) => q.recv(),
+        }
+    }
+
+    /// Drain every element stamped `<= now`; see
+    /// [`TimedQueue::drain_ready`].
+    pub fn drain_ready(&self, now: VTime) -> Vec<Stamped<T>> {
+        match self {
+            DeliveryQueue::Heap(q) => q.drain_ready(now),
+            DeliveryQueue::Rings(q) => q.drain_ready(now),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::VDur;
+    use std::thread;
+
+    #[test]
+    fn pops_in_timestamp_order_across_lanes() {
+        let q = DeliveryRings::new(3, 8);
+        q.push_from(0, VTime::from_us(30), "c");
+        q.push_from(1, VTime::from_us(10), "a");
+        q.push_from(2, VTime::from_us(20), "b");
+        let clock = VClock::new();
+        assert_eq!(q.recv_merge(&clock).unwrap().item, "a");
+        assert_eq!(q.recv_merge(&clock).unwrap().item, "b");
+        assert_eq!(q.recv_merge(&clock).unwrap().item, "c");
+        assert_eq!(clock.now(), VTime::from_us(30));
+    }
+
+    #[test]
+    fn same_lane_ties_break_by_push_order() {
+        let q = DeliveryRings::new(1, 16);
+        for i in 0..10 {
+            q.push_from(0, VTime::from_us(5), i);
+        }
+        let clock = VClock::new();
+        for i in 0..10 {
+            assert_eq!(q.recv_merge(&clock).unwrap().item, i);
+        }
+    }
+
+    #[test]
+    fn wraparound_preserves_order_and_content() {
+        // Capacity 8, 100 elements: the cursors wrap the ring many times
+        // while a consumer keeps pace.
+        let q = DeliveryRings::new(1, 8);
+        let q2 = q.clone();
+        let producer = thread::spawn(move || {
+            for i in 0..100u64 {
+                q2.push_from(0, VTime::from_us(i), i);
+            }
+        });
+        let clock = VClock::new();
+        for want in 0..100u64 {
+            let got = q.recv_merge(&clock).unwrap();
+            assert_eq!(got.item, want);
+            assert_eq!(got.at, VTime::from_us(want));
+        }
+        producer.join().unwrap();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn full_ring_backpressure_blocks_until_drained() {
+        let q = DeliveryRings::new(1, 4);
+        for i in 0..4u64 {
+            q.push_from(0, VTime::from_us(i), i);
+        }
+        assert_eq!(q.len(), 4);
+        // The 5th push must block until the consumer frees a slot.
+        let q2 = q.clone();
+        let pusher = thread::spawn(move || {
+            q2.push_from(0, VTime::from_us(4), 4u64);
+        });
+        thread::sleep(Duration::from_millis(30));
+        assert!(!pusher.is_finished(), "push on a full ring must wait");
+        let clock = VClock::new();
+        assert_eq!(q.recv_merge(&clock).unwrap().item, 0);
+        pusher.join().unwrap();
+        for want in 1..5u64 {
+            assert_eq!(q.recv_merge(&clock).unwrap().item, want);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ring full")]
+    fn full_ring_with_no_consumer_panics_after_escape() {
+        let q = DeliveryRings::with_escape(1, 2, Duration::from_millis(40));
+        for i in 0..3u64 {
+            q.push_from(0, VTime::ZERO, i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlocked")]
+    fn recv_escape_hatch_panics() {
+        let q: DeliveryRings<()> = DeliveryRings::with_escape(1, 4, Duration::from_millis(30));
+        let clock = VClock::new();
+        let _ = q.recv_merge(&clock);
+    }
+
+    #[test]
+    fn close_drains_remaining_then_reports() {
+        let q = DeliveryRings::new(2, 4);
+        q.push_from(1, VTime::from_us(1), 7);
+        q.close();
+        let clock = VClock::new();
+        assert_eq!(q.recv_merge(&clock).unwrap().item, 7);
+        assert!(q.recv_merge(&clock).is_err());
+        // push after close is dropped
+        q.push_from(0, VTime::ZERO, 9);
+        assert_eq!(q.try_recv(), Err(QueueClosed));
+    }
+
+    #[test]
+    fn close_unblocks_parked_consumer() {
+        let q: DeliveryRings<()> = DeliveryRings::new(1, 4);
+        let q2 = q.clone();
+        let h = thread::spawn(move || q2.recv());
+        thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(h.join().unwrap(), Err(QueueClosed));
+    }
+
+    #[test]
+    fn push_races_parked_recv_without_missed_wakeup() {
+        // Hammer the park/notify handshake: a consumer that parks just as
+        // the producer publishes must always be woken.
+        let q = DeliveryRings::new(1, 64);
+        let q2 = q.clone();
+        let n = 500u64;
+        let h = thread::spawn(move || {
+            let clock = VClock::new();
+            for _ in 0..n {
+                q2.recv_merge(&clock).unwrap();
+            }
+        });
+        for i in 0..n {
+            q.push_from(0, VTime::from_us(i), i);
+            if i % 7 == 0 {
+                // Give the consumer time to drain and park again.
+                thread::sleep(Duration::from_micros(200));
+            }
+        }
+        h.join().unwrap();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn try_recv_ready_respects_now() {
+        let q = DeliveryRings::new(1, 4);
+        q.push_from(0, VTime::from_us(50), ());
+        assert!(q.try_recv_ready(VTime::from_us(10)).unwrap().is_none());
+        assert!(q.try_recv_ready(VTime::from_us(50)).unwrap().is_some());
+        assert!(q.try_recv_ready(VTime::from_us(99)).unwrap().is_none());
+    }
+
+    #[test]
+    fn recv_timeout_times_out_and_delivers() {
+        let q: DeliveryRings<u8> = DeliveryRings::new(1, 4);
+        assert_eq!(q.recv_timeout(Duration::from_millis(10)), Ok(None));
+        q.push_from(0, VTime::from_us(4), 9);
+        let got = q.recv_timeout(Duration::from_millis(10)).unwrap().unwrap();
+        assert_eq!(got.item, 9);
+        q.close();
+        assert_eq!(q.recv_timeout(Duration::from_millis(10)), Err(QueueClosed));
+    }
+
+    #[test]
+    fn drain_ready_takes_prefix_across_lanes() {
+        let q = DeliveryRings::new(2, 8);
+        for i in 0..5u64 {
+            q.push_from((i % 2) as usize, VTime::from_us(i * 10), i);
+        }
+        let got = q.drain_ready(VTime::from_us(25));
+        assert_eq!(
+            got.iter().map(|s| s.item).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn len_hint_is_lock_free_and_exact_when_quiescent() {
+        let q = DeliveryRings::new(2, 8);
+        assert!(q.is_empty());
+        q.push_from(0, VTime::ZERO, 1);
+        q.push_from(1, VTime::ZERO, 2);
+        assert_eq!(q.len(), 2);
+        let clock = VClock::new();
+        q.recv_merge(&clock).unwrap();
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn matches_timed_queue_order_exactly() {
+        // The determinism contract: the same (timestamp, push-order) input
+        // pops identically from both implementations.
+        let script: Vec<(usize, u64)> = (0..64)
+            .map(|i| ((i * 7) % 3, ((i * 13) % 11) as u64))
+            .collect();
+        let heap = TimedQueue::new();
+        let rings = DeliveryRings::new(3, 128);
+        for (lane, us) in &script {
+            heap.push(VTime::from_us(*us), (*lane, *us));
+            rings.push_from(*lane, VTime::from_us(*us), (*lane, *us));
+        }
+        let mut a = Vec::new();
+        while let Ok(Some(s)) = heap.try_recv() {
+            a.push((s.at, s.item));
+        }
+        let mut b = Vec::new();
+        while let Ok(Some(s)) = rings.try_recv() {
+            b.push((s.at, s.item));
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cross_thread_delivery_merges_time() {
+        let q = DeliveryRings::new(1, 4);
+        let q2 = q.clone();
+        let h = thread::spawn(move || {
+            let clock = VClock::new();
+            let s = q2.recv_merge(&clock).unwrap();
+            (s.item, clock.now())
+        });
+        thread::sleep(Duration::from_millis(10));
+        q.push_from(0, VTime::from_us(42), "pkt");
+        let (item, t) = h.join().unwrap();
+        assert_eq!(item, "pkt");
+        assert_eq!(t, VTime::from_us(42));
+    }
+
+    #[test]
+    fn delivery_queue_facade_dispatches_both_arms() {
+        for dq in [
+            DeliveryQueue::Heap(TimedQueue::new()),
+            DeliveryQueue::Rings(DeliveryRings::new(2, 8)),
+        ] {
+            dq.push_from(1, VTime::from_us(2), "b");
+            dq.push_from(0, VTime::from_us(1), "a");
+            assert_eq!(dq.len(), 2);
+            assert!(!dq.is_empty());
+            let clock = VClock::new();
+            assert_eq!(dq.recv_merge(&clock).unwrap().item, "a");
+            assert_eq!(dq.try_recv().unwrap().unwrap().item, "b");
+            dq.close();
+            assert!(dq.is_closed());
+            assert_eq!(dq.try_recv(), Err(QueueClosed));
+        }
+    }
+
+    #[test]
+    fn heavy_concurrent_wraparound_stress() {
+        // Two producers on separate lanes, one consumer, tiny rings: the
+        // cursors wrap hundreds of times and every element must surface
+        // exactly once with its stamp intact.
+        let q = DeliveryRings::new(2, 8);
+        let n = 2_000u64;
+        let mut handles = Vec::new();
+        for lane in 0..2usize {
+            let q2 = q.clone();
+            handles.push(thread::spawn(move || {
+                for i in 0..n {
+                    q2.push_from(
+                        lane,
+                        VTime::from_us(i) + VDur::from_ns(lane as u64),
+                        (lane, i),
+                    );
+                }
+            }));
+        }
+        let mut seen = vec![Vec::new(); 2];
+        let clock = VClock::new();
+        for _ in 0..2 * n {
+            let s = q.recv_merge(&clock).unwrap();
+            seen[s.item.0].push(s.item.1);
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for lane_seen in &mut seen {
+            lane_seen.sort_unstable();
+            assert_eq!(*lane_seen, (0..n).collect::<Vec<_>>());
+        }
+        assert!(q.is_empty());
+    }
+}

@@ -102,6 +102,7 @@ const ORDERING_SENSITIVE: &[&str] = &[
     "crates/sim/src/trace.rs",
     "crates/sim/src/runtime.rs",
     "crates/sim/src/queue.rs",
+    "crates/sim/src/spsc.rs",
     "crates/ga/src/array.rs",
     "crates/ga/src/backend_lapi.rs",
     "crates/check/src/",
@@ -113,6 +114,7 @@ const HOT_PATHS: &[&str] = &[
     "crates/mpl/src/engine.rs",
     "crates/switch/src/adapter.rs",
     "crates/sim/src/queue.rs",
+    "crates/sim/src/spsc.rs",
 ];
 
 /// Classify a repo-relative path; `None` means the file is out of scope

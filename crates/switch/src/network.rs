@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use spsim::{MachineConfig, SimRng, TimedQueue};
+use spsim::{DeliveryPath, DeliveryQueue, DeliveryRings, MachineConfig, SimRng, TimedQueue};
 
 use crate::adapter::{Adapter, AdapterStats, Port};
 
@@ -21,7 +21,16 @@ impl<M: Send + Clone + 'static> Network<M> {
             (0..n)
                 .map(|_| Port {
                     ejection: crate::link::Link::new(),
-                    rx: TimedQueue::new(),
+                    // One delivery lane per source node: the per-(src,dst)
+                    // flow lock makes each source a single producer into its
+                    // lane, which is what lets the ring path skip the heap
+                    // lock on push (DESIGN §4.2).
+                    rx: match cfg.delivery_path {
+                        DeliveryPath::Rings => {
+                            DeliveryQueue::Rings(DeliveryRings::new(n, cfg.delivery_ring_capacity))
+                        }
+                        DeliveryPath::Heap => DeliveryQueue::Heap(TimedQueue::new()),
+                    },
                     stats: AdapterStats::default(),
                 })
                 .collect(),
