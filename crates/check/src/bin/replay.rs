@@ -14,7 +14,7 @@
 
 use std::process::ExitCode;
 
-use check::{run_case, verdict, Case};
+use check::{is_crash_case, run_case, run_crash_case, verdict, verdict_crash, Case};
 
 fn main() -> ExitCode {
     let Some(path) = std::env::args().nth(1) else {
@@ -50,11 +50,19 @@ fn main() -> ExitCode {
         case.mutant.map_or("none", |m| m.name()),
         case.program().total_ops(),
     );
-    let out = run_case(&case);
-    println!("trace: {} events, digest {:016x}", out.events, out.digest);
+    // Crash-scheduling cases replay through the crash lane, so a
+    // counterexample found there stays a durable artifact too.
+    let (v, events, digest, tail) = if is_crash_case(&case) {
+        let out = run_crash_case(&case);
+        (verdict_crash(&case, &out), out.events, out.digest, out.tail)
+    } else {
+        let out = run_case(&case);
+        (verdict(&case, &out), out.events, out.digest, out.tail)
+    };
+    println!("trace: {events} events, digest {digest:016x}");
     println!("trace tail:");
-    println!("{}", out.tail);
-    match verdict(&case, &out) {
+    println!("{tail}");
+    match v {
         Ok(()) => {
             println!("verdict: PASS");
             ExitCode::SUCCESS

@@ -30,9 +30,9 @@ pub mod program;
 pub mod runner;
 
 pub use case::Case;
-pub use oracle::{canonicalize, check, predict, Canon, Obs};
+pub use oracle::{canonicalize, check, check_crash, predict, restrict, Canon, CrashObs, Obs};
 pub use program::{Op, Program};
-pub use runner::{run_case, RunOutcome};
+pub use runner::{run_case, run_crash_case, CrashRunOutcome, RunOutcome};
 
 /// Full verdict for one case: run panics (simulated deadlocks, internal
 /// assertion failures) and oracle disagreements both count as failures.
@@ -40,5 +40,25 @@ pub fn verdict(case: &Case, out: &RunOutcome) -> Result<(), String> {
     match &out.obs {
         Ok(obs) => check(&case.program(), obs),
         Err(panic) => Err(format!("run panicked: {panic}")),
+    }
+}
+
+/// Does this case schedule at least one node crash? Such cases must run
+/// through the crash lane ([`run_crash_case`] + [`verdict_crash`]): the
+/// healthy interpreter's full-job barrier would strand on the dead ranks.
+pub fn is_crash_case(case: &Case) -> bool {
+    case.plan.survivors(case.nodes).len() < case.nodes
+}
+
+/// Crash-lane verdict: the oracle knows the crash schedule from the
+/// case's fault plan and checks exactly what a crash leaves observable
+/// (see [`check_crash`]). A panic — including the real-time escape that
+/// converts a would-be hang into a diagnostic — is a failure: crash
+/// runs must terminate.
+pub fn verdict_crash(case: &Case, out: &CrashRunOutcome) -> Result<(), String> {
+    let survivors = case.plan.survivors(case.nodes);
+    match &out.obs {
+        Ok(obs) => check_crash(&case.program(), &survivors, obs),
+        Err(panic) => Err(format!("crash run panicked: {panic}")),
     }
 }

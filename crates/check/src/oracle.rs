@@ -199,6 +199,225 @@ pub fn check(p: &Program, obs: &[Obs]) -> Result<(), String> {
     Ok(())
 }
 
+// ------------------------------------------------------- crash lane
+
+/// What one rank observed after a crash-aware run (see
+/// `runner::run_crash_case`). A scheduled-dead rank reports only
+/// `crashed: true`; survivors carry the observation restricted to what a
+/// crash leaves observable.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CrashObs {
+    /// This rank was scheduled to crash (and did).
+    pub crashed: bool,
+    /// Final put region.
+    pub put_mem: Vec<u8>,
+    /// Final AM region.
+    pub am_mem: Vec<u8>,
+    /// Final value of this node's rmw ticket cell.
+    pub rmw_cell: u64,
+    /// Tickets this rank's rmw futures resolved with `Ok`, by owner
+    /// (futures cancelled by peer death contribute nothing).
+    pub rmw_prevs: Vec<Vec<u64>>,
+    /// Per issued get, in issue order: `Some(bytes)` when the target
+    /// survives and the op completed, `None` when the target was
+    /// scheduled to die (its reply — and thus the scratch contents — is
+    /// unobservable even if the request happened to be served pre-crash).
+    pub gets: Vec<Option<Vec<u8>>>,
+    /// (org, cmpl, tgt) counter values after all waits consumed them.
+    pub residues: [i64; 3],
+    /// Ops and death-forcing probes that returned a structured error.
+    pub op_errors: usize,
+    /// `(peer, err_hndlr fire count)` for every peer whose death fired
+    /// the handler on this rank.
+    pub death_fires: Vec<(usize, usize)>,
+    /// What `gfence_surviving` returned.
+    pub survivors_seen: Vec<usize>,
+}
+
+/// Restrict `p` to the ops a crash leaves predictable: scheduled-dead
+/// origins contribute nothing, and ops aimed at a scheduled-dead target
+/// (or rmw owner) are dropped — their effect lands in unobservable
+/// memory or may be cut off mid-protocol.
+pub fn restrict(p: &Program, survivors: &[usize]) -> Program {
+    let live = |t: usize| survivors.contains(&t);
+    Program {
+        nodes: p.nodes,
+        slot_bytes: p.slot_bytes,
+        ops: p
+            .ops
+            .iter()
+            .enumerate()
+            .map(|(origin, ops)| {
+                if !live(origin) {
+                    return Vec::new();
+                }
+                ops.iter()
+                    .filter(|op| match **op {
+                        Op::Put { target, .. }
+                        | Op::Get { target, .. }
+                        | Op::Am { target, .. }
+                        | Op::Fence { target }
+                        | Op::PutFenceGet { target, .. } => live(target),
+                        Op::Rmw { owner } => live(owner),
+                    })
+                    .copied()
+                    .collect()
+            })
+            .collect(),
+    }
+}
+
+/// Crash-aware oracle: given the crash schedule (as the survivor set),
+/// check a crash run. Survivors must agree with the oracle on everything
+/// the crash leaves observable — memory written by surviving flows,
+/// gets from surviving wells, rmw tickets against surviving owners —
+/// and every death must have been reported exactly once.
+pub fn check_crash(p: &Program, survivors: &[usize], obs: &[CrashObs]) -> Result<(), String> {
+    if obs.len() != p.nodes {
+        return Err(format!(
+            "{} ranks observed, {} expected",
+            obs.len(),
+            p.nodes
+        ));
+    }
+    let mut dead: Vec<usize> = (0..p.nodes).filter(|r| !survivors.contains(r)).collect();
+    dead.sort_unstable();
+    for &d in &dead {
+        if !p.ops[d].is_empty() {
+            return Err(format!(
+                "crash cases require scheduled-dead rank {d} to have an \
+                 empty op program (it dies before issuing anything)"
+            ));
+        }
+        if !obs[d].crashed {
+            return Err(format!("rank {d} was scheduled to crash but did not"));
+        }
+    }
+    let rp = restrict(p, survivors);
+    let exp = predict(&rp);
+    for &rank in survivors {
+        let o = &obs[rank];
+        if o.crashed {
+            return Err(format!("survivor {rank} reported itself crashed"));
+        }
+        if o.residues != [0, 0, 0] {
+            return Err(format!(
+                "rank {rank}: counter residues {:?} != [0, 0, 0] — \
+                 an op was neither completed nor credited by peer death",
+                o.residues
+            ));
+        }
+        if o.put_mem != exp.put_mem[rank] {
+            return Err(format!(
+                "rank {rank}: put region diverged ({})",
+                first_diff(&o.put_mem, &exp.put_mem[rank])
+            ));
+        }
+        if o.am_mem != exp.am_mem[rank] {
+            return Err(format!(
+                "rank {rank}: AM region diverged ({})",
+                first_diff(&o.am_mem, &exp.am_mem[rank])
+            ));
+        }
+        if o.rmw_cell != exp.rmw_total[rank] {
+            return Err(format!(
+                "rank {rank}: rmw cell {} != {} surviving tickets drawn",
+                o.rmw_cell, exp.rmw_total[rank]
+            ));
+        }
+        // Per issued get (crash-aware): toward a survivor the bytes must
+        // be present and correct; toward a scheduled-dead target the
+        // observation must be withheld.
+        let mut want: Vec<Option<Vec<u8>>> = Vec::new();
+        for op in &p.ops[rank] {
+            match *op {
+                Op::Get { target, len } => want.push(if survivors.contains(&target) {
+                    Some((0..len).map(|i| well_byte(target, i)).collect())
+                } else {
+                    None
+                }),
+                Op::PutFenceGet {
+                    target, pat, len, ..
+                } => want.push(if survivors.contains(&target) {
+                    Some(content(pat, len))
+                } else {
+                    None
+                }),
+                _ => {}
+            }
+        }
+        if o.gets.len() != want.len() {
+            return Err(format!(
+                "rank {rank}: {} gets observed, {} issued",
+                o.gets.len(),
+                want.len()
+            ));
+        }
+        for (k, (got, want)) in o.gets.iter().zip(&want).enumerate() {
+            match (got, want) {
+                (Some(g), Some(w)) if g != w => {
+                    return Err(format!(
+                        "rank {rank}: get #{k} fetched wrong bytes ({})",
+                        first_diff(g, w)
+                    ));
+                }
+                (Some(_), None) => {
+                    return Err(format!(
+                        "rank {rank}: get #{k} reported bytes from a dead target"
+                    ));
+                }
+                (None, Some(_)) => {
+                    return Err(format!("rank {rank}: get #{k} toward a survivor errored"));
+                }
+                _ => {}
+            }
+        }
+        // Exactly-once death reporting: every scheduled death fired the
+        // handler once, and nothing else fired it at all.
+        let mut fired: Vec<usize> = o.death_fires.iter().map(|&(p, _)| p).collect();
+        fired.sort_unstable();
+        if fired != dead {
+            return Err(format!(
+                "rank {rank}: err_hndlr fired for peers {fired:?}, \
+                 scheduled deaths were {dead:?}"
+            ));
+        }
+        if let Some(&(peer, n)) = o.death_fires.iter().find(|&&(_, n)| n != 1) {
+            return Err(format!(
+                "rank {rank}: err_hndlr fired {n} times for peer {peer} — \
+                 must be exactly once per death"
+            ));
+        }
+        let mut seen = o.survivors_seen.clone();
+        seen.sort_unstable();
+        if seen != survivors {
+            return Err(format!(
+                "rank {rank}: gfence_surviving returned {seen:?}, \
+                 schedule says {survivors:?}"
+            ));
+        }
+    }
+    // Rmw linearizability among survivors: tickets drawn against a
+    // surviving owner still form the permutation 0..k.
+    for &owner in survivors {
+        let mut tickets: Vec<u64> = obs
+            .iter()
+            .filter(|o| !o.crashed)
+            .flat_map(|o| o.rmw_prevs[owner].iter().copied())
+            .collect();
+        tickets.sort_unstable();
+        let want: Vec<u64> = (0..rp.rmw_total(owner)).collect();
+        if tickets != want {
+            return Err(format!(
+                "owner {owner}: rmw tickets {tickets:?} are not the \
+                 permutation 0..{}",
+                rp.rmw_total(owner)
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Schedule-independent projection of a run, for differential lanes
 /// (lossy vs lossless must agree on this exactly). Per-rank state is kept
 /// as-is; rmw tickets are pooled per owner and sorted, because *which*

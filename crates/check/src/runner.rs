@@ -18,13 +18,14 @@
 //! mutation registry are process-global, so two concurrent cases would
 //! bleed into each other.
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use lapi::{Addr, LapiContext, LapiWorld, Mode, RmwOp};
+use lapi::{Addr, Counter, LapiContext, LapiError, LapiWorld, Mode, RmwOp};
 use parking_lot::Mutex;
 
 use crate::case::Case;
-use crate::oracle::{content, well_byte, Obs};
+use crate::oracle::{content, restrict, well_byte, CrashObs, Obs};
 use crate::program::{Op, Program, AM_HANDLER, MAX_SLOTS};
 
 /// Serializes case execution (tie-break hook + mutant registry are
@@ -269,6 +270,465 @@ fn execute(rank: usize, ctx: &LapiContext, p: &Program) -> Obs {
             .collect(),
         residues: [ctx.getcntr(&org), ctx.getcntr(&cmpl), ctx.getcntr(&tgt)],
         mono_ok,
+    }
+}
+
+// ------------------------------------------------------- crash lane
+
+/// Everything one execution of a crash case produced (see
+/// [`run_crash_case`]).
+#[derive(Debug)]
+pub struct CrashRunOutcome {
+    /// Per-rank crash observations, or the panic message if the run died.
+    /// A hang is impossible by construction: every blocking wait either
+    /// completes, is credited by peer-death unwinding, or trips the
+    /// real-time escape into a panic — so this is always `Ok` or `Err`,
+    /// never silence.
+    pub obs: Result<Vec<CrashObs>, String>,
+    /// FNV-1a hash of the rendered trace. Byte-stable under the same
+    /// envelope as [`RunOutcome::digest`] *plus* the crash being
+    /// scheduled at `VTime::ZERO`: a later crash races the victim's
+    /// real-time teardown against in-flight packets (stranded-vs-closed
+    /// at its receive queue), while a crash at zero black-holes every
+    /// packet at the fabric from the survivor's own thread.
+    pub digest: u64,
+    /// Number of trace events recorded.
+    pub events: usize,
+    /// Last lines of the rendered trace, for failure reports.
+    pub tail: String,
+}
+
+/// Run a crash case once: ranks scheduled dead in `case.plan` run the
+/// setup collectives (which are side-channel, not wire traffic), then
+/// crash-stop without issuing an op; survivors run their programs and
+/// must terminate — every op completes or returns a structured error.
+pub fn run_crash_case(case: &Case) -> CrashRunOutcome {
+    let _guard = RUN_LOCK.lock();
+    spsim::set_schedule_tiebreak(case.tiebreak);
+    spsim::mutation::set(case.mutant);
+    let session = spsim::trace::session();
+    let mode = if case.interrupt_mode {
+        Mode::Interrupt
+    } else {
+        Mode::Polling
+    };
+    let ctxs = LapiWorld::init_full(
+        case.nodes,
+        case.machine_config(),
+        mode,
+        case.seed,
+        case.escape(),
+    );
+    let prog = Arc::new(case.program());
+    let survivors = Arc::new(case.plan.survivors(case.nodes));
+    let p = prog.clone();
+    let s = survivors.clone();
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+        spsim::run_spmd_with(ctxs, move |rank, mut ctx| {
+            execute_crash(rank, &mut ctx, &p, &s)
+        })
+    }));
+    spsim::mutation::set(None);
+    spsim::set_schedule_tiebreak(None);
+    let timeline = session.finish();
+    let rendered = timeline.render();
+    assert_eq!(
+        timeline.evicted, 0,
+        "trace ring overflowed — shrink the op budget so digests stay total"
+    );
+    let obs = match result {
+        Ok(v) => Ok(v),
+        Err(payload) => Err(panic_text(payload)),
+    };
+    CrashRunOutcome {
+        obs,
+        digest: fnv1a(rendered.as_bytes()),
+        events: timeline.events.len(),
+        tail: tail_lines(&rendered, 24),
+    }
+}
+
+/// Probe `d` with zero-byte puts until this node has declared it dead.
+///
+/// Needed because an op toward a mid-run-crashed peer can return `Ok`
+/// (the adapter acknowledged it pre-crash) while its completion never
+/// arrives: outstanding stays positive and nothing ever declares the
+/// death, so a subsequent `Waitcntr` would sleep forever. Each probe
+/// either completes (pre-crash virtual time — its counters will be
+/// signaled or death-credited, so they are added to the expectations) or
+/// exhausts its retransmission budget, which performs the declaration and
+/// ends the loop. Virtual time advances on every attempt, so the loop
+/// crosses the scheduled crash instant and terminates.
+#[allow(clippy::too_many_arguments)]
+fn force_death(
+    ctx: &LapiContext,
+    d: usize,
+    dst: Addr,
+    org: &Counter,
+    cmpl: &Counter,
+    org_exp: &mut i64,
+    cmpl_exp: &mut i64,
+    op_errors: &mut usize,
+) {
+    // liveness: each iteration burns virtual time on the wire; once the
+    // clock passes the scheduled crash instant a probe must exhaust its
+    // retransmits, and that failure latches the peer dead.
+    while !ctx.dead_peers().contains(&d) {
+        match ctx.put(d, dst, &[], None, Some(org), Some(cmpl)) {
+            Ok(_) => {
+                *org_exp += 1;
+                *cmpl_exp += 1;
+            }
+            Err(_) => *op_errors += 1,
+        }
+    }
+}
+
+/// The crash-aware SPMD interpreter for one rank.
+///
+/// Differs from [`execute`] in exactly the ways a crash forces:
+///
+/// * counter expectations are accounted dynamically from per-op outcomes
+///   instead of precomputed — an op toward a dead peer contributes
+///   nothing (its counters never tick: the issue path retracts the note
+///   before declaring the death);
+/// * before any op aimed at a scheduled-dead peer, [`force_death`] makes
+///   the death observable so the op fast-fails deterministically;
+/// * quiescence ends with `gfence_surviving` (degraded barrier over the
+///   survivor set) — a full-job barrier would strand on the dead ranks.
+fn execute_crash(rank: usize, ctx: &mut LapiContext, p: &Program, survivors: &[usize]) -> CrashObs {
+    let n = p.nodes;
+    let region = p.region_len();
+    let put_base = ctx.alloc(region);
+    let am_base = ctx.alloc(region);
+    let well = ctx.alloc(p.slot_bytes.max(1));
+    let cell = ctx.alloc(8);
+    let well_data: Vec<u8> = (0..p.slot_bytes).map(|i| well_byte(rank, i)).collect();
+    ctx.mem_write(well, &well_data);
+
+    // Death-reporting audit: count err_hndlr fires per peer. The oracle
+    // later demands exactly one per scheduled death, no more, no fewer.
+    let fires: Arc<Mutex<BTreeMap<usize, usize>>> = Arc::new(Mutex::new(BTreeMap::new()));
+    {
+        let fires = fires.clone();
+        ctx.register_err_hndlr(move |e| {
+            if let LapiError::DeliveryTimeout { target, .. } = e {
+                *fires.lock().entry(*target).or_insert(0) += 1;
+            }
+        });
+    }
+
+    let sb = p.slot_bytes;
+    ctx.register_handler(AM_HANDLER, move |_hctx, info| {
+        if info.data_len == 0 {
+            return lapi::HdrOutcome::none();
+        }
+        let slot = info.uhdr[0] as usize;
+        lapi::HdrOutcome::into_buffer(am_base.offset((info.src * MAX_SLOTS + slot) * sb))
+    });
+
+    let put_bases = ctx.address_init(put_base);
+    let wells = ctx.address_init(well);
+    let cells = ctx.address_init(cell);
+    let org = ctx.new_counter();
+    let cmpl = ctx.new_counter();
+    let tgt = ctx.new_counter();
+    let tgt_remote = ctx.counter_init(&tgt);
+
+    // Scheduled-dead ranks take part in the setup collectives above —
+    // those ride the side-channel exchange board, not the wire, so the
+    // survivors get complete address/counter tables — then die without
+    // issuing a single op.
+    if !survivors.contains(&rank) {
+        ctx.crash_stop();
+        return CrashObs {
+            crashed: true,
+            rmw_prevs: vec![Vec::new(); n],
+            ..CrashObs::default()
+        };
+    }
+
+    let live = |t: usize| survivors.contains(&t);
+    let rp = restrict(p, survivors);
+    let mut org_exp = 0i64;
+    let mut cmpl_exp = 0i64;
+    let mut op_errors = 0usize;
+    let mut futures = Vec::new();
+    let mut scratches: Vec<Option<(Addr, usize)>> = Vec::new();
+    for op in &p.ops[rank] {
+        match *op {
+            Op::Put {
+                target,
+                slot,
+                pat,
+                len,
+            } => {
+                let dst = put_bases[target].offset(p.slot_off(rank, slot));
+                if live(target) {
+                    ctx.put(
+                        target,
+                        dst,
+                        &content(pat, len),
+                        Some(tgt_remote[target]),
+                        Some(&org),
+                        Some(&cmpl),
+                    )
+                    .expect("put between survivors must not fail");
+                    org_exp += 1;
+                    cmpl_exp += 1;
+                } else {
+                    force_death(
+                        ctx,
+                        target,
+                        put_bases[target],
+                        &org,
+                        &cmpl,
+                        &mut org_exp,
+                        &mut cmpl_exp,
+                        &mut op_errors,
+                    );
+                    let r = ctx.put(
+                        target,
+                        dst,
+                        &content(pat, len),
+                        None,
+                        Some(&org),
+                        Some(&cmpl),
+                    );
+                    assert!(r.is_err(), "put toward a declared-dead peer must fast-fail");
+                    op_errors += 1;
+                }
+            }
+            Op::Get { target, len } => {
+                let scratch = ctx.alloc(len.max(1));
+                if live(target) {
+                    ctx.get(
+                        target,
+                        wells[target],
+                        len,
+                        scratch,
+                        Some(tgt_remote[target]),
+                        Some(&org),
+                    )
+                    .expect("get between survivors must not fail");
+                    org_exp += 1;
+                    scratches.push(Some((scratch, len)));
+                } else {
+                    force_death(
+                        ctx,
+                        target,
+                        put_bases[target],
+                        &org,
+                        &cmpl,
+                        &mut org_exp,
+                        &mut cmpl_exp,
+                        &mut op_errors,
+                    );
+                    let r = ctx.get(target, wells[target], len, scratch, None, Some(&org));
+                    assert!(r.is_err(), "get toward a declared-dead peer must fast-fail");
+                    op_errors += 1;
+                    scratches.push(None);
+                }
+            }
+            Op::Am {
+                target,
+                slot,
+                pat,
+                len,
+            } => {
+                if live(target) {
+                    ctx.amsend(
+                        target,
+                        AM_HANDLER,
+                        &[slot as u8],
+                        &content(pat, len),
+                        Some(tgt_remote[target]),
+                        Some(&org),
+                        Some(&cmpl),
+                    )
+                    .expect("amsend between survivors must not fail");
+                    org_exp += 1;
+                    cmpl_exp += 1;
+                } else {
+                    force_death(
+                        ctx,
+                        target,
+                        put_bases[target],
+                        &org,
+                        &cmpl,
+                        &mut org_exp,
+                        &mut cmpl_exp,
+                        &mut op_errors,
+                    );
+                    let r = ctx.amsend(
+                        target,
+                        AM_HANDLER,
+                        &[slot as u8],
+                        &content(pat, len),
+                        None,
+                        Some(&org),
+                        Some(&cmpl),
+                    );
+                    assert!(
+                        r.is_err(),
+                        "amsend toward a declared-dead peer must fast-fail"
+                    );
+                    op_errors += 1;
+                }
+            }
+            Op::Rmw { owner } => {
+                if live(owner) {
+                    let fut = ctx
+                        .rmw(owner, RmwOp::FetchAndAdd, cells[owner], 1, 0)
+                        .expect("rmw toward a surviving owner must not fail");
+                    futures.push((owner, fut));
+                } else {
+                    force_death(
+                        ctx,
+                        owner,
+                        put_bases[owner],
+                        &org,
+                        &cmpl,
+                        &mut org_exp,
+                        &mut cmpl_exp,
+                        &mut op_errors,
+                    );
+                    let r = ctx.rmw(owner, RmwOp::FetchAndAdd, cells[owner], 1, 0);
+                    assert!(r.is_err(), "rmw toward a declared-dead peer must fast-fail");
+                    op_errors += 1;
+                }
+            }
+            Op::Fence { target } => {
+                if live(target) {
+                    ctx.fence(target).expect("fence must not fail");
+                } else {
+                    force_death(
+                        ctx,
+                        target,
+                        put_bases[target],
+                        &org,
+                        &cmpl,
+                        &mut org_exp,
+                        &mut cmpl_exp,
+                        &mut op_errors,
+                    );
+                    let r = ctx.fence(target);
+                    assert!(
+                        r.is_err(),
+                        "fence toward a declared-dead peer must fast-fail"
+                    );
+                    op_errors += 1;
+                }
+            }
+            Op::PutFenceGet {
+                target,
+                slot,
+                pat,
+                len,
+            } => {
+                let dst = put_bases[target].offset(p.slot_off(rank, slot));
+                let scratch = ctx.alloc(len.max(1));
+                if live(target) {
+                    ctx.put(
+                        target,
+                        dst,
+                        &content(pat, len),
+                        Some(tgt_remote[target]),
+                        Some(&org),
+                        Some(&cmpl),
+                    )
+                    .expect("put between survivors must not fail");
+                    ctx.fence(target).expect("fence must not fail");
+                    ctx.get(
+                        target,
+                        dst,
+                        len,
+                        scratch,
+                        Some(tgt_remote[target]),
+                        Some(&org),
+                    )
+                    .expect("get between survivors must not fail");
+                    org_exp += 2;
+                    cmpl_exp += 1;
+                    scratches.push(Some((scratch, len)));
+                } else {
+                    force_death(
+                        ctx,
+                        target,
+                        put_bases[target],
+                        &org,
+                        &cmpl,
+                        &mut org_exp,
+                        &mut cmpl_exp,
+                        &mut op_errors,
+                    );
+                    // All three halves of the witness must refuse.
+                    assert!(ctx
+                        .put(
+                            target,
+                            dst,
+                            &content(pat, len),
+                            None,
+                            Some(&org),
+                            Some(&cmpl)
+                        )
+                        .is_err());
+                    assert!(ctx.fence(target).is_err());
+                    assert!(ctx
+                        .get(target, dst, len, scratch, None, Some(&org))
+                        .is_err());
+                    op_errors += 3;
+                    scratches.push(None);
+                }
+            }
+        }
+    }
+
+    // Quiescence: resolve futures (all aimed at surviving owners by
+    // construction), send drain tokens to the surviving rmw owners, wait
+    // the dynamically accounted expectations, then the degraded fence.
+    let mut rmw_prevs = vec![Vec::new(); n];
+    for (owner, fut) in futures {
+        rmw_prevs[owner].push(
+            fut.wait_result()
+                .expect("rmw against a surviving owner must complete"),
+        );
+    }
+    for t in rp.drain_targets(rank) {
+        ctx.put(
+            t,
+            put_bases[t],
+            &[],
+            Some(tgt_remote[t]),
+            Some(&org),
+            Some(&cmpl),
+        )
+        .expect("drain token between survivors must not fail");
+        org_exp += 1;
+        cmpl_exp += 1;
+    }
+    ctx.waitcntr(&org, org_exp);
+    ctx.waitcntr(&cmpl, cmpl_exp);
+    ctx.waitcntr(&tgt, rp.tgt_expected(rank));
+    let survivors_seen = ctx
+        .gfence_surviving()
+        .expect("a survivor's gfence_surviving must succeed");
+
+    let death_fires = fires.lock().iter().map(|(&p, &c)| (p, c)).collect();
+    CrashObs {
+        crashed: false,
+        put_mem: ctx.mem_read(put_base, region),
+        am_mem: ctx.mem_read(am_base, region),
+        rmw_cell: ctx.mem_read_u64(cell),
+        rmw_prevs,
+        gets: scratches
+            .iter()
+            .map(|s| s.map(|(addr, len)| ctx.mem_read(addr, len)))
+            .collect(),
+        residues: [ctx.getcntr(&org), ctx.getcntr(&cmpl), ctx.getcntr(&tgt)],
+        op_errors,
+        death_fires,
+        survivors_seen,
     }
 }
 

@@ -16,9 +16,9 @@ use std::path::PathBuf;
 
 use check::case::{decode_case, Case, RawFault, RawKnobs};
 use check::program::RawOp;
-use check::{canonicalize, run_case, verdict};
+use check::{canonicalize, run_case, run_crash_case, verdict, verdict_crash};
 use proptest::prelude::*;
-use spsim::FaultPlan;
+use spsim::{FaultPlan, VTime};
 
 /// Per-lane case budget: `CHECK_CASES` env override, small by default so
 /// the PR gate stays fast and deterministic.
@@ -72,6 +72,21 @@ fn faults_strategy() -> impl Strategy<Value = Vec<RawFault>> {
         ),
         0..3,
     )
+}
+
+/// Turn a decoded case into a crash case: the highest rank is scheduled
+/// dead at a bounded instant and issues nothing (it dies right after the
+/// setup collectives); the surviving ranks keep their programs, link
+/// faults and all — node crashes must compose with fabric faults.
+fn crash_twin(case: &Case, at_us: u16) -> Case {
+    let victim = case.nodes - 1;
+    let mut c = case.clone();
+    c.ops[victim].clear();
+    c.plan = c
+        .plan
+        .clone()
+        .with_crash(victim, VTime::from_us(u64::from(at_us)));
+    c
 }
 
 /// Strip every fault source from a decoded case, keeping the program,
@@ -189,5 +204,27 @@ proptest! {
             canonicalize(po),
             "tie-break permutation changed the final state"
         );
+    }
+
+    /// Lane 5 (crash): one node scheduled dead mid-run, composed with the
+    /// generated link faults. Survivors must terminate — every op either
+    /// completes with full LAPI semantics or returns a structured error —
+    /// and match the crash-aware oracle: surviving memory exact, gets
+    /// from the corpse withheld, err_hndlr exactly once per death,
+    /// `gfence_surviving` over the schedule's survivor set.
+    #[test]
+    fn crash_lane_matches_oracle(
+        knobs in knobs_strategy(),
+        raw_ops in ops_strategy(),
+        raw_faults in faults_strategy(),
+        at_us in 0u16..2_000,
+    ) {
+        let case = crash_twin(&decode_case(knobs, &raw_ops, &raw_faults), at_us);
+        let out = run_crash_case(&case);
+        let v = verdict_crash(&case, &out);
+        if v.is_err() {
+            save_artifact("crash", &case);
+        }
+        prop_assert!(v.is_ok(), "crash oracle disagreement: {v:?}\ntrace tail:\n{}", out.tail);
     }
 }

@@ -1,0 +1,198 @@
+//! Acceptance test for the node-failure domain, at the Global Arrays
+//! layer: a 4-node GA workload with one node crash-stopped mid-run must
+//! *terminate* — no hang — with the dead peer reported by `err_hndlr`
+//! exactly once per survivor, every outstanding op toward it unwound
+//! with a structured error, and `gfence_surviving` completing over the
+//! three live nodes.
+//!
+//! The victim participates in the setup collectives (they ride the
+//! side-channel exchange board, not the wire) and then crash-stops, so
+//! the survivors hold complete address tables and a fully created
+//! array whose fourth block is owned by a corpse.
+
+use std::sync::Arc;
+
+use ga::{Distribution, Ga, GaBackend, GaConfig, GaKind, LapiGaBackend, Patch};
+use lapi::{LapiContext, LapiError, LapiWorld, Mode};
+use parking_lot::Mutex;
+use spsim::{run_spmd_with, FaultPlan, MachineConfig, VTime};
+
+const ROWS: usize = 16;
+const COLS: usize = 16;
+const TASKS: usize = 4;
+const VICTIM: usize = 3;
+
+enum Role {
+    Survivor { ga: Ga, be: Arc<LapiGaBackend> },
+    Victim(LapiContext),
+}
+
+fn col_major(patch: &Patch, f: impl Fn(usize, usize) -> f64) -> Vec<f64> {
+    let mut out = Vec::with_capacity(patch.elems());
+    for j in patch.lo.1..=patch.hi.1 {
+        for i in patch.lo.0..=patch.hi.0 {
+            out.push(f(i, j));
+        }
+    }
+    out
+}
+
+/// The victim's side of the run: mirror the survivors' setup collectives
+/// op for op (array-token exchange, probe-address exchange, the global
+/// fence inside the first `ga.sync()`), then crash-stop without serving
+/// another request.
+fn run_victim(rank: usize, ctx: &mut LapiContext) {
+    let dist = Distribution::new(ROWS, COLS, TASKS);
+    let token = ctx.alloc(dist.local_elems(rank).max(1) * 8).0;
+    let _tokens = ctx.exchange(token);
+    let _probe_addrs = ctx.address_init(ctx.alloc(64));
+    ctx.gfence().expect("pre-crash gfence");
+    ctx.crash_stop();
+}
+
+fn run_survivor(rank: usize, ga: &Ga, be: &LapiGaBackend) {
+    let ctx = be.lapi();
+
+    // Exactly-once audit: record every err_hndlr fire.
+    let fires: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+    {
+        let fires = fires.clone();
+        ctx.register_err_hndlr(move |e| {
+            if let LapiError::DeliveryTimeout { target, .. } = e {
+                fires.lock().push(*target);
+            }
+        });
+    }
+
+    // Collective setup, victim participating: create the array, exchange
+    // a probe buffer address, sync.
+    let a = ga.create("a", ROWS, COLS, GaKind::Double);
+    let probe_addrs = ctx.address_init(ctx.alloc(64));
+    ga.sync();
+
+    // Healthy GA workload among the survivors: each writes the full
+    // block of the next survivor, fences it, reads it back.
+    let tgt = (rank + 1) % 3;
+    let block = a.distribution(tgt).expect("survivor block");
+    let data = col_major(&block, |i, j| (i * 100 + j) as f64 + rank as f64 / 8.0);
+    a.put(block, &data);
+    ga.fence(tgt);
+    assert_eq!(a.get(block), data, "survivor-to-survivor GA traffic");
+
+    // Ops toward the dead node, at the LAPI layer where the structured
+    // errors are visible. An op issued near the crash instant may still
+    // be accepted (its completion is then credited by peer-death
+    // unwinding) or may fail outright — both must leave the counters
+    // balanced and neither may hang.
+    let org = ctx.new_counter();
+    let cmpl = ctx.new_counter();
+    let mut org_exp = 0i64;
+    let mut cmpl_exp = 0i64;
+    let mut errors = 0usize;
+    let payload = [0x5Au8; 48];
+    match ctx.put(
+        VICTIM,
+        probe_addrs[VICTIM],
+        &payload,
+        None,
+        Some(&org),
+        Some(&cmpl),
+    ) {
+        Ok(_) => {
+            org_exp += 1;
+            cmpl_exp += 1;
+        }
+        Err(LapiError::DeliveryTimeout { .. }) => errors += 1,
+        Err(other) => panic!("expected DeliveryTimeout, got {other}"),
+    }
+    // liveness: each probe burns virtual time on the wire; once the
+    // clock passes the crash instant a probe exhausts its retransmits
+    // and that failure latches the peer dead, ending the loop.
+    while !ctx.dead_peers().contains(&VICTIM) {
+        match ctx.put(
+            VICTIM,
+            probe_addrs[VICTIM],
+            &[],
+            None,
+            Some(&org),
+            Some(&cmpl),
+        ) {
+            Ok(_) => {
+                org_exp += 1;
+                cmpl_exp += 1;
+            }
+            Err(_) => errors += 1,
+        }
+    }
+    // Death latched: subsequent ops fast-fail with zero wire activity.
+    let scratch = ctx.alloc(8);
+    let e = ctx
+        .get(VICTIM, probe_addrs[VICTIM], 8, scratch, None, Some(&org))
+        .expect_err("get toward a declared-dead peer must fail");
+    assert!(
+        matches!(
+            e,
+            LapiError::DeliveryTimeout {
+                fast_failed: true,
+                ..
+            }
+        ),
+        "post-death op must fast-fail, got {e}"
+    );
+    errors += 1;
+    assert!(errors > 0, "at least one op toward the corpse must error");
+
+    // Every accepted op was either completed or death-credited, so the
+    // waits return instead of deadlocking, with zero residue.
+    ctx.waitcntr(&org, org_exp);
+    ctx.waitcntr(&cmpl, cmpl_exp);
+    assert_eq!(ctx.getcntr(&org), 0);
+    assert_eq!(ctx.getcntr(&cmpl), 0);
+
+    // Degraded global fence over the survivor set.
+    let live = ctx.gfence_surviving().expect("survivor gfence");
+    assert_eq!(live, vec![0, 1, 2], "three live nodes");
+
+    // Exactly one err_hndlr fire, for the victim.
+    assert_eq!(
+        *fires.lock(),
+        vec![VICTIM],
+        "err_hndlr must fire exactly once, for the dead peer only"
+    );
+
+    // The survivors' shared state is intact: my block holds what the
+    // previous survivor wrote (its fence happened before the degraded
+    // gfence above).
+    let writer = (rank + 2) % 3;
+    let mine = a.local_patch().expect("survivor owns a block");
+    let expect = col_major(&mine, |i, j| (i * 100 + j) as f64 + writer as f64 / 8.0);
+    assert_eq!(
+        a.get(mine),
+        expect,
+        "surviving state intact after the crash"
+    );
+}
+
+#[test]
+fn four_node_ga_workload_survives_mid_run_crash() {
+    let cfg = MachineConfig::default()
+        .with_no_faults()
+        .with_faults(FaultPlan::new().with_crash(VICTIM, VTime::from_us(300)));
+    let roles: Vec<Role> = LapiWorld::init_seeded(TASKS, cfg, Mode::Interrupt, 7)
+        .into_iter()
+        .enumerate()
+        .map(|(i, ctx)| {
+            if i == VICTIM {
+                Role::Victim(ctx)
+            } else {
+                let be = LapiGaBackend::new(ctx, GaConfig::default());
+                let ga = Ga::new(be.clone() as Arc<dyn GaBackend>);
+                Role::Survivor { ga, be }
+            }
+        })
+        .collect();
+    run_spmd_with(roles, |rank, role| match role {
+        Role::Victim(mut ctx) => run_victim(rank, &mut ctx),
+        Role::Survivor { ga, be } => run_survivor(rank, &ga, &be),
+    });
+}

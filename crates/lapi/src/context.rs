@@ -3,7 +3,7 @@
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use spsim::{NodeId, VClock, VDur, VTime};
+use spsim::{trace, NodeId, VClock, VDur, VTime};
 
 use crate::addr::Addr;
 use crate::counter::{Counter, RemoteCounter};
@@ -386,10 +386,90 @@ impl LapiContext {
         Ok(())
     }
 
+    /// Survivor-set `LAPI_Gfence`: fence and synchronize over the *live*
+    /// members only, as scheduled by the machine's
+    /// [`spsim::FaultPlan`] crash entries. Returns the survivor set
+    /// (ascending task ids).
+    ///
+    /// With no node scheduled to crash this is exactly
+    /// [`LapiContext::gfence`]. Otherwise every scheduled-dead peer is
+    /// first declared dead locally — unblocking operations whose data was
+    /// delivered before the crash but whose completion acknowledgement
+    /// will never come — a `fence-degraded` trace event records the
+    /// degradation, each survivor is fenced, and the barrier releases at
+    /// the survivor count instead of the full job size.
+    ///
+    /// The fault plan is the shared membership ground truth: every
+    /// survivor computes the same set deterministically, so all of them
+    /// pass the same expected count to the barrier (mixing counts would
+    /// release early or strand arrivals). A task that is itself scheduled
+    /// dead must not call this; it gets [`LapiError::Terminated`].
+    pub fn gfence_surviving(&self) -> LapiResult<Vec<NodeId>> {
+        self.engine.check_live()?;
+        let survivors = self.machine().faults.survivors(self.tasks());
+        if survivors.len() == self.tasks() {
+            self.gfence()?;
+            return Ok(survivors);
+        }
+        if !survivors.contains(&self.id()) {
+            return Err(LapiError::Terminated);
+        }
+        // Declare every scheduled-dead peer dead now (idempotent): an op
+        // whose data was delivered pre-crash never sees a send failure,
+        // so without this proactive declaration nothing would unblock its
+        // waiters.
+        for t in 0..self.tasks() {
+            if t != self.id() && !survivors.contains(&t) {
+                let cause = LapiError::DeliveryTimeout {
+                    target: t,
+                    seq: 0,
+                    acked: 0,
+                    retries: 0,
+                    fast_failed: true,
+                    detail: format!(
+                        "task {t} scheduled to crash in the fault plan; declared dead \
+                         at gfence_surviving"
+                    ),
+                };
+                self.engine.declare_peer_dead(t, &cause);
+            }
+        }
+        trace::emit(
+            self.id(),
+            self.now(),
+            trace::EventKind::FenceDegraded,
+            "gfence",
+            survivors.len() as u64,
+            0,
+        );
+        for &t in &survivors {
+            self.engine.fence(t)?;
+        }
+        match self.engine.mode() {
+            Mode::Polling => {
+                self.barrier
+                    .wait_among(self.engine.clock(), survivors.len(), || {
+                        self.engine.drain_arrived()
+                    });
+            }
+            Mode::Interrupt => {
+                self.barrier
+                    .wait_among(self.engine.clock(), survivors.len(), || {});
+            }
+        }
+        Ok(survivors)
+    }
+
     /// Barrier without the fence half (job-wide clock alignment); returns
     /// the aligned virtual time.
     pub fn barrier(&self) -> VTime {
         self.barrier.wait(self.engine.clock())
+    }
+
+    /// Tasks this context has declared dead (ascending), whether via an
+    /// exhausted retransmission budget or a `gfence_surviving` schedule.
+    pub fn dead_peers(&self) -> Vec<NodeId> {
+        self.engine.dead_peer_list()
     }
 
     // ------------------------------------------------- address exchange
@@ -438,6 +518,40 @@ impl LapiContext {
             }
         }
         Ok(())
+    }
+
+    /// Crash-stop this node mid-run (node-level fault injection): the
+    /// context dies instantly without the cooperative `term` handshake.
+    /// Service loops stop without draining their backlogs — a crashed
+    /// adapter delivers nothing — and every packet received but never
+    /// processed is written off so the trace ledger stays balanced
+    /// (`injected == delivered + written_off`). Pair it with
+    /// [`spsim::FaultPlan::with_crash`] at the same instant so the fabric
+    /// black-holes traffic to and from this node; survivors then observe
+    /// the death through exhausted retransmissions or
+    /// [`LapiContext::gfence_surviving`]. Idempotent; subsequent API calls
+    /// return [`LapiError::Terminated`].
+    pub fn crash_stop(&mut self) {
+        if self.engine.is_terminated() {
+            return;
+        }
+        self.engine.crash();
+        self.engine.terminate();
+        let propagate = !std::thread::panicking();
+        if let Some(h) = self.dispatcher.take() {
+            let r = h.join();
+            if propagate {
+                r.expect("dispatcher thread panicked");
+            }
+        }
+        for h in self.completion.drain(..) {
+            let r = h.join();
+            if propagate {
+                r.expect("completion thread panicked");
+            }
+        }
+        // With the service threads gone, retire whatever they left behind.
+        self.engine.write_off_stranded();
     }
 }
 

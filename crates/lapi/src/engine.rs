@@ -89,9 +89,11 @@ struct CmplWork {
     cmpl_cntr: Option<CounterId>,
 }
 
-/// One-shot slot for an rmw reply.
+/// One-shot slot for an rmw reply. Filled with `Ok(prev)` by the reply
+/// packet, or poisoned with a structured error when the target is declared
+/// dead before the reply arrives (peer-death propagation).
 pub(crate) struct RmwSlot {
-    st: Mutex<Option<u64>>,
+    st: Mutex<Option<LapiResult<u64>>>,
     cv: Condvar,
 }
 
@@ -102,14 +104,18 @@ pub struct RmwFuture {
 }
 
 impl RmwFuture {
-    /// Block until the reply arrives (driving progress in polling mode);
-    /// returns the previous value of the target cell.
-    pub fn wait(&self) -> u64 {
+    /// Block until the reply arrives or the target is declared dead
+    /// (driving progress in polling mode). `Ok` carries the previous value
+    /// of the target cell; `Err` is the peer-death cancellation.
+    pub fn wait_result(&self) -> LapiResult<u64> {
         let engine = &self.engine;
         match engine.mode() {
             Mode::Interrupt => {
                 let mut st = self.slot.st.lock();
                 let deadline = Instant::now() + engine.escape;
+                // liveness: the slot is filled by the dispatcher thread on
+                // RmwReply arrival, or poisoned (with cv notify) by
+                // declare_peer_dead; wait_until escapes past the deadline.
                 while st.is_none() {
                     if self.slot.cv.wait_until(&mut st, deadline).timed_out() {
                         panic!(
@@ -120,13 +126,16 @@ impl RmwFuture {
                         );
                     }
                 }
-                st.or_diag("rmw slot filled but empty after wakeup")
+                st.clone().or_diag("rmw slot filled but empty after wakeup")
             }
             Mode::Polling => {
                 let deadline = Instant::now() + engine.escape;
+                // liveness: poll_step drives the dispatcher that fills the
+                // slot (or the peer dies and the slot is poisoned); it
+                // panics with a diagnostic past the real-time deadline.
                 loop {
-                    if let Some(v) = *self.slot.st.lock() {
-                        return v;
+                    if let Some(r) = self.slot.st.lock().clone() {
+                        return r;
                     }
                     engine.poll_step(deadline);
                 }
@@ -134,9 +143,24 @@ impl RmwFuture {
         }
     }
 
-    /// Non-blocking check.
+    /// Block until the reply arrives, panicking (with the structured
+    /// diagnostic) if the operation was cancelled by peer death. Callers
+    /// that can surface errors use [`RmwFuture::wait_result`].
+    pub fn wait(&self) -> u64 {
+        self.wait_result()
+            .unwrap_or_else(|e| spsim::sim_panic!("LAPI_Rmw cancelled: {e}"))
+    }
+
+    /// Non-blocking check; panics if the operation was cancelled by peer
+    /// death (see [`RmwFuture::try_result`]).
     pub fn try_get(&self) -> Option<u64> {
-        *self.slot.st.lock()
+        self.try_result()
+            .map(|r| r.unwrap_or_else(|e| spsim::sim_panic!("LAPI_Rmw cancelled: {e}")))
+    }
+
+    /// Non-blocking check preserving the cancellation error.
+    pub fn try_result(&self) -> Option<LapiResult<u64>> {
+        self.slot.st.lock().clone()
     }
 }
 
@@ -149,7 +173,20 @@ pub struct Engine {
     reasm: Mutex<BTreeMap<(NodeId, MsgId), Reasm>>,
     outstanding: Mutex<Vec<i64>>,
     outstanding_cv: Condvar,
-    rmw_slots: Mutex<BTreeMap<u64, Arc<RmwSlot>>>,
+    /// Pending rmw tickets with the target each awaits a reply from, so
+    /// peer-death propagation can poison exactly the tickets it strands.
+    rmw_slots: Mutex<BTreeMap<u64, (NodeId, Arc<RmwSlot>)>>,
+    /// Per-peer death latch: flipped exactly once per peer by
+    /// [`Engine::declare_peer_dead`], which is the only path allowed to
+    /// fire the `err_hndlr` for a communication failure.
+    dead_peers: Mutex<Vec<bool>>,
+    /// Per-target list of *local* counter ids that a future inbound packet
+    /// from that target would bump (put/am/putv `cmpl_cntr` via `Done`,
+    /// get/getv `org_cntr` via the data reply). Credited en masse when the
+    /// peer is declared dead so `Waitcntr` sleepers wake instead of
+    /// deadlocking; the arrival paths gate their bump on un-noting so a
+    /// stale packet cannot double-credit.
+    pending_cmpl: Mutex<Vec<Vec<CounterId>>>,
     next_msg: AtomicU64,
     next_ticket: AtomicU64,
     mode: Mutex<Mode>,
@@ -158,6 +195,11 @@ pub struct Engine {
     pub(crate) stats: LapiStats,
     pub(crate) escape: Duration,
     terminated: AtomicBool,
+    /// Crash-stop latch (fault injection): unlike plain termination, a
+    /// crashed node's service loops stop *without* draining their
+    /// backlogs — a crashed adapter delivers nothing — and teardown writes
+    /// the stranded packets off instead.
+    crashed: AtomicBool,
     err_hndlr: RwLock<Option<ErrHandler>>,
 }
 
@@ -173,6 +215,8 @@ impl Engine {
             outstanding: Mutex::new(vec![0; n]),
             outstanding_cv: Condvar::new(),
             rmw_slots: Mutex::new(BTreeMap::new()),
+            dead_peers: Mutex::new(vec![false; n]),
+            pending_cmpl: Mutex::new(vec![Vec::new(); n]),
             next_msg: AtomicU64::new(1),
             next_ticket: AtomicU64::new(1),
             mode: Mutex::new(mode),
@@ -181,6 +225,7 @@ impl Engine {
             stats: LapiStats::default(),
             escape,
             terminated: AtomicBool::new(false),
+            crashed: AtomicBool::new(false),
             err_hndlr: RwLock::new(None),
         })
     }
@@ -208,7 +253,22 @@ impl Engine {
     }
 
     pub(crate) fn is_terminated(&self) -> bool {
+        // ordering: Acquire pairs with the Release store in `terminate` so
+        // observers of the flag also see the closed queues.
         self.terminated.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn is_crashed(&self) -> bool {
+        // ordering: Acquire pairs with the Release store in `crash`.
+        self.crashed.load(Ordering::Acquire)
+    }
+
+    /// Latch the crash-stop flag; the caller follows with [`Self::terminate`]
+    /// so the service loops observe both and stop without draining.
+    pub(crate) fn crash(&self) {
+        // ordering: Release — the loops' Acquire load of the flag must see
+        // every write that happened before the crash was declared.
+        self.crashed.store(true, Ordering::Release);
     }
 
     pub(crate) fn check_live(&self) -> LapiResult {
@@ -283,18 +343,185 @@ impl Engine {
             seq: e.seq,
             acked: e.cum_acked,
             retries: e.retries,
+            fast_failed: e.fast_failed,
             detail: e.to_string(),
         }
     }
 
+    /// The structured error returned for an operation refused because its
+    /// target was previously declared dead (no wire activity involved).
+    fn peer_dead_error(&self, target: NodeId) -> LapiError {
+        LapiError::DeliveryTimeout {
+            target,
+            seq: 0,
+            acked: 0,
+            retries: 0,
+            fast_failed: true,
+            detail: format!(
+                "node {}: operation against task {target} refused: peer previously \
+                 declared dead",
+                self.id()
+            ),
+        }
+    }
+
+    /// Has `target` been declared dead by this node?
+    pub(crate) fn is_peer_dead(&self, target: NodeId) -> bool {
+        self.dead_peers.lock()[target]
+    }
+
+    /// Tasks this node has declared dead, ascending.
+    pub(crate) fn dead_peer_list(&self) -> Vec<NodeId> {
+        self.dead_peers
+            .lock()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &d)| d.then_some(i))
+            .collect()
+    }
+
+    /// Latch `target` as dead and unwind everything outstanding against it:
+    ///
+    /// * the adapter's [`spswitch::PeerHealth`] table is marked so later
+    ///   sends fast-fail without wire activity;
+    /// * fence accounting toward the peer is retired wholesale (fence and
+    ///   gfence waiters wake; subsequent fences to the peer fail fast);
+    /// * pending completion counters are credited so `Waitcntr` sleepers
+    ///   wake instead of deadlocking;
+    /// * rmw tickets awaiting a reply from the peer are poisoned with a
+    ///   structured cancellation error.
+    ///
+    /// Returns `true` when this call performed the latch transition.
+    /// Exactly one caller per peer ever sees `true`, and only that caller
+    /// fires the registered `err_hndlr` — with one aggregated diagnostic,
+    /// not one callback per killed flow.
+    pub(crate) fn declare_peer_dead(&self, target: NodeId, cause: &LapiError) -> bool {
+        {
+            let mut dead = self.dead_peers.lock();
+            if dead[target] {
+                return false;
+            }
+            dead[target] = true;
+        }
+        self.stats.peer_deaths.incr();
+        self.adapter.peer_health().mark_dead(target);
+        let now = self.clock().now();
+        trace::emit(
+            self.id(),
+            now,
+            trace::EventKind::PeerDead,
+            "peer",
+            target as u64,
+            0,
+        );
+
+        // Retire the fence accounting: ops to a dead peer will never
+        // complete, so fence/gfence waiters must wake now.
+        let retired = {
+            let mut o = self.outstanding.lock();
+            let r = o[target].max(0);
+            o[target] = 0;
+            r
+        };
+        self.outstanding_cv.notify_all();
+
+        // Credit counters an inbound packet from the peer would have
+        // bumped (Done cmpl_cntr, get-reply org_cntr).
+        let credited: Vec<CounterId> = std::mem::take(&mut self.pending_cmpl.lock()[target]);
+        for &id in &credited {
+            trace::emit(
+                self.id(),
+                now,
+                trace::EventKind::OpCancelled,
+                "cntr",
+                id as u64,
+                0,
+            );
+            self.stats.ops_cancelled.incr();
+            self.bump_counter(id, now);
+        }
+
+        // Poison rmw tickets stranded by the death.
+        let stranded: Vec<(u64, Arc<RmwSlot>)> = {
+            let mut slots = self.rmw_slots.lock();
+            let tickets: Vec<u64> = slots
+                .iter()
+                .filter(|(_, (node, _))| *node == target)
+                .map(|(t, _)| *t)
+                .collect();
+            tickets
+                .into_iter()
+                .map(|t| {
+                    let (_, slot) = slots.remove(&t).or_diag("ticket listed but missing");
+                    (t, slot)
+                })
+                .collect()
+        };
+        for (ticket, slot) in &stranded {
+            trace::emit(
+                self.id(),
+                now,
+                trace::EventKind::OpCancelled,
+                "rmw",
+                *ticket,
+                0,
+            );
+            self.stats.ops_cancelled.incr();
+            *slot.st.lock() = Some(Err(LapiError::DeliveryTimeout {
+                target,
+                seq: *ticket,
+                acked: 0,
+                retries: 0,
+                fast_failed: true,
+                detail: format!("rmw ticket {ticket} cancelled: peer {target} declared dead"),
+            }));
+            slot.cv.notify_all();
+        }
+
+        // One aggregated err_hndlr invocation for the whole peer death.
+        let err = LapiError::DeliveryTimeout {
+            target,
+            seq: match cause {
+                LapiError::DeliveryTimeout { seq, .. } => *seq,
+                _ => 0,
+            },
+            acked: match cause {
+                LapiError::DeliveryTimeout { acked, .. } => *acked,
+                _ => 0,
+            },
+            retries: match cause {
+                LapiError::DeliveryTimeout { retries, .. } => *retries,
+                _ => 0,
+            },
+            fast_failed: false,
+            detail: format!(
+                "node {}: peer {target} declared dead — {retired} outstanding ops \
+                 retired, {} pending completions credited, {} rmw tickets poisoned; \
+                 cause: {cause}\n{}",
+                self.id(),
+                credited.len(),
+                stranded.len(),
+                self.adapter.flows_report(),
+            ),
+        };
+        if let Some(h) = self.err_hndlr.read().clone() {
+            h(&err);
+        }
+        true
+    }
+
     /// Synchronous send on an issue path: a delivery timeout unwinds the
     /// outstanding-op tracking (the op will never complete) and surfaces as
-    /// a `LapiError` through the user's call.
+    /// a `LapiError` through the user's call. `pending` is the completion
+    /// note the caller registered for this op; it is retracted *before* the
+    /// peer-death declaration credits the remaining notes, so the failing
+    /// op's own counter never ticks (the caller gets the error directly).
     fn wire_send(
         &self,
         target: NodeId,
         wire_bytes: usize,
         body: LapiBody,
+        pending: Option<CounterId>,
     ) -> LapiResult<SendReceipt> {
         match self
             .adapter
@@ -303,10 +530,9 @@ impl Engine {
             Ok(r) => Ok(r),
             Err(e) => {
                 let err = self.delivery_error(e);
+                self.retract_pending(target, pending);
                 self.outstanding_decr(target);
-                if let Some(h) = self.err_hndlr.read().clone() {
-                    h(&err);
-                }
+                self.declare_peer_dead(target, &err);
                 Err(err)
             }
         }
@@ -314,9 +540,9 @@ impl Engine {
 
     /// Send from dispatcher/completion context (replies, acknowledgements):
     /// there is no user call to return an error through, so a delivery
-    /// timeout is routed to the registered `err_hndlr`; without one it is a
-    /// fatal condition, as in the real library. Returns `None` when the
-    /// packet could not be delivered.
+    /// timeout is routed to the registered `err_hndlr` via the peer-death
+    /// latch; without one it is a fatal condition, as in the real library.
+    /// Returns `None` when the packet could not be delivered.
     fn wire_send_async(
         &self,
         target: NodeId,
@@ -330,19 +556,17 @@ impl Engine {
             Ok(r) => Some(r),
             Err(e) => {
                 let err = self.delivery_error(e);
-                match self.err_hndlr.read().clone() {
-                    Some(h) => {
-                        h(&err);
-                        None
-                    }
-                    None => panic!(
+                if self.err_hndlr.read().is_none() {
+                    panic!(
                         "{}",
                         self.deadlock_report(&format!(
                             "unrecoverable communication failure with no err_hndlr \
                              registered: {err}"
                         ))
-                    ),
+                    );
                 }
+                self.declare_peer_dead(target, &err);
+                None
             }
         }
     }
@@ -352,11 +576,14 @@ impl Engine {
     /// ([`Adapter::try_send_batch_at`]), fragment `i` timed at
     /// `now + i * step`, then charge the clock the same `(k-1) * step` the
     /// fragment-at-a-time loop would have. Returns the last receipt.
+    /// `pending` follows the same retract-before-declare rule as
+    /// [`Self::wire_send`].
     fn wire_send_batch(
         &self,
         target: NodeId,
         step: spsim::VDur,
         frags: Vec<(usize, LapiBody)>,
+        pending: Option<CounterId>,
     ) -> LapiResult<Option<SendReceipt>> {
         let k = frags.len();
         if k == 0 {
@@ -374,10 +601,9 @@ impl Engine {
             }
             Err(e) => {
                 let err = self.delivery_error(e);
+                self.retract_pending(target, pending);
                 self.outstanding_decr(target);
-                if let Some(h) = self.err_hndlr.read().clone() {
-                    h(&err);
-                }
+                self.declare_peer_dead(target, &err);
                 Err(err)
             }
         }
@@ -385,8 +611,9 @@ impl Engine {
 
     /// Batched counterpart of [`Self::wire_send_async`]: same injection and
     /// clock algebra as [`Self::wire_send_batch`], but delivery timeouts are
-    /// routed to the registered `err_hndlr` (there is no user call to return
-    /// through). Returns `None` when the batch could not be delivered.
+    /// routed to the registered `err_hndlr` through the peer-death latch
+    /// (there is no user call to return through). Returns `None` when the
+    /// batch could not be delivered.
     fn wire_send_batch_async(
         &self,
         target: NodeId,
@@ -409,19 +636,17 @@ impl Engine {
             }
             Err(e) => {
                 let err = self.delivery_error(e);
-                match self.err_hndlr.read().clone() {
-                    Some(h) => {
-                        h(&err);
-                        None
-                    }
-                    None => panic!(
+                if self.err_hndlr.read().is_none() {
+                    panic!(
                         "{}",
                         self.deadlock_report(&format!(
                             "unrecoverable communication failure with no err_hndlr \
                              registered: {err}"
                         ))
-                    ),
+                    );
                 }
+                self.declare_peer_dead(target, &err);
+                None
             }
         }
     }
@@ -495,10 +720,52 @@ impl Engine {
 
     fn outstanding_decr(&self, target: NodeId) {
         let mut o = self.outstanding.lock();
-        o[target] -= 1;
-        debug_assert!(o[target] >= 0, "outstanding count went negative");
-        drop(o);
+        if o[target] <= 0 {
+            // A stale completion for an op already retired wholesale by
+            // peer-death propagation (declare_peer_dead zeroed the slot
+            // while this packet was in flight).
+            drop(o);
+            debug_assert!(
+                self.is_peer_dead(target),
+                "outstanding count went negative for a live peer"
+            );
+        } else {
+            o[target] -= 1;
+            drop(o);
+        }
         self.outstanding_cv.notify_all();
+    }
+
+    /// Record that a future inbound packet from `target` would bump local
+    /// counter `id` (see the `pending_cmpl` field docs).
+    fn note_pending(&self, target: NodeId, id: CounterId) {
+        self.pending_cmpl.lock()[target].push(id);
+    }
+
+    /// Remove one pending note for (`target`, `id`). Returns `false` when
+    /// no note remains — the peer was declared dead and the unwinding
+    /// already credited the counter, so the caller must not bump it again.
+    fn unnote_pending(&self, target: NodeId, id: CounterId) -> bool {
+        let mut p = self.pending_cmpl.lock();
+        match p[target].iter().position(|&x| x == id) {
+            Some(pos) => {
+                p[target].remove(pos);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Retract the pending-completion note of an op that failed on its
+    /// issue path: the caller surfaces the error synchronously, so no
+    /// waiter-wakeup crediting is needed — and the counter must not tick,
+    /// because no data moved. If peer-death unwinding raced us and already
+    /// credited the note there is nothing to retract; that extra credit is
+    /// the asynchronous-death wakeup doing its job.
+    fn retract_pending(&self, target: NodeId, id: Option<CounterId>) {
+        if let Some(id) = id {
+            let _ = self.unnote_pending(target, id);
+        }
     }
 
     pub(crate) fn outstanding_to(&self, target: NodeId) -> i64 {
@@ -556,7 +823,18 @@ impl Engine {
                 break;
             }
         }
-        let last = self.wire_send_batch(target, cfg.lapi_pkt_issue, frags)?;
+        // Note the completion counter before the send so a Done racing in
+        // on the dispatcher thread always finds it; the send retracts the
+        // note on failure.
+        if let Some(c) = cmpl_cntr {
+            self.note_pending(target, c.id());
+        }
+        let last = self.wire_send_batch(
+            target,
+            cfg.lapi_pkt_issue,
+            frags,
+            cmpl_cntr.map(Counter::id),
+        )?;
         if let (Some(c), Some(r)) = (org_cntr, last) {
             // Origin buffer reusable once the last fragment is on the wire.
             c.incr_at(r.injected_at);
@@ -599,7 +877,17 @@ impl Engine {
             org_cntr: org_cntr.map(Counter::id),
             tgt_cntr: tgt_cntr.map(|r| r.0),
         };
-        self.wire_send(target, cfg.lapi_header_bytes, body)?;
+        // The get completes locally when the reply lands, bumping org_cntr
+        // — note it so peer death can credit the waiter.
+        if let Some(c) = org_cntr {
+            self.note_pending(target, c.id());
+        }
+        self.wire_send(
+            target,
+            cfg.lapi_header_bytes,
+            body,
+            org_cntr.map(Counter::id),
+        )?;
         Ok(())
     }
 
@@ -666,8 +954,16 @@ impl Engine {
             ));
             offset = end;
         }
+        if let Some(c) = cmpl_cntr {
+            self.note_pending(target, c.id());
+        }
         let last = self
-            .wire_send_batch(target, cfg.lapi_pkt_issue, frags)?
+            .wire_send_batch(
+                target,
+                cfg.lapi_pkt_issue,
+                frags,
+                cmpl_cntr.map(Counter::id),
+            )?
             .or_diag("batch contained at least the header packet");
         if let Some(c) = org_cntr {
             c.incr_at(last.injected_at);
@@ -748,8 +1044,16 @@ impl Engine {
             ));
             offset = end;
         }
+        if let Some(c) = cmpl_cntr {
+            self.note_pending(target, c.id());
+        }
         let last = self
-            .wire_send_batch(target, cfg.lapi_pkt_issue, frags)?
+            .wire_send_batch(
+                target,
+                cfg.lapi_pkt_issue,
+                frags,
+                cmpl_cntr.map(Counter::id),
+            )?
             .or_diag("batch contained at least the header packet");
         if let Some(c) = org_cntr {
             c.incr_at(last.injected_at);
@@ -788,6 +1092,9 @@ impl Engine {
             getv_msg,
             IoVec::total(vecs),
         );
+        if let Some(c) = org_cntr {
+            self.note_pending(target, c.id());
+        }
         self.wire_send(
             target,
             cfg.lapi_header_bytes + desc_bytes,
@@ -798,6 +1105,7 @@ impl Engine {
                 org_cntr: org_cntr.map(Counter::id),
                 tgt_cntr: tgt_cntr.map(|r| r.0),
             },
+            org_cntr.map(Counter::id),
         )?;
         Ok(())
     }
@@ -823,25 +1131,32 @@ impl Engine {
             st: Mutex::new(None),
             cv: Condvar::new(),
         });
-        self.rmw_slots.lock().insert(ticket, Arc::clone(&slot));
+        self.rmw_slots
+            .lock()
+            .insert(ticket, (target, Arc::clone(&slot)));
         // Rmw issue is lightweight compared to put/get: it ships only the
         // operands (still a full LAPI header on the wire).
         self.clock().advance(cfg.lapi_handler_issue);
         self.tr(trace::EventKind::Issue, "rmw", ticket, 8);
-        if let Err(e) = self.wire_send(
-            target,
-            cfg.lapi_header_bytes,
-            LapiBody::RmwReq {
-                ticket,
-                op,
-                tgt_addr,
-                in_val,
-                cmp_val,
-            },
-        ) {
-            // The reply will never come; retire the ticket.
+        let body = LapiBody::RmwReq {
+            ticket,
+            op,
+            tgt_addr,
+            in_val,
+            cmp_val,
+        };
+        if let Err(e) =
+            self.adapter
+                .try_send_at(self.clock().now(), target, cfg.lapi_header_bytes, body)
+        {
+            let err = self.delivery_error(e);
+            // The reply will never come; retire the ticket *before* the
+            // death declaration so its poison sweep does not also cancel
+            // this op — the caller gets the error synchronously.
             self.rmw_slots.lock().remove(&ticket);
-            return Err(e);
+            self.outstanding_decr(target);
+            self.declare_peer_dead(target, &err);
+            return Err(err);
         }
         Ok(RmwFuture {
             engine: Arc::clone(self),
@@ -905,7 +1220,12 @@ impl Engine {
                         let cfg = self.config();
                         clock.advance(cfg.lapi_completion_msg + cfg.lapi_counter_update);
                         if let Some(id) = org_cntr {
-                            self.bump_counter(id, clock.now());
+                            // Gated on the pending note: if the peer was
+                            // declared dead while the reply was in flight,
+                            // the unwinding already credited the counter.
+                            if self.unnote_pending(src, id) {
+                                self.bump_counter(id, clock.now());
+                            }
                         }
                         // The reply's arrival is the origin-side completion
                         // of the get: no extra ack needed for fencing.
@@ -967,14 +1287,16 @@ impl Engine {
                 );
             }
             LapiBody::RmwReply { ticket, prev } => {
-                let slot = self
-                    .rmw_slots
-                    .lock()
-                    .remove(&ticket)
-                    .or_diag("rmw reply for unknown ticket");
-                *slot.st.lock() = Some(prev);
-                slot.cv.notify_all();
-                self.outstanding_decr(src);
+                // An unknown ticket is a reply whose waiter was already
+                // poisoned and retired by peer-death propagation (the
+                // reply raced the declaration): drop it silently — the
+                // waiter has woken with the cancellation error and the
+                // fence accounting was retired wholesale.
+                if let Some((_, slot)) = self.rmw_slots.lock().remove(&ticket) {
+                    *slot.st.lock() = Some(Ok(prev));
+                    slot.cv.notify_all();
+                    self.outstanding_decr(src);
+                }
             }
             LapiBody::Done {
                 fence_decr,
@@ -982,7 +1304,10 @@ impl Engine {
             } => {
                 clock.advance(self.config().lapi_counter_update);
                 if let Some(id) = cmpl_cntr {
-                    self.bump_counter(id, clock.now());
+                    // Gated on the pending note — see the GetReply path.
+                    if self.unnote_pending(src, id) {
+                        self.bump_counter(id, clock.now());
+                    }
                 }
                 if fence_decr {
                     self.outstanding_decr(src);
@@ -1462,6 +1787,10 @@ impl Engine {
             Mode::Interrupt => c.wait_consume(self.clock(), val, self.escape),
             Mode::Polling => {
                 let deadline = Instant::now() + self.escape;
+                // liveness: poll_step drives the dispatcher inline, so
+                // this thread produces the counter updates it waits for
+                // (peer-death unwinding credits them too); it panics with
+                // a diagnostic past the real-time deadline.
                 loop {
                     if c.try_consume(self.clock(), val) {
                         return;
@@ -1477,11 +1806,21 @@ impl Engine {
     pub(crate) fn fence(&self, target: NodeId) -> LapiResult {
         self.check_live()?;
         self.check_target(target)?;
+        // Fail fast and deterministically against a dead peer: the fence
+        // cannot be meaningfully satisfied (ops were retired, not
+        // completed), so surface the degradation instead of returning a
+        // vacuous success.
+        if self.is_peer_dead(target) {
+            return Err(self.peer_dead_error(target));
+        }
         self.tr(trace::EventKind::FenceBegin, "fence", target as u64, 0);
         match self.mode() {
             Mode::Interrupt => {
                 let deadline = Instant::now() + self.escape;
                 let mut o = self.outstanding.lock();
+                // liveness: outstanding_cv is notified by every
+                // outstanding_decr and by declare_peer_dead (which zeroes
+                // the slot); wait_until escapes past the deadline.
                 while o[target] != 0 {
                     if self.outstanding_cv.wait_until(&mut o, deadline).timed_out() {
                         let stuck = o[target];
@@ -1495,10 +1834,21 @@ impl Engine {
                         );
                     }
                 }
+                drop(o);
+                if self.is_peer_dead(target) {
+                    return Err(self.peer_dead_error(target));
+                }
             }
             Mode::Polling => {
                 let deadline = Instant::now() + self.escape;
+                // liveness: poll_step drives packet processing (which
+                // decrements outstanding) and panics with a diagnostic
+                // past the real-time deadline; declare_peer_dead zeroes
+                // the slot, observed on the next iteration.
                 loop {
+                    if self.is_peer_dead(target) {
+                        return Err(self.peer_dead_error(target));
+                    }
                     if self.outstanding.lock()[target] == 0 {
                         self.tr(trace::EventKind::FenceEnd, "fence", target as u64, 0);
                         return Ok(());
@@ -1540,6 +1890,9 @@ impl Engine {
 
     /// Interrupt-mode dispatcher loop (runs on its own thread).
     pub(crate) fn dispatcher_loop(&self) {
+        // liveness: recv_timeout wakes on every arriving packet and every
+        // DISPATCH_TICK; mode_cv is notified on mode flips; terminate()
+        // closes the rx queue, observed by the re-checks below.
         loop {
             if self.is_terminated() {
                 return;
@@ -1557,9 +1910,21 @@ impl Engine {
                 Err(_) => return, // queue closed: job over
                 Ok(None) => continue,
                 Ok(Some(s)) => {
+                    // A crash-stop stops processing immediately: the packet
+                    // in hand (and anything still queued, retired by the
+                    // teardown's write_off_stranded) will never be
+                    // delivered by this dead node.
+                    if self.is_crashed() {
+                        self.write_off_packet(&s);
+                        return;
+                    }
                     self.charge_interrupt_if_idle(s.at);
                     self.process_packet(s);
                     while let Ok(Some(next)) = self.adapter.rx().try_recv() {
+                        if self.is_crashed() {
+                            self.write_off_packet(&next);
+                            return;
+                        }
                         self.charge_interrupt_if_idle(next.at);
                         self.process_packet(next);
                     }
@@ -1573,6 +1938,9 @@ impl Engine {
     /// only arrives when messages with completion handlers land), so the
     /// loop polls with a timeout instead of using the deadlock escape.
     pub(crate) fn completion_loop(&self) {
+        // liveness: recv_timeout wakes on every queued completion and
+        // every DISPATCH_TICK; terminate() closes cmpl_q, which surfaces
+        // as Err and ends the loop.
         loop {
             match self.cmpl_q.recv_timeout(DISPATCH_TICK) {
                 Err(_) => return,
@@ -1582,6 +1950,11 @@ impl Engine {
                     }
                 }
                 Ok(Some(Stamped { at, item: work })) => {
+                    // A crashed node runs no more completion handlers
+                    // (pending work is not ledger-tracked — just drop it).
+                    if self.is_crashed() {
+                        return;
+                    }
                     let cfg = self.config();
                     let clock = self.clock();
                     clock.merge(at);
@@ -1610,5 +1983,28 @@ impl Engine {
         self.adapter.shutdown();
         self.cmpl_q.close();
         self.mode_cv.notify_all();
+    }
+
+    /// Write one received-but-never-processed packet off the trace ledger.
+    fn write_off_packet(&self, s: &Stamped<WirePacket<LapiBody>>) {
+        trace::emit(
+            self.id(),
+            s.at,
+            trace::EventKind::WriteOff,
+            "stranded",
+            s.item.src as u64,
+            1,
+        );
+    }
+
+    /// Retire every packet still sitting in the receive queue after a
+    /// crash-stop: no dispatcher will ever process them, so each is written
+    /// off at its arrival time to keep the trace ledger balanced
+    /// (`injected == delivered + written_off`) — a crashed run must tear
+    /// down without falsely tripping the quiescence checker.
+    pub(crate) fn write_off_stranded(&self) {
+        while let Ok(Some(s)) = self.adapter.rx().try_recv() {
+            self.write_off_packet(&s);
+        }
     }
 }

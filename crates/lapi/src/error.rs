@@ -48,6 +48,12 @@ pub enum LapiError {
         acked: u64,
         /// Retransmission attempts spent before giving up.
         retries: u32,
+        /// `true` when the failure was detected without wire activity:
+        /// the peer was already latched dead in the adapter's
+        /// [`spswitch::PeerHealth`] table (or in the engine's peer-death
+        /// latch), so the op fast-failed at zero virtual-time cost instead
+        /// of burning a full retransmission budget.
+        fast_failed: bool,
         /// Human-readable flow/trace diagnostic from the adapter.
         detail: String,
     },
@@ -79,13 +85,22 @@ impl fmt::Display for LapiError {
                 seq,
                 acked,
                 retries,
+                fast_failed,
                 ..
             } => {
-                write!(
-                    f,
-                    "delivery to task {target} timed out: seq {seq} unacknowledged \
-                     (cum-acked {acked}) after {retries} retransmissions"
-                )
+                if *fast_failed {
+                    write!(
+                        f,
+                        "delivery to task {target} fast-failed: peer already declared \
+                         dead (seq {seq}, cum-acked {acked}, no wire activity)"
+                    )
+                } else {
+                    write!(
+                        f,
+                        "delivery to task {target} timed out: seq {seq} unacknowledged \
+                         (cum-acked {acked}) after {retries} retransmissions"
+                    )
+                }
             }
         }
     }

@@ -30,6 +30,12 @@ pub struct LapiStats {
     /// up on a flow (`LapiError::DeliveryTimeout`), whether surfaced through
     /// the issuing call or routed to the registered `err_hndlr`.
     pub delivery_timeouts: StatCounter,
+    /// Peers declared dead by this node (each fires the `err_hndlr` exactly
+    /// once with an aggregated diagnostic).
+    pub peer_deaths: StatCounter,
+    /// Outstanding operations unwound by peer-death propagation: pending
+    /// completion counters credited plus rmw tickets poisoned.
+    pub ops_cancelled: StatCounter,
 }
 
 #[cfg(test)]

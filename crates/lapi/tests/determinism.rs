@@ -17,7 +17,7 @@
 //! what the BTreeMap migration (and lint rule L2) exists to prevent.
 
 use lapi::{LapiContext, LapiWorld, Mode};
-use spsim::{run_spmd_with, DeliveryPath, MachineConfig};
+use spsim::{run_spmd_with, DeliveryPath, FaultPlan, MachineConfig, VTime};
 
 const SEED: u64 = 0x7E57_5EED;
 const LEN: usize = 192;
@@ -113,6 +113,77 @@ fn same_seed_three_node_trace_is_byte_identical() {
         first, second,
         "same-seed runs diverged — an ordering-sensitive path is iterating \
          a randomized collection (see lint rule L2)"
+    );
+}
+
+/// Crash-envelope variant: 2-node polling world, rank 1 crash-stopped
+/// at `VTime::ZERO` so every packet toward it is black-holed at the
+/// fabric from rank 0's own thread — no real-time race against the
+/// victim's teardown, hence a byte-stable trace (see
+/// `check::CrashRunOutcome::digest` for the envelope's rationale).
+fn crash_run_once_on(cfg: MachineConfig) -> String {
+    let session = spsim::trace::session();
+    let cfg = cfg.with_faults(FaultPlan::new().with_crash(1, VTime::ZERO));
+    let ctxs = LapiWorld::init_seeded(2, cfg, Mode::Polling, SEED);
+    run_spmd_with(ctxs, |rank, mut ctx| crash_workload(rank, &mut ctx));
+    let timeline = session.finish();
+    assert_eq!(
+        timeline.evicted, 0,
+        "trace ring overflowed; shrink workload"
+    );
+    timeline.render()
+}
+
+fn crash_workload(rank: usize, ctx: &mut LapiContext) {
+    let buf = ctx.alloc(64);
+    let addrs = ctx.address_init(buf);
+    let org = ctx.new_counter();
+    let cmpl = ctx.new_counter();
+    if rank == 1 {
+        ctx.crash_stop();
+        return;
+    }
+    // liveness: the very first put exhausts its retransmits against the
+    // black-holed link and latches the peer dead, ending the loop.
+    let mut errors = 0usize;
+    while !ctx.dead_peers().contains(&1) {
+        if ctx
+            .put(1, addrs[1], &[7u8; 32], None, Some(&org), Some(&cmpl))
+            .is_err()
+        {
+            errors += 1;
+        }
+    }
+    assert!(errors >= 1, "a put toward the corpse must have errored");
+    let scratch = ctx.alloc(8);
+    assert!(
+        ctx.get(1, addrs[1], 8, scratch, None, Some(&org)).is_err(),
+        "post-death get must fast-fail"
+    );
+    assert_eq!(ctx.getcntr(&org), 0, "failed ops must not tick org");
+    assert_eq!(ctx.getcntr(&cmpl), 0, "failed ops must not tick cmpl");
+    assert_eq!(ctx.gfence_surviving().unwrap(), vec![0]);
+}
+
+/// Satellite of the node-failure domain: the delivery paths must stay
+/// byte-identical *under a node crash* too — retransmission storms,
+/// peer-death unwinding, and the degraded fence all ride the same
+/// (time, tie, seq) order through either path.
+#[test]
+fn heap_and_ring_paths_stay_identical_under_node_crash() {
+    let cfg = |path| {
+        MachineConfig::default()
+            .with_no_faults()
+            .with_delivery_path(path)
+    };
+    let heap = crash_run_once_on(cfg(DeliveryPath::Heap));
+    let rings = crash_run_once_on(cfg(DeliveryPath::Rings));
+    assert!(!heap.is_empty(), "crash workload produced no trace events");
+    assert_eq!(heap, rings, "delivery paths diverged under a node crash");
+    assert_eq!(
+        heap,
+        crash_run_once_on(cfg(DeliveryPath::Heap)),
+        "same-seed crash runs must replay byte-identically"
     );
 }
 

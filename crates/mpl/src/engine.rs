@@ -93,6 +93,9 @@ impl RecvState {
     pub(crate) fn wait_done(&self, clock: &VClock, escape: Duration) -> (Vec<u8>, Status) {
         let mut st = self.st.lock();
         let deadline = Instant::now() + escape;
+        // liveness: the dispatcher thread sets st.done and notifies the
+        // cv when the last fragment lands; wait_until escapes past the
+        // real-time deadline into the diagnostic panic below.
         while !st.done {
             if self.cv.wait_until(&mut st, deadline).timed_out() {
                 panic!(
@@ -142,6 +145,9 @@ impl SendState {
     pub(crate) fn wait_done(&self, clock: &VClock, escape: Duration) {
         let mut st = self.st.lock();
         let deadline = Instant::now() + escape;
+        // liveness: the dispatcher thread marks the send complete (CTS
+        // arrival / final ack) and notifies the cv; wait_until escapes
+        // past the real-time deadline into the diagnostic panic below.
         while !st.0 {
             if self.cv.wait_until(&mut st, deadline).timed_out() {
                 panic!(
@@ -757,7 +763,12 @@ impl MplEngine {
             // yet; matching now could overtake it.
             return;
         }
-        let msg = &st.streams[src].msgs[&seq];
+        // A match earlier in this cascade may have fired a persistent
+        // rcvncall whose re-arm already matched *and finished* this seq
+        // (finish_recv removes it from the stream) — nothing left to do.
+        let Some(msg) = st.streams[src].msgs.get(&seq) else {
+            return;
+        };
         if msg.dest.is_some() {
             return;
         }
@@ -831,6 +842,9 @@ impl MplEngine {
 
     /// Interrupt-mode dispatcher loop.
     pub(crate) fn dispatcher_loop(&self) {
+        // liveness: recv_timeout wakes on every arriving packet and every
+        // DISPATCH_TICK; mode_cv is notified on mode flips; terminate()
+        // closes the rx queue, observed by the re-checks below.
         loop {
             if self.is_terminated() {
                 return;

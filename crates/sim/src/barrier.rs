@@ -78,12 +78,32 @@ impl VBarrier {
     /// that request is only served here. `progress` must be non-blocking
     /// and must not advance the virtual clock when there is no work, or the
     /// wait would couple virtual time to real time.
-    pub fn wait_with_progress(&self, clock: &VClock, mut progress: impl FnMut()) -> VTime {
+    pub fn wait_with_progress(&self, clock: &VClock, progress: impl FnMut()) -> VTime {
+        self.wait_among(clock, self.inner.n, progress)
+    }
+
+    /// Enter the barrier expecting only `expected` of the `n` configured
+    /// participants to show up this generation, invoking `progress`
+    /// periodically like [`VBarrier::wait_with_progress`].
+    ///
+    /// This is the survivor-set barrier behind `gfence_surviving`: after a
+    /// node crash, the live members synchronize among themselves without
+    /// waiting (and escaping) on the dead. Every participant of one
+    /// generation must pass the same `expected`, and `expected` must stay
+    /// consistent across a release (mixing counts in one generation would
+    /// release early or strand arrivals — the fault plan is the shared
+    /// membership ground truth that guarantees agreement).
+    pub fn wait_among(&self, clock: &VClock, expected: usize, mut progress: impl FnMut()) -> VTime {
+        assert!(
+            expected >= 1 && expected <= self.inner.n,
+            "survivor set of {expected} outside 1..={}",
+            self.inner.n
+        );
         let mut st = self.inner.state.lock();
         let my_gen = st.generation;
         st.max_time = st.max_time.max(clock.now());
         st.arrived += 1;
-        if st.arrived == self.inner.n {
+        if st.arrived == expected {
             st.release_time = st.max_time + self.inner.cost;
             st.arrived = 0;
             st.max_time = VTime::ZERO;
@@ -104,9 +124,9 @@ impl VBarrier {
                 ticks += 1;
                 if ticks > MAX_TICKS {
                     panic!(
-                        "VBarrier: only {}/{} participants arrived within 60s of real \
-                         time — a peer died or deadlocked",
-                        st.arrived, self.inner.n
+                        "VBarrier: only {}/{} expected participants arrived within 60s \
+                         of real time — a peer died or deadlocked",
+                        st.arrived, expected
                     );
                 }
                 drop(st);
@@ -177,5 +197,36 @@ mod tests {
     #[should_panic(expected = "at least one")]
     fn zero_participants_rejected() {
         let _ = VBarrier::new(0, VDur::ZERO);
+    }
+
+    #[test]
+    fn survivor_set_releases_without_the_dead() {
+        // A 4-way barrier where only 3 participants remain alive: wait_among
+        // releases at 3 arrivals and still aligns clocks to max + cost.
+        let b = VBarrier::new(4, VDur::from_us(2));
+        let clocks: Vec<VClock> = (0..3)
+            .map(|i| VClock::starting_at(VTime::from_us(10 * i as u64)))
+            .collect();
+        thread::scope(|s| {
+            for c in &clocks {
+                let b = b.clone();
+                s.spawn(move || b.wait_among(c, 3, || {}));
+            }
+        });
+        for c in &clocks {
+            assert_eq!(c.now(), VTime::from_us(22));
+        }
+        // The barrier is reusable afterwards at full strength semantics
+        // (generation advanced exactly once).
+        let c = VClock::starting_at(VTime::from_us(100));
+        assert_eq!(b.wait_among(&c, 1, || {}), VTime::from_us(102));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn oversized_survivor_set_rejected() {
+        let b = VBarrier::new(2, VDur::ZERO);
+        let c = VClock::new();
+        b.wait_among(&c, 3, || {});
     }
 }

@@ -80,8 +80,21 @@ pub struct MachineConfig {
     pub faults: FaultPlan,
     /// Wire size of a bare acknowledgement packet.
     pub ack_bytes: usize,
-    /// Adapter retransmission timeout.
+    /// Initial adapter retransmission timeout: the RTO used before the
+    /// flow has any RTT sample. With [`MachineConfig::adaptive_rto`] unset
+    /// this is *the* (fixed) timeout, as in the pre-RTO-estimator adapter.
     pub retransmit_timeout: VDur,
+    /// Estimate the per-flow RTO from observed round-trip times
+    /// (SRTT/RTTVAR, RFC-6298-style) with exponential backoff and seeded
+    /// jitter on retransmissions. Disable (`with_fixed_rto`) to pin the
+    /// constant-timeout behaviour exact-timing tests rely on.
+    pub adaptive_rto: bool,
+    /// Lower clamp of the adaptive RTO.
+    pub rto_min: VDur,
+    /// Upper clamp of the adaptive RTO, backoff included. Bounds how long
+    /// a dying flow waits between retries, which in turn bounds the
+    /// virtual-time cost of declaring a peer dead.
+    pub rto_max: VDur,
     /// Bounded retries: after this many retransmissions of one packet the
     /// sender gives up and surfaces a structured delivery-timeout error
     /// (the flow is considered dead). Sized so that even at 40% loss in
@@ -205,6 +218,9 @@ impl Default for MachineConfig {
             faults: FaultPlan::new(),
             ack_bytes: 48,
             retransmit_timeout: VDur::from_us(500),
+            adaptive_rto: true,
+            rto_min: VDur::from_us(200),
+            rto_max: VDur::from_us(10_000),
             max_retransmits: 64,
             ack_every: 4,
             ack_delay: VDur::from_us(100),
@@ -288,6 +304,23 @@ impl MachineConfig {
     pub fn with_max_retransmits(mut self, n: u32) -> Self {
         assert!(n > 0, "at least one retransmission must be allowed");
         self.max_retransmits = n;
+        self
+    }
+
+    /// Builder-style: disable RTT estimation and use `timeout` as a fixed
+    /// retransmission timeout (exact-timing tests pin the old constant
+    /// behaviour this way).
+    pub fn with_fixed_rto(mut self, timeout: VDur) -> Self {
+        self.retransmit_timeout = timeout;
+        self.adaptive_rto = false;
+        self
+    }
+
+    /// Builder-style: set the adaptive-RTO clamps.
+    pub fn with_rto_bounds(mut self, min: VDur, max: VDur) -> Self {
+        assert!(min <= max, "rto_min must not exceed rto_max");
+        self.rto_min = min;
+        self.rto_max = max;
         self
     }
 

@@ -56,6 +56,42 @@ pub struct FaultWindow {
     pub until: VTime,
 }
 
+/// A scripted *node-level* fault: the whole node misbehaves, not one of
+/// its links. Node faults compose with link faults through
+/// [`FaultPlan::black_holed`]: a crashed or stalled endpoint black-holes
+/// every link touching it, so the adapter's existing loss path handles
+/// detection and the retransmit budget handles declaring the peer dead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeFault {
+    /// Crash-stop at `at`: the node's adapter stops ejecting *and*
+    /// injecting from `at` onward and never recovers.
+    Crash {
+        /// The faulted node.
+        node: NodeId,
+        /// First virtual instant of the crash (inclusive, forever after).
+        at: VTime,
+    },
+    /// The node makes no protocol progress in `[from, until)` but
+    /// recovers: packets in the window are lost (and retransmitted by
+    /// peers), packets after it flow normally.
+    Stall {
+        /// The faulted node.
+        node: NodeId,
+        /// First stalled instant (inclusive).
+        from: VTime,
+        /// End of the stall (exclusive).
+        until: VTime,
+    },
+    /// Every byte the node serializes onto or off the wire costs
+    /// `factor`× the configured wire time — a degraded-but-alive node.
+    Slow {
+        /// The faulted node.
+        node: NodeId,
+        /// Cost multiplier (≥ 1).
+        factor: u32,
+    },
+}
+
 /// A deterministic script of fabric misbehaviour.
 ///
 /// Built with the `with_*` builders and handed to the machine via
@@ -65,6 +101,7 @@ pub struct FaultWindow {
 pub struct FaultPlan {
     overrides: Vec<(NodeId, NodeId, LinkFaults)>,
     windows: Vec<FaultWindow>,
+    node_faults: Vec<NodeFault>,
 }
 
 impl FaultPlan {
@@ -73,9 +110,11 @@ impl FaultPlan {
         Self::default()
     }
 
-    /// No overrides and no windows?
+    /// No overrides, no windows, and no node faults? A non-empty plan arms
+    /// the adapter's reliability machinery (see
+    /// [`crate::MachineConfig::reliability_armed`]).
     pub fn is_empty(&self) -> bool {
-        self.overrides.is_empty() && self.windows.is_empty()
+        self.overrides.is_empty() && self.windows.is_empty() && self.node_faults.is_empty()
     }
 
     /// Builder: override the fault probabilities of the directed link
@@ -114,6 +153,87 @@ impl FaultPlan {
         self.with_black_hole(src, dst, from, VTime::MAX)
     }
 
+    /// Builder: crash-stop `node` at `at` — its adapter stops ejecting and
+    /// injecting from `at` onward, forever. A later crash of the same node
+    /// replaces the earlier one.
+    pub fn with_crash(mut self, node: NodeId, at: VTime) -> Self {
+        self.node_faults
+            .retain(|f| !matches!(f, NodeFault::Crash { node: n, .. } if *n == node));
+        self.node_faults.push(NodeFault::Crash { node, at });
+        self
+    }
+
+    /// Builder: `node` makes no protocol progress in `[from, until)` but
+    /// recovers afterwards.
+    pub fn with_stall(mut self, node: NodeId, from: VTime, until: VTime) -> Self {
+        assert!(from < until, "stall window must be non-empty");
+        self.node_faults
+            .push(NodeFault::Stall { node, from, until });
+        self
+    }
+
+    /// Builder: every byte `node` serializes on or off the wire costs
+    /// `factor`× the configured wire time. A later factor for the same
+    /// node replaces the earlier one.
+    pub fn with_slow(mut self, node: NodeId, factor: u32) -> Self {
+        assert!(factor >= 1, "slow factor must be ≥ 1");
+        self.node_faults
+            .retain(|f| !matches!(f, NodeFault::Slow { node: n, .. } if *n == node));
+        self.node_faults.push(NodeFault::Slow { node, factor });
+        self
+    }
+
+    /// The virtual instant `node` crash-stops, if the plan crashes it.
+    pub fn crash_time(&self, node: NodeId) -> Option<VTime> {
+        self.node_faults.iter().find_map(|f| match f {
+            NodeFault::Crash { node: n, at } if *n == node => Some(*at),
+            _ => None,
+        })
+    }
+
+    /// Is `node` crash-stopped at virtual time `at`?
+    pub fn crashed(&self, node: NodeId, at: VTime) -> bool {
+        self.crash_time(node).is_some_and(|t| t <= at)
+    }
+
+    /// Is `node` inside a stall window at virtual time `at`?
+    pub fn stalled(&self, node: NodeId, at: VTime) -> bool {
+        self.node_faults.iter().any(|f| {
+            matches!(f, NodeFault::Stall { node: n, from, until }
+                if *n == node && *from <= at && at < *until)
+        })
+    }
+
+    /// The wire-cost multiplier for `node` (1 when the plan does not slow
+    /// it).
+    pub fn slow_factor(&self, node: NodeId) -> u32 {
+        self.node_faults
+            .iter()
+            .find_map(|f| match f {
+                NodeFault::Slow { node: n, factor } if *n == node => Some(*factor),
+                _ => None,
+            })
+            .unwrap_or(1)
+    }
+
+    /// Does the plan contain any node-level fault at all?
+    pub fn has_node_faults(&self) -> bool {
+        !self.node_faults.is_empty()
+    }
+
+    /// All node faults, in builder order.
+    pub fn node_faults(&self) -> &[NodeFault] {
+        &self.node_faults
+    }
+
+    /// The deterministic survivor set of an `n`-node world: every node the
+    /// plan never crashes. The crash *schedule* — not any runtime
+    /// observation — is the membership ground truth, so every rank computes
+    /// the same set regardless of when it asks.
+    pub fn survivors(&self, n: usize) -> Vec<NodeId> {
+        (0..n).filter(|&id| self.crash_time(id).is_none()).collect()
+    }
+
     /// The per-link override for `src → dst`, if any.
     pub fn link(&self, src: NodeId, dst: NodeId) -> Option<LinkFaults> {
         self.overrides
@@ -122,17 +242,32 @@ impl FaultPlan {
             .map(|&(_, _, f)| f)
     }
 
-    /// Is the directed link `src → dst` inside a black-hole window at `at`?
+    /// Is the directed link `src → dst` unable to carry a packet at `at`?
+    /// True inside a scripted black-hole window, and also whenever either
+    /// endpoint is crashed or stalled at `at` — node faults black-hole
+    /// every link touching the node, which is how they compose with the
+    /// adapter's existing loss/retransmit path.
     pub fn black_holed(&self, src: NodeId, dst: NodeId, at: VTime) -> bool {
         self.windows
             .iter()
             .any(|w| w.src == src && w.dst == dst && w.from <= at && at < w.until)
+            || self.crashed(src, at)
+            || self.crashed(dst, at)
+            || self.stalled(src, at)
+            || self.stalled(dst, at)
     }
 
-    /// Does any black-hole window (now or in the future) name `src → dst`?
+    /// Can the directed link `src → dst` ever black-hole — by a scripted
+    /// window, or because an endpoint crashes or stalls at some point?
     /// Used to decide whether a link can ever misbehave.
     pub fn has_windows(&self, src: NodeId, dst: NodeId) -> bool {
         self.windows.iter().any(|w| w.src == src && w.dst == dst)
+            || self.node_faults.iter().any(|f| match f {
+                NodeFault::Crash { node, .. } | NodeFault::Stall { node, .. } => {
+                    *node == src || *node == dst
+                }
+                NodeFault::Slow { .. } => false,
+            })
     }
 
     /// All per-link overrides, in builder order.
@@ -151,13 +286,17 @@ impl FaultPlan {
     /// link 0 2 0.25 0.1
     /// window 0 2 5000000 8000000
     /// window 1 0 1000 inf
+    /// crash 3 2000000
+    /// stall 1 500000 900000
+    /// slow 2 4
     /// ```
     ///
     /// (`link` fields are `src dst drop_prob dup_prob`; `window` fields are
     /// `src dst from_ns until_ns`, with `inf` for a link that never comes
-    /// back.) Rust's shortest-round-trip float formatting makes the
-    /// serialization lossless: [`FaultPlan::parse`] reconstructs an equal
-    /// plan.
+    /// back; `crash` is `node at_ns`, `stall` is `node from_ns until_ns`,
+    /// `slow` is `node factor`.) Rust's shortest-round-trip float
+    /// formatting makes the serialization lossless: [`FaultPlan::parse`]
+    /// reconstructs an equal plan.
     pub fn serialize(&self) -> String {
         let mut out = String::new();
         for &(src, dst, f) in &self.overrides {
@@ -178,6 +317,23 @@ impl FaultPlan {
                 w.dst,
                 w.from.as_ns()
             ));
+        }
+        for f in &self.node_faults {
+            match *f {
+                NodeFault::Crash { node, at } => {
+                    out.push_str(&format!("crash {node} {}\n", at.as_ns()));
+                }
+                NodeFault::Stall { node, from, until } => {
+                    out.push_str(&format!(
+                        "stall {node} {} {}\n",
+                        from.as_ns(),
+                        until.as_ns()
+                    ));
+                }
+                NodeFault::Slow { node, factor } => {
+                    out.push_str(&format!("slow {node} {factor}\n"));
+                }
+            }
         }
         out
     }
@@ -225,6 +381,28 @@ impl FaultPlan {
                         return Err(err("empty window"));
                     }
                     plan = plan.with_black_hole(src, dst, from, until);
+                }
+                ["crash", node, at] => {
+                    let node: NodeId = node.parse().map_err(|_| err("bad node"))?;
+                    let at_ns: u64 = at.parse().map_err(|_| err("bad crash time"))?;
+                    plan = plan.with_crash(node, VTime::from_ns(at_ns));
+                }
+                ["stall", node, from, until] => {
+                    let node: NodeId = node.parse().map_err(|_| err("bad node"))?;
+                    let from_ns: u64 = from.parse().map_err(|_| err("bad from"))?;
+                    let until_ns: u64 = until.parse().map_err(|_| err("bad until"))?;
+                    if from_ns >= until_ns {
+                        return Err(err("empty stall window"));
+                    }
+                    plan = plan.with_stall(node, VTime::from_ns(from_ns), VTime::from_ns(until_ns));
+                }
+                ["slow", node, factor] => {
+                    let node: NodeId = node.parse().map_err(|_| err("bad node"))?;
+                    let factor: u32 = factor.parse().map_err(|_| err("bad factor"))?;
+                    if factor == 0 {
+                        return Err(err("slow factor must be ≥ 1"));
+                    }
+                    plan = plan.with_slow(node, factor);
                 }
                 _ => return Err(err("unrecognized directive")),
             }
@@ -375,6 +553,83 @@ mod tests {
         assert_eq!(p.overrides()[0].0, 3);
         assert_eq!(p.windows().len(), 1);
         assert_eq!(p.windows()[0].dst, 1);
+    }
+
+    #[test]
+    fn crash_black_holes_every_link_touching_the_node() {
+        let p = FaultPlan::new().with_crash(1, VTime::from_us(100));
+        assert!(!p.is_empty(), "node faults arm the reliability machinery");
+        assert!(!p.crashed(1, VTime::from_us(99)));
+        assert!(p.crashed(1, VTime::from_us(100)));
+        assert!(p.crashed(1, VTime::MAX), "crash-stop never recovers");
+        // Both directions on every link touching node 1 die at the crash.
+        assert!(p.black_holed(0, 1, VTime::from_us(100)));
+        assert!(p.black_holed(1, 0, VTime::from_us(100)));
+        assert!(
+            !p.black_holed(0, 2, VTime::from_us(100)),
+            "bystander links live"
+        );
+        assert!(!p.black_holed(0, 1, VTime::from_us(99)));
+        assert!(p.has_windows(0, 1) && p.has_windows(1, 2) && !p.has_windows(0, 2));
+        assert_eq!(p.crash_time(1), Some(VTime::from_us(100)));
+        assert_eq!(p.crash_time(0), None);
+    }
+
+    #[test]
+    fn stall_window_recovers() {
+        let p = FaultPlan::new().with_stall(2, VTime::from_us(10), VTime::from_us(20));
+        assert!(!p.stalled(2, VTime::from_us(9)));
+        assert!(p.stalled(2, VTime::from_us(10)));
+        assert!(p.stalled(2, VTime::from_us(19)));
+        assert!(!p.stalled(2, VTime::from_us(20)), "stalls recover");
+        assert!(p.black_holed(0, 2, VTime::from_us(15)));
+        assert!(p.black_holed(2, 0, VTime::from_us(15)));
+        assert!(!p.black_holed(0, 2, VTime::from_us(25)));
+        assert_eq!(p.crash_time(2), None, "a stall is not a crash");
+    }
+
+    #[test]
+    fn slow_factor_defaults_to_one() {
+        let p = FaultPlan::new().with_slow(3, 4).with_slow(3, 8);
+        assert_eq!(p.slow_factor(3), 8, "later factor replaces earlier");
+        assert_eq!(p.slow_factor(0), 1);
+        assert!(!p.is_empty());
+        assert!(
+            !p.black_holed(0, 3, VTime::ZERO) && !p.has_windows(0, 3),
+            "a slow node still delivers"
+        );
+    }
+
+    #[test]
+    fn survivors_come_from_the_crash_schedule() {
+        let p = FaultPlan::new()
+            .with_crash(1, VTime::from_us(500))
+            .with_stall(2, VTime::from_us(1), VTime::from_us(2));
+        assert_eq!(p.survivors(4), vec![0, 2, 3], "stalled nodes survive");
+        assert_eq!(FaultPlan::new().survivors(3), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn node_faults_round_trip_through_text() {
+        let p = FaultPlan::new()
+            .with_link(
+                0,
+                2,
+                LinkFaults {
+                    drop_prob: 0.1,
+                    dup_prob: 0.0,
+                },
+            )
+            .with_crash(3, VTime::from_us(2_000))
+            .with_stall(1, VTime::from_us(500), VTime::from_us(900))
+            .with_slow(2, 4);
+        let text = p.serialize();
+        let q = FaultPlan::parse(&text).unwrap();
+        assert_eq!(p, q);
+        assert_eq!(q.serialize(), text);
+        assert!(FaultPlan::parse("crash 0").is_err());
+        assert!(FaultPlan::parse("stall 0 9 9").is_err());
+        assert!(FaultPlan::parse("slow 0 0").is_err());
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub use barrier::VBarrier;
 pub use clock::VClock;
 pub use config::{DeliveryPath, MachineConfig};
 pub use diag::OrDiag;
-pub use fault::{FaultPlan, FaultProfile, FaultWindow, LinkFaults};
+pub use fault::{FaultPlan, FaultProfile, FaultWindow, LinkFaults, NodeFault};
 pub use mutation::Mutant;
 pub use queue::{QueueClosed, Stamped, TimedQueue};
 pub use rng::SimRng;

@@ -139,12 +139,15 @@ impl<T> TimedQueue<T> {
 
     /// Enqueue `item` as an event occurring at virtual time `at`.
     ///
-    /// Pushing to a closed queue is a silent no-op (late packets after
-    /// shutdown are dropped on the floor, like a powered-off adapter).
-    pub fn push(&self, at: VTime, item: T) {
+    /// Returns `true` if the item was accepted. Pushing to a closed queue
+    /// refuses the item and returns `false` (late packets after shutdown are
+    /// dropped on the floor, like a powered-off adapter) — callers that
+    /// account delivery in the trace ledger use the refusal to write the
+    /// packet off instead of counting it delivered.
+    pub fn push(&self, at: VTime, item: T) -> bool {
         let mut st = self.inner.heap.lock();
         if st.closed {
-            return;
+            return false;
         }
         let seq = st.next_seq;
         st.next_seq += 1;
@@ -162,6 +165,7 @@ impl<T> TimedQueue<T> {
         if notify {
             self.inner.cond.notify_one();
         }
+        true
     }
 
     /// Close the queue: blocked and future receivers get [`QueueClosed`]
@@ -245,6 +249,8 @@ impl<T> TimedQueue<T> {
     /// Panics if the real-time escape elapses (simulated deadlock).
     pub fn recv_merge(&self, clock: &VClock) -> Result<Stamped<T>, QueueClosed> {
         let mut st = self.inner.heap.lock();
+        // liveness: every push and close notifies `cond`; wait_for is
+        // bounded by the escape and panics with a diagnostic on timeout.
         loop {
             if let Some(e) = st.heap.pop() {
                 self.note_pop();
@@ -283,6 +289,8 @@ impl<T> TimedQueue<T> {
     pub fn recv_timeout(&self, dur: Duration) -> Result<Option<Stamped<T>>, QueueClosed> {
         let deadline = std::time::Instant::now() + dur;
         let mut st = self.inner.heap.lock();
+        // liveness: every push and close notifies `cond`; wait_until is
+        // bounded by the caller's deadline, returning Ok(None) on timeout.
         loop {
             if let Some(e) = st.heap.pop() {
                 self.note_pop();
@@ -307,6 +315,8 @@ impl<T> TimedQueue<T> {
     /// no clock of their own; the timestamp is returned for manual merging).
     pub fn recv(&self) -> Result<Stamped<T>, QueueClosed> {
         let mut st = self.inner.heap.lock();
+        // liveness: every push and close notifies `cond`; wait_for is
+        // bounded by the escape and panics with a diagnostic on timeout.
         loop {
             if let Some(e) = st.heap.pop() {
                 self.note_pop();

@@ -229,17 +229,19 @@ impl<T: Send> DeliveryRings<T> {
     /// Enqueue `item` on `lane` as an event at virtual time `at`.
     ///
     /// The caller must guarantee that pushes on one lane are serialized
-    /// (the adapter's per-flow lock provides this). Pushing to a closed
-    /// queue is a silent no-op, like [`TimedQueue::push`]. A full ring
+    /// (the adapter's per-flow lock provides this). Returns `true` if the
+    /// item was accepted; pushing to a closed queue refuses the item and
+    /// returns `false`, like [`TimedQueue::push`] — callers use the refusal
+    /// to write the packet off in the trace ledger. A full ring
     /// spins-then-yields until the consumer frees a slot; if no consumer
     /// drains within the real-time escape, the simulated program is stuck
     /// and this panics with a diagnostic.
-    pub fn push_from(&self, lane: usize, at: VTime, item: T) {
+    pub fn push_from(&self, lane: usize, at: VTime, item: T) -> bool {
         let inner = &*self.inner;
         // ordering: SeqCst — the close flag participates in the same total
         // order as depth/waiters so a post-close push is reliably dropped.
         if inner.closed.load(Ordering::SeqCst) {
-            return;
+            return false;
         }
         // ordering: Relaxed — the counter only needs uniqueness and
         // monotonicity; within the deterministic envelope pushes are
@@ -253,6 +255,9 @@ impl<T: Send> DeliveryRings<T> {
         let tail = ring.tail.load(Ordering::Relaxed);
         let mut spins: u32 = 0;
         let mut deadline: Option<Instant> = None;
+        // liveness: the consumer advances `head` as it drains the lane and
+        // `close` breaks the wait; past the real-time escape the spin
+        // panics with a diagnostic instead of livelocking.
         loop {
             // ordering: Acquire pairs with the consumer's Release store in
             // `drain_into`: observing the advanced head also means the
@@ -263,7 +268,7 @@ impl<T: Send> DeliveryRings<T> {
             }
             // ordering: SeqCst — see the close check above.
             if inner.closed.load(Ordering::SeqCst) {
-                return;
+                return false;
             }
             spins += 1;
             if spins > FULL_SPINS {
@@ -312,6 +317,7 @@ impl<T: Send> DeliveryRings<T> {
             let _g = inner.park.lock();
             inner.cond.notify_one();
         }
+        true
     }
 
     /// Move every visible ring entry into the staging heap. Caller holds
@@ -466,6 +472,9 @@ impl<T: Send> DeliveryRings<T> {
     fn recv_inner(&self, bound: Option<Duration>) -> Result<Option<Stamped<T>>, QueueClosed> {
         let inner = &*self.inner;
         let deadline = Instant::now() + bound.unwrap_or(self.escape);
+        // liveness: the producer bumps `depth` and notifies `cond` under
+        // the park mutex after every push, and `close` does the same; the
+        // deadline bounds the whole loop either way.
         loop {
             {
                 let mut staged = inner.staged.lock();
@@ -557,8 +566,9 @@ pub enum DeliveryQueue<T> {
 impl<T: Send> DeliveryQueue<T> {
     /// Enqueue `item` from source `lane` at virtual time `at`. Lane pushes
     /// must be serialized by the caller on the `Rings` arm (the adapter's
-    /// per-flow lock provides this).
-    pub fn push_from(&self, lane: usize, at: VTime, item: T) {
+    /// per-flow lock provides this). Returns `true` if the item was
+    /// accepted, `false` if the queue was already closed and refused it.
+    pub fn push_from(&self, lane: usize, at: VTime, item: T) -> bool {
         match self {
             DeliveryQueue::Heap(q) => q.push(at, item),
             DeliveryQueue::Rings(q) => q.push_from(lane, at, item),

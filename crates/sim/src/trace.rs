@@ -93,6 +93,20 @@ pub enum EventKind {
     /// A flow exhausted its bounded retransmissions; the sender surfaced
     /// a structured delivery-timeout error.
     FlowStall,
+    /// A peer was declared dead (first terminal delivery failure against
+    /// it); `msg_id` = the dead peer's rank. Emitted exactly once per
+    /// (observer, dead peer) pair.
+    PeerDead,
+    /// An outstanding operation was cancelled because its target died
+    /// (`msg_id` = the dead target's rank).
+    OpCancelled,
+    /// A fence/barrier degraded to its survivor set instead of waiting on
+    /// dead members (`msg_id` = number of live participants).
+    FenceDegraded,
+    /// Packets written off the quiescence ledger: injected onto the wire
+    /// but terminally undeliverable (retry exhaustion, or stranded in a
+    /// crashed node's receive queue). `bytes` = number of packets.
+    WriteOff,
 }
 
 impl fmt::Display for EventKind {
@@ -120,6 +134,10 @@ impl fmt::Display for EventKind {
             EventKind::Ack => "ack",
             EventKind::Dup => "dup",
             EventKind::FlowStall => "flow-stall",
+            EventKind::PeerDead => "peer-dead",
+            EventKind::OpCancelled => "op-cancelled",
+            EventKind::FenceDegraded => "fence-degraded",
+            EventKind::WriteOff => "write-off",
         };
         f.pad(s)
     }
@@ -204,6 +222,7 @@ pub struct TraceSink {
     dropped_pkts: AtomicU64,
     acks: AtomicU64,
     dups: AtomicU64,
+    written_off: AtomicU64,
     sealed: Mutex<Vec<TraceEvent>>,
 }
 
@@ -216,6 +235,7 @@ static SINK: TraceSink = TraceSink {
     dropped_pkts: AtomicU64::new(0),
     acks: AtomicU64::new(0),
     dups: AtomicU64::new(0),
+    written_off: AtomicU64::new(0),
     sealed: Mutex::new(Vec::new()),
 };
 
@@ -263,17 +283,19 @@ impl TraceSink {
         bytes: usize,
     ) {
         let stat = match kind {
-            EventKind::Inject => Some(&self.injected),
-            EventKind::Deliver => Some(&self.delivered),
-            EventKind::Drop => Some(&self.dropped_pkts),
-            EventKind::Ack => Some(&self.acks),
-            EventKind::Dup => Some(&self.dups),
+            EventKind::Inject => Some((&self.injected, 1)),
+            EventKind::Deliver => Some((&self.delivered, 1)),
+            EventKind::Drop => Some((&self.dropped_pkts, 1)),
+            EventKind::Ack => Some((&self.acks, 1)),
+            EventKind::Dup => Some((&self.dups, 1)),
+            // A write-off retires `bytes` packets in one event.
+            EventKind::WriteOff => Some((&self.written_off, bytes as u64)),
             _ => None,
         };
-        if let Some(stat) = stat {
+        if let Some((stat, n)) = stat {
             // ordering: independent monotone stat counters; totals are read
             // after the traced threads join (or as a heuristic mid-run).
-            stat.fetch_add(1, Ordering::Relaxed);
+            stat.fetch_add(n, Ordering::Relaxed);
         }
         let ring = self.ring(node);
         // ordering: per-node sequence — only uniqueness/monotonicity within
@@ -326,14 +348,25 @@ impl TraceSink {
         self.delivered.load(Ordering::Relaxed)
     }
 
-    /// Packets currently in flight: injected but not yet consumed.
+    /// Packets currently in flight: injected but neither consumed by an
+    /// engine nor written off as terminally undeliverable.
     ///
     /// ACK packets and suppressed duplicates are adapter-internal and do
     /// **not** count here: the reliability protocol generates and absorbs
     /// them below the protocol engines, so quiescence still balances plain
     /// injects against delivers.
     pub fn in_flight(&self) -> u64 {
-        self.injected().saturating_sub(self.delivered())
+        self.injected()
+            .saturating_sub(self.delivered() + self.written_off())
+    }
+
+    /// Packets written off the quiescence ledger: injected but terminally
+    /// undeliverable (retry exhaustion against a dead link or peer, or
+    /// stranded in a crashed node's receive queue at teardown). Zero on
+    /// every healthy run.
+    pub fn written_off(&self) -> u64 {
+        // ordering: stat read; exact only once the traced threads joined.
+        self.written_off.load(Ordering::Relaxed)
     }
 
     /// Packets the fabric genuinely dropped (data or ACKs) since the last
@@ -367,11 +400,13 @@ impl TraceSink {
     pub fn assert_quiescent(&self) {
         let injected = self.injected();
         let delivered = self.delivered();
-        if injected != delivered {
+        let written_off = self.written_off();
+        if injected != delivered + written_off {
             panic!(
                 "TraceSink::assert_quiescent: {} packet(s) leaked in flight \
-                 (injected {injected}, delivered {delivered})\n{}",
-                injected.saturating_sub(delivered),
+                 (injected {injected}, delivered {delivered}, written off \
+                 {written_off})\n{}",
+                self.in_flight(),
                 self.tail_report(REPORT_TAIL)
             );
         }
@@ -413,10 +448,11 @@ impl TraceSink {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "-- trace: injected={} delivered={} in-flight={} fabric-drops={} \
-             acks={} dups-suppressed={} --",
+            "-- trace: injected={} delivered={} written-off={} in-flight={} \
+             fabric-drops={} acks={} dups-suppressed={} --",
             self.injected(),
             self.delivered(),
+            self.written_off(),
             self.in_flight(),
             // ordering: best-effort snapshot inside a diagnostic report.
             self.dropped_pkts.load(Ordering::Relaxed),
@@ -466,6 +502,7 @@ impl TraceSink {
         self.dropped_pkts.store(0, Ordering::Relaxed);
         self.acks.store(0, Ordering::Relaxed);
         self.dups.store(0, Ordering::Relaxed);
+        self.written_off.store(0, Ordering::Relaxed);
     }
 
     /// Set the per-node ring capacity (events kept before eviction).

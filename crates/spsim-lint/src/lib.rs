@@ -3,7 +3,7 @@
 //! The simulator's guarantees (same-seed byte-identical traces, virtual-time
 //! purity, diagnosable failures) rest on conventions the compiler cannot
 //! check. This crate walks every `.rs` file under `crates/` and `src/` and
-//! enforces them as five rules — see [`rules::Rule`] and DESIGN §10:
+//! enforces them as six rules — see [`rules::Rule`] and DESIGN §10:
 //!
 //! * **L1** virtual-time purity — no `Instant`/`SystemTime`/`thread::sleep`
 //!   in simulated code outside allowlisted real-time bridges.
@@ -11,6 +11,8 @@
 //! * **L3** atomics hygiene — `Relaxed`/`SeqCst` need `// ordering:` comments.
 //! * **L4** no lock guard held across a blocking wait/recv/pump/send call.
 //! * **L5** panic discipline — hot paths use the diagnostic helpers.
+//! * **L6** liveness — wait loops on hot paths carry a `// liveness:`
+//!   comment naming their wakeup source (and its peer-death poison path).
 //!
 //! Suppressions live in `lint.toml` at the repo root; every entry carries a
 //! required reason string ([`allowlist::Allowlist`]).

@@ -4,7 +4,7 @@
 
 use crate::lexer::{lex, strip_test_items, Lexed, Tok, Token};
 
-/// The five enforced invariants.
+/// The six enforced invariants.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
     /// Virtual-time purity: no wall-clock primitives in simulated code.
@@ -17,6 +17,9 @@ pub enum Rule {
     L4,
     /// Panic discipline: hot paths must use the diagnostic helpers.
     L5,
+    /// Liveness: wait loops need a `// liveness:` comment naming the
+    /// wakeup source.
+    L6,
 }
 
 impl Rule {
@@ -28,6 +31,7 @@ impl Rule {
             Rule::L3 => "L3",
             Rule::L4 => "L4",
             Rule::L5 => "L5",
+            Rule::L6 => "L6",
         }
     }
 
@@ -39,6 +43,7 @@ impl Rule {
             "L3" => Rule::L3,
             "L4" => Rule::L4,
             "L5" => Rule::L5,
+            "L6" => Rule::L6,
             _ => return None,
         })
     }
@@ -164,6 +169,7 @@ pub fn lint_source(path: &str, src: &str, class: FileClass) -> Vec<Finding> {
     }
     if class.hot_path {
         rule_l5(path, &tokens, &mut out);
+        rule_l6(path, &tokens, &lexed, &mut out);
     }
     out.sort_by_key(|a| (a.line, a.rule));
     out.dedup();
@@ -411,6 +417,25 @@ fn guard_binding(toks: &[Token], i: usize) -> Option<(String, usize)> {
     }
 }
 
+fn match_brace(toks: &[Token], open: usize) -> usize {
+    let mut d = 0usize;
+    let mut i = open;
+    while i < toks.len() {
+        match toks[i].tok {
+            Tok::Punct('{') => d += 1,
+            Tok::Punct('}') => {
+                d -= 1;
+                if d == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
 fn match_paren(toks: &[Token], open: usize) -> usize {
     let mut d = 0usize;
     let mut i = open;
@@ -475,5 +500,79 @@ fn rule_l5(path: &str, toks: &[Token], out: &mut Vec<Finding>) {
             _ => {}
         }
         i += 1;
+    }
+}
+
+// --------------------------------------------------------------------- L6
+
+/// Calls that make a loop a *wait* loop: each iteration blocks, parks,
+/// yields, or pumps the simulator waiting for another thread (or the
+/// fabric) to change state. A loop that only transforms local data never
+/// matches and needs no annotation.
+const WAIT_PROBES: &[&str] = &[
+    "wait",
+    "wait_for",
+    "wait_until",
+    "wait_while",
+    "recv",
+    "recv_merge",
+    "recv_timeout",
+    "poll_step",
+    "park",
+    "park_timeout",
+    "yield_now",
+];
+
+/// Unbounded virtual-time wait loops need a `// liveness:` justification
+/// naming their wakeup source. A `loop`/`while` (including `while let`)
+/// whose condition or body contains a wait-probe call (see
+/// [`WAIT_PROBES`]) is a wait loop: its termination depends on some other
+/// thread making progress — exactly the kind of cross-thread contract a
+/// reader cannot reconstruct from the loop itself, and the code the
+/// node-failure domain must audit (every such loop needs a wakeup *or* a
+/// poison path when the peer it waits on dies). The justification is a
+/// comment block directly above the loop (or on the loop's own line)
+/// containing `liveness:` — contiguity, not a fixed distance, so
+/// multi-line explanations stay legal.
+fn rule_l6(path: &str, toks: &[Token], lexed: &Lexed, out: &mut Vec<Finding>) {
+    let comment_lines = lexed.comment_lines_containing("");
+    let liveness = lexed.comment_lines_containing("liveness:");
+    let justified = |line: u32| {
+        liveness
+            .iter()
+            .any(|&c| c == line || (c < line && (c + 1..line).all(|l| comment_lines.contains(&l))))
+    };
+    for (i, t) in toks.iter().enumerate() {
+        let kw = match ident(Some(t)) {
+            Some(k @ ("loop" | "while")) => k,
+            _ => continue,
+        };
+        // Find the body's opening brace. For `loop` it is the next token;
+        // for `while` it is the first `{` after the condition (Rust bans
+        // brace-bearing expressions in loop conditions without parens, so
+        // the first `{` opens the body).
+        let Some(open) = (i + 1..toks.len()).find(|&j| is_punct(toks.get(j), '{')) else {
+            continue;
+        };
+        if kw == "loop" && open != i + 1 {
+            continue; // `loop` introduces a loop only as `loop {`
+        }
+        let close = match_brace(toks, open);
+        let is_wait_loop = (i + 1..close).any(|j| {
+            ident(toks.get(j)).is_some_and(|w| WAIT_PROBES.contains(&w))
+                && is_punct(toks.get(j + 1), '(')
+        });
+        if is_wait_loop && !justified(t.line) {
+            out.push(Finding {
+                rule: Rule::L6,
+                path: path.to_string(),
+                line: t.line,
+                msg: format!(
+                    "`{kw}` waits on another thread without a `// liveness:` comment — \
+                     name the wakeup source (who fills the slot / notifies the cv / \
+                     closes the queue) in a comment block directly above the loop"
+                ),
+            });
+        }
     }
 }

@@ -4,6 +4,7 @@
 
 fn condvar_wait(slot: &Slot) {
     let mut st = slot.st.lock();
+    // liveness: the dispatcher fills the slot and notifies the cv (L6).
     while st.is_none() {
         slot.cv.wait_until(&mut st, deadline());
     }

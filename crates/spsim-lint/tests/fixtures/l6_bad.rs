@@ -1,0 +1,26 @@
+// lint-as: crates/lapi/src/engine.rs
+//! Fixture: wait loops on an engine hot path with no `// liveness:`
+//! justification (L6). Three findings: a cv-wait `while`, a polling
+//! `loop`, and a blocking-receive `while let`.
+
+fn spin_on_slot(&self) {
+    let mut st = self.slot.lock();
+    while st.is_none() {
+        self.cv.wait(&mut st);
+    }
+}
+
+fn poll_until_done(&self, deadline: Deadline) {
+    loop {
+        if self.done() {
+            return;
+        }
+        self.poll_step(deadline);
+    }
+}
+
+fn drain_until_closed(&self) {
+    while let Ok(Some(s)) = self.rx.recv_timeout(TICK) {
+        self.process(s);
+    }
+}

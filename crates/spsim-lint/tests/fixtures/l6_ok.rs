@@ -1,0 +1,47 @@
+// lint-as: crates/lapi/src/engine.rs
+//! Fixture: clean under L6 — wait loops carry `// liveness:` comment
+//! blocks (single- and multi-line, contiguity rather than a fixed
+//! distance) and bounded local loops need no annotation at all.
+
+fn wait_on_slot(&self) {
+    let mut st = self.slot.lock();
+    // liveness: the dispatcher thread fills the slot on reply arrival, or
+    // declare_peer_dead poisons it; both notify the cv.
+    while st.is_none() {
+        self.cv.wait(&mut st);
+    }
+}
+
+fn poll_until_done(&self, deadline: Deadline) {
+    // liveness: poll_step drives the dispatcher logic inline, so this
+    // thread makes its own progress; past the real-time deadline
+    // poll_step panics with a diagnostic instead of spinning forever.
+    //
+    // A multi-line block stays contiguous down to the loop, so the
+    // marker on its first line still justifies it.
+    loop {
+        if self.done() {
+            return;
+        }
+        self.poll_step(deadline);
+    }
+}
+
+fn fragment(&self, data: &[u8]) -> usize {
+    let mut offset = 0;
+    let mut frags = 0;
+    // Bounded local iteration: no wait-probe calls, no annotation needed.
+    loop {
+        if offset >= data.len() {
+            return frags;
+        }
+        offset += CAP;
+        frags += 1;
+    }
+}
+
+fn drain_backlog(&self) {
+    while let Ok(Some(s)) = self.rx.try_recv() {
+        self.process(s);
+    }
+}

@@ -69,6 +69,22 @@ fn l5_fires_on_bare_panics_only() {
 }
 
 #[test]
+fn l6_fires_on_unannotated_wait_loops_only() {
+    let bad = run_fixture("l6_bad.rs");
+    assert_eq!(rules_of(&bad), vec![Rule::L6; 3], "bad: {bad:?}");
+    // Each finding addresses the loop keyword's line.
+    let (_, src) = fixture("l6_bad.rs");
+    for (_, line) in &bad {
+        let text = src.lines().nth(*line as usize - 1).unwrap_or("");
+        assert!(
+            text.contains("while") || text.contains("loop"),
+            "finding line {line} is not a loop: `{text}`"
+        );
+    }
+    assert!(run_fixture("l6_ok.rs").is_empty());
+}
+
+#[test]
 fn findings_carry_stable_lines() {
     // Line numbers must address the offending token, not drift with
     // multi-line strings or comments above.
@@ -188,6 +204,7 @@ fn binary_exits_nonzero_on_each_bad_fixture_and_zero_on_workspace() {
         "l3_bad.rs",
         "l4_bad.rs",
         "l5_bad.rs",
+        "l6_bad.rs",
     ] {
         let (path, _) = fixture(name);
         let out = Command::new(bin)
@@ -202,7 +219,9 @@ fn binary_exits_nonzero_on_each_bad_fixture_and_zero_on_workspace() {
         );
         assert!(!out.stdout.is_empty(), "{name}: findings printed");
     }
-    for name in ["l1_ok.rs", "l2_ok.rs", "l3_ok.rs", "l4_ok.rs", "l5_ok.rs"] {
+    for name in [
+        "l1_ok.rs", "l2_ok.rs", "l3_ok.rs", "l4_ok.rs", "l5_ok.rs", "l6_ok.rs",
+    ] {
         let (path, _) = fixture(name);
         let out = Command::new(bin)
             .args(["--allow", "/nonexistent-empty-allowlist", &path])

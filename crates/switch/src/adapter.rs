@@ -23,6 +23,32 @@
 //! `max_retransmits` attempts gives up and surfaces a structured
 //! [`DeliveryTimeout`] instead of panicking.
 //!
+//! ## Retransmission timing and peer health
+//!
+//! With [`MachineConfig::adaptive_rto`] (the default) the retransmission
+//! timeout is estimated per flow, RFC-6298-style: acknowledged first
+//! transmissions contribute RTT samples (Karn's rule — retransmitted
+//! sequences are ambiguous and never sampled) into SRTT/RTTVAR, and each
+//! retransmission waits `clamp(SRTT + 4·RTTVAR, rto_min, rto_max)` doubled
+//! per retry (exponential backoff, capped at `rto_max`) plus seeded jitter
+//! of up to RTO/8 drawn from the adapter's deterministic RNG stream. Jitter
+//! draws happen only on retransmission paths, so lossless runs remain
+//! byte-identical to a fixed-timeout adapter.
+//!
+//! When a flow exhausts its retransmission budget the adapter memoizes the
+//! destination in a per-adapter [`PeerHealth`] table: every later send to
+//! that peer fails immediately with `DeliveryTimeout { fast_failed: true }`
+//! — zero wire activity, zero virtual-time cost — instead of re-paying
+//! `max_retransmits × RTO` per flow. Terminally failed sends whose data
+//! never reached the destination emit a `write-off` trace event so the
+//! quiescence ledger still balances.
+//!
+//! Node-level faults from [`spsim::FaultPlan`] compose here: a crashed or
+//! stalled endpoint black-holes every transmission touching it (detected by
+//! the sender through retransmission exhaustion exactly like a dead link),
+//! and a `slow(node, factor)` entry multiplies that node's injection and
+//! ejection serialization times.
+//!
 //! Everything resolves synchronously inside [`Adapter::try_send_at`] in
 //! virtual time (no timer threads); pending coalesced ACKs are pumped lazily
 //! from send/recv paths ([`Adapter::pump`]) and flushed at shutdown. With a
@@ -70,6 +96,9 @@ pub struct AdapterStats {
     /// Flows this node gave up on after `max_retransmits` (each one
     /// surfaced a [`DeliveryTimeout`]).
     pub timeouts: StatCounter,
+    /// Sends refused immediately because [`PeerHealth`] had already
+    /// memoized the destination as dead (`fast_failed` timeouts).
+    pub fast_fails: StatCounter,
 }
 
 /// What a send cost at the wire level.
@@ -107,12 +136,30 @@ pub struct DeliveryTimeout {
     /// Whether the data actually reached the destination (every ACK died;
     /// the sender cannot know this — recorded for tests and diagnostics).
     pub delivered: bool,
+    /// True when the send was refused *without any wire activity* because
+    /// an earlier flow to this peer had already exhausted its budget and
+    /// [`PeerHealth`] memoized the peer as dead. `retries` is 0 and
+    /// `first_attempt == last_attempt` in that case.
+    pub fast_failed: bool,
     /// Flow state plus the trace timeline tail at the moment of failure.
     pub report: String,
 }
 
 impl fmt::Display for DeliveryTimeout {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.fast_failed {
+            return write!(
+                f,
+                "delivery timeout on flow {}→{}: fast-failed, peer {} already \
+                 declared dead (seq {} refused without wire activity at {}ns)\n{}",
+                self.src,
+                self.dst,
+                self.dst,
+                self.seq,
+                self.first_attempt.as_ns(),
+                self.report
+            );
+        }
         write!(
             f,
             "delivery timeout on flow {}→{}: seq {} unacknowledged after {} \
@@ -150,6 +197,11 @@ struct FlowState {
     pending_since: VTime,
     /// The flow's reverse-direction wire lane for ACK packets.
     ack_lane: Link,
+    /// Smoothed round-trip estimate (RFC-6298-style); `None` until the
+    /// flow's first unambiguous sample.
+    srtt: Option<VDur>,
+    /// Round-trip variance estimate, paired with `srtt`.
+    rttvar: VDur,
 }
 
 impl FlowState {
@@ -161,7 +213,66 @@ impl FlowState {
             pending_acks: 0,
             pending_since: VTime::ZERO,
             ack_lane: Link::new(),
+            srtt: None,
+            rttvar: VDur::ZERO,
         }
+    }
+
+    /// Fold one unambiguous RTT sample into SRTT/RTTVAR (RFC 6298: first
+    /// sample seeds `srtt = s, rttvar = s/2`; thereafter
+    /// `rttvar = 3/4·rttvar + 1/4·|srtt − s|`, `srtt = 7/8·srtt + 1/8·s`).
+    fn observe_rtt(&mut self, sample: VDur) {
+        match self.srtt {
+            None => {
+                self.srtt = Some(sample);
+                self.rttvar = VDur::from_ns(sample.as_ns() / 2);
+            }
+            Some(srtt) => {
+                let err = srtt.as_ns().abs_diff(sample.as_ns());
+                self.rttvar = VDur::from_ns((3 * self.rttvar.as_ns() + err) / 4);
+                self.srtt = Some(VDur::from_ns((7 * srtt.as_ns() + sample.as_ns()) / 8));
+            }
+        }
+    }
+}
+
+/// Per-adapter liveness memo: one flag per destination, set the moment any
+/// flow to that peer exhausts its retransmission budget. Once set, every
+/// later send to the peer fails fast (`DeliveryTimeout::fast_failed`)
+/// without touching the wire — the whole point is that a dead node costs
+/// each *adapter* one detection, not each *flow* one full
+/// `max_retransmits × RTO` budget.
+pub struct PeerHealth {
+    dead: Vec<std::sync::atomic::AtomicBool>,
+}
+
+impl PeerHealth {
+    fn new(nodes: usize) -> Self {
+        PeerHealth {
+            dead: (0..nodes)
+                .map(|_| std::sync::atomic::AtomicBool::new(false))
+                .collect(),
+        }
+    }
+
+    /// Has `peer` been declared dead by this adapter?
+    pub fn is_dead(&self, peer: NodeId) -> bool {
+        // ordering: Relaxed — the flag is a monotonic latch; observing it
+        // late merely costs one more full-budget detection, never safety.
+        self.dead[peer].load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Latch `peer` as dead. Returns true when this call made the
+    /// transition (the caller that should report it exactly once).
+    pub fn mark_dead(&self, peer: NodeId) -> bool {
+        // ordering: Relaxed — see `is_dead`; swap makes the latch
+        // exactly-once for the returning caller.
+        !self.dead[peer].swap(true, std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// All peers currently latched dead, in node-id order.
+    pub fn dead_peers(&self) -> Vec<NodeId> {
+        (0..self.dead.len()).filter(|&p| self.is_dead(p)).collect()
     }
 }
 
@@ -186,6 +297,11 @@ pub struct Adapter<M> {
     /// Cached [`MachineConfig::reliability_armed`]: when false, sends take
     /// the zero-overhead path.
     armed: bool,
+    /// Peers this adapter has given up on (fast-fail memo).
+    health: PeerHealth,
+    /// Cached per-node `slow(node, factor)` serialization multipliers from
+    /// the fault plan (all 1 without node faults).
+    slow: Vec<u32>,
 }
 
 impl<M: Send + Clone + 'static> Adapter<M> {
@@ -199,6 +315,10 @@ impl<M: Send + Clone + 'static> Adapter<M> {
             .map(|_| Mutex::new(FlowState::new()))
             .collect();
         let armed = cfg.reliability_armed();
+        let health = PeerHealth::new(ports.len());
+        let slow = (0..ports.len())
+            .map(|n| cfg.faults.slow_factor(n))
+            .collect();
         Adapter {
             id,
             clock: VClock::new(),
@@ -208,6 +328,8 @@ impl<M: Send + Clone + 'static> Adapter<M> {
             rng: Mutex::new(rng),
             flows,
             armed,
+            health,
+            slow,
         }
     }
 
@@ -241,10 +363,66 @@ impl<M: Send + Clone + 'static> Adapter<M> {
         &self.ports[self.id].stats
     }
 
+    /// This adapter's per-peer liveness memo.
+    pub fn peer_health(&self) -> &PeerHealth {
+        &self.health
+    }
+
+    /// The retransmission delay before retry number `retry` (1-based) of a
+    /// flow, per the adaptive-RTO estimator: base RTO from SRTT/RTTVAR
+    /// (initial `retransmit_timeout` before the first sample), clamped to
+    /// `[rto_min, rto_max]`, doubled per previous retry and re-capped at
+    /// `rto_max`, plus seeded jitter of up to RTO/8.
+    fn backoff_delay(&self, flow: &FlowState, retry: u32, rng: &mut SimRng) -> VDur {
+        let base = match flow.srtt {
+            Some(srtt) => (srtt + self.rttvar_term(flow))
+                .as_ns()
+                .clamp(self.cfg.rto_min.as_ns(), self.cfg.rto_max.as_ns()),
+            None => self
+                .cfg
+                .retransmit_timeout
+                .as_ns()
+                .clamp(self.cfg.rto_min.as_ns(), self.cfg.rto_max.as_ns()),
+        };
+        let shift = (retry.saturating_sub(1)).min(16);
+        let rto = base
+            .saturating_mul(1u64 << shift)
+            .min(self.cfg.rto_max.as_ns());
+        let jitter = rng.next_below(rto / 8 + 1);
+        VDur::from_ns(rto + jitter)
+    }
+
+    fn rttvar_term(&self, flow: &FlowState) -> VDur {
+        flow.rttvar * 4
+    }
+
+    /// Build the fast-fail [`DeliveryTimeout`] for a send refused because
+    /// `dst` is already latched dead. No wire activity, no trace events,
+    /// no virtual-time cost.
+    fn fast_fail(&self, at: VTime, dst: NodeId) -> DeliveryTimeout {
+        self.ports[self.id].stats.fast_fails.incr();
+        let flow = self.flows[dst].lock();
+        DeliveryTimeout {
+            src: self.id,
+            dst,
+            seq: flow.tx_next_seq,
+            cum_acked: flow.tx_acked,
+            retries: 0,
+            first_attempt: at,
+            last_attempt: at,
+            delivered: false,
+            fast_failed: true,
+            report: format!(
+                "flow {}→{}: fast-failed (peer {} latched dead) next-seq={} cum-acked={}",
+                self.id, dst, dst, flow.tx_next_seq, flow.tx_acked
+            ),
+        }
+    }
+
     /// Charge one coalesced cumulative ACK for `dst`'s flow to the wire at
     /// `at` (flow lock held by the caller).
     fn charge_ack(&self, dst: NodeId, flow: &mut FlowState, at: VTime) {
-        let ser = self.cfg.wire_time(self.cfg.ack_bytes);
+        let ser = self.cfg.wire_time(self.cfg.ack_bytes) * self.slow[dst] as u64;
         let done = flow.ack_lane.reserve(at, ser);
         self.ports[dst].stats.acks_sent.incr();
         trace::emit(
@@ -284,8 +462,16 @@ impl<M: Send + Clone + 'static> Adapter<M> {
             "packet of {wire_bytes}B exceeds the {}B switch MTU",
             self.cfg.packet_size
         );
+        if dst != self.id && self.health.is_dead(dst) {
+            // Fast fail *before* any link reservation or `inject` trace:
+            // the refused send leaves no wire footprint, so the quiescence
+            // ledger needs no write-off and virtual time does not move.
+            return Err(self.fast_fail(at, dst));
+        }
         let ser = self.cfg.wire_time(wire_bytes);
-        let injected_at = self.injection.reserve(at, ser);
+        let ser_tx = ser * self.slow[self.id] as u64;
+        let ser_rx = ser * self.slow[dst] as u64;
+        let injected_at = self.injection.reserve(at, ser_tx);
         trace::emit(
             self.id,
             injected_at,
@@ -322,7 +508,7 @@ impl<M: Send + Clone + 'static> Adapter<M> {
                 self.id as u64,
                 wire_bytes,
             );
-            port.rx.push_from(
+            let accepted = port.rx.push_from(
                 self.id,
                 injected_at,
                 WirePacket {
@@ -335,6 +521,19 @@ impl<M: Send + Clone + 'static> Adapter<M> {
                     body,
                 },
             );
+            if !accepted {
+                // The destination closed its queue (crashed / terminated)
+                // between our health check and the push: the packet is gone
+                // and no Deliver will balance the Inject — write it off.
+                trace::emit(
+                    dst,
+                    injected_at,
+                    trace::EventKind::WriteOff,
+                    "closed",
+                    seq,
+                    1,
+                );
+            }
             return Ok(SendReceipt {
                 injected_at,
                 delivered_at: injected_at,
@@ -387,7 +586,7 @@ impl<M: Send + Clone + 'static> Adapter<M> {
                 // per-route skew lands *after* it so that packets of one
                 // message taking different routes really can arrive out of
                 // order (the property LAPI's reassembly must handle).
-                let eject = port.ejection.reserve(arrival, ser) + skew;
+                let eject = port.ejection.reserve(arrival, ser_rx) + skew;
                 let ack_from = if accepted.is_none() {
                     // First copy of this sequence: deliver it.
                     accepted = Some(eject);
@@ -401,7 +600,7 @@ impl<M: Send + Clone + 'static> Adapter<M> {
                         self.id as u64,
                         wire_bytes,
                     );
-                    port.rx.push_from(
+                    let pushed = port.rx.push_from(
                         self.id,
                         eject,
                         WirePacket {
@@ -414,10 +613,17 @@ impl<M: Send + Clone + 'static> Adapter<M> {
                             body: body.take().or_diag("packet body delivered twice"),
                         },
                     );
+                    if !pushed {
+                        // Receiver queue already closed (peer crashed or
+                        // terminated mid-exchange): the packet lands on a
+                        // powered-off adapter, so no Deliver event will ever
+                        // balance the Inject — write it off here.
+                        trace::emit(dst, eject, trace::EventKind::WriteOff, "closed", seq, 1);
+                    }
                     // Fabric duplication: the copy crosses the ejection
                     // link too, then the dedup discards it.
                     if rng.chance(faults.dup_prob) {
-                        let dup_at = port.ejection.reserve(eject, ser) + skew;
+                        let dup_at = port.ejection.reserve(eject, ser_rx) + skew;
                         if let Some(extra) = mutant_dup_copy.take() {
                             // Mutant: cursor off by one — the duplicate is
                             // handed to the protocol as if it were new.
@@ -462,7 +668,7 @@ impl<M: Send + Clone + 'static> Adapter<M> {
                 } else {
                     // A spurious retransmission of an already-accepted
                     // sequence (its ACK was lost): suppressed by dedup.
-                    let dup_at = port.ejection.reserve(arrival, ser) + skew;
+                    let dup_at = port.ejection.reserve(arrival, ser_rx) + skew;
                     if let Some(extra) = mutant_dup_copy.take() {
                         // Mutant: cursor off by one — see above.
                         port.stats.packets_received.incr();
@@ -508,6 +714,12 @@ impl<M: Send + Clone + 'static> Adapter<M> {
                 } else {
                     flow.tx_acked = flow.tx_acked.max(seq + 1);
                     round_ok = true;
+                    // Karn's rule: only a first transmission's ACK is an
+                    // unambiguous RTT sample (round-trip from last byte off
+                    // the injection link to ACK arrival back at the sender).
+                    if self.armed && self.cfg.adaptive_rto && retries == 0 {
+                        flow.observe_rtt((ack_from + self.cfg.fabric_latency).since(attempt));
+                    }
                 }
             }
             if round_ok {
@@ -526,6 +738,7 @@ impl<M: Send + Clone + 'static> Adapter<M> {
             // -- bounded retransmission --
             if retries >= self.cfg.max_retransmits {
                 my.timeouts.incr();
+                self.health.mark_dead(dst);
                 trace::emit(
                     self.id,
                     attempt,
@@ -534,6 +747,12 @@ impl<M: Send + Clone + 'static> Adapter<M> {
                     seq,
                     wire_bytes,
                 );
+                if accepted.is_none() {
+                    // The data never reached the destination: its `inject`
+                    // will never be balanced by a `deliver`, so retire the
+                    // packet from the quiescence ledger explicitly.
+                    trace::emit(self.id, attempt, trace::EventKind::WriteOff, "send", seq, 1);
+                }
                 return Err(DeliveryTimeout {
                     src: self.id,
                     dst,
@@ -543,6 +762,7 @@ impl<M: Send + Clone + 'static> Adapter<M> {
                     first_attempt: injected_at,
                     last_attempt: attempt,
                     delivered: accepted.is_some(),
+                    fast_failed: false,
                     report: format!(
                         "flow {}→{}: next-seq={} cum-acked={} rx-next={} pending-acks={}\n{}",
                         self.id,
@@ -560,9 +780,12 @@ impl<M: Send + Clone + 'static> Adapter<M> {
             // The retransmitted copy re-serializes on the injection link at
             // the timeout instant; later packets of this node queue behind
             // it (go-back-N head-of-line blocking).
-            attempt = self
-                .injection
-                .reserve(attempt + self.cfg.retransmit_timeout, ser);
+            let timeout = if self.cfg.adaptive_rto {
+                self.backoff_delay(&flow, retries, &mut rng)
+            } else {
+                self.cfg.retransmit_timeout
+            };
+            attempt = self.injection.reserve(attempt + timeout, ser_tx);
             trace::emit(
                 self.id,
                 attempt,
@@ -616,6 +839,9 @@ impl<M: Send + Clone + 'static> Adapter<M> {
             return Ok(out);
         }
 
+        // This path is reachable only disarmed (every slow factor is 1) or
+        // for loopback, where the sender's own factor governs; folding
+        // `slow[self.id]` in covers both.
         let sers: Vec<VDur> = frags
             .iter()
             .map(|&(wire_bytes, _)| {
@@ -624,7 +850,7 @@ impl<M: Send + Clone + 'static> Adapter<M> {
                     "packet of {wire_bytes}B exceeds the {}B switch MTU",
                     self.cfg.packet_size
                 );
-                self.cfg.wire_time(wire_bytes)
+                self.cfg.wire_time(wire_bytes) * self.slow[self.id] as u64
             })
             .collect();
         let injected = self.injection.reserve_batch(first_at, step, &sers);
@@ -673,7 +899,7 @@ impl<M: Send + Clone + 'static> Adapter<M> {
                 self.id as u64,
                 wire_bytes,
             );
-            port.rx.push_from(
+            let accepted = port.rx.push_from(
                 self.id,
                 eject,
                 WirePacket {
@@ -686,6 +912,11 @@ impl<M: Send + Clone + 'static> Adapter<M> {
                     body,
                 },
             );
+            if !accepted {
+                // Receiver queue already closed: no Deliver will balance
+                // the Inject — write the packet off.
+                trace::emit(dst, eject, trace::EventKind::WriteOff, "closed", seq, 1);
+            }
             out.push(SendReceipt {
                 injected_at: injected[i],
                 delivered_at: eject,
@@ -953,8 +1184,11 @@ mod tests {
         // with k >= 0 an integer and sum(k) equal to the retransmit stat.
         // ACK loss is pinned to zero so every retry is a pre-delivery data
         // drop (an ack-loss retry happens *after* delivery and would not
-        // delay it).
-        let cfg = Arc::new(clean().with_drop_prob(0.25).with_ack_drop_prob(0.0));
+        // delay it). The adaptive estimator is pinned off: exact timestamp
+        // algebra needs the fixed, jitter-free timeout.
+        let c = clean().with_drop_prob(0.25).with_ack_drop_prob(0.0);
+        let fixed = c.retransmit_timeout;
+        let cfg = Arc::new(c.with_fixed_rto(fixed));
         let ads = Network::new(2, cfg.clone(), 1234).into_adapters();
         let ser = cfg.wire_time(512);
         let penalty = (cfg.retransmit_timeout + ser).as_ns();
@@ -1305,6 +1539,209 @@ mod tests {
             assert_eq!(got.item.body, want);
         }
         assert!(ads[1].rx().is_empty(), "exactly once");
+    }
+
+    #[test]
+    fn adaptive_rto_backs_off_exponentially_and_caps() {
+        // Dead link, adaptive RTO (the default): retransmission gaps must
+        // grow round over round (exponential backoff) until the rto_max
+        // cap, and never exceed cap + cap/8 jitter + serialization.
+        let session = spsim::trace::session();
+        let cfg = Arc::new(
+            clean()
+                .with_faults(FaultPlan::new().with_link_dead(0, 1, VTime::ZERO))
+                .with_max_retransmits(10),
+        );
+        let ads = Network::new(2, Arc::clone(&cfg), 42).into_adapters();
+        let err = ads[0]
+            .try_send_at(VTime::ZERO, 1, 64, 1u64)
+            .expect_err("link is dead");
+        assert!(!err.fast_failed, "first detection pays the full budget");
+        let t = session.finish();
+        let times: Vec<u64> = t
+            .events
+            .iter()
+            .filter(|e| e.kind == spsim::EventKind::Retransmit)
+            .map(|e| e.vtime.as_ns())
+            .collect();
+        assert_eq!(times.len(), 10);
+        let gaps: Vec<u64> = times.windows(2).map(|w| w[1] - w[0]).collect();
+        let ser = cfg.wire_time(64).as_ns();
+        let cap = cfg.rto_max.as_ns();
+        // Uncapped prefix grows strictly: doubling dominates the ≤RTO/8
+        // jitter. Every gap respects the cap (+ jitter + serialization).
+        for w in gaps.windows(2) {
+            if w[1] < cap {
+                assert!(w[1] > w[0], "backoff must grow: {gaps:?}");
+            }
+        }
+        assert!(
+            gaps.iter().all(|&g| g <= cap + cap / 8 + ser),
+            "gap exceeds rto_max + jitter: {gaps:?}"
+        );
+        assert!(
+            *gaps.last().unwrap() >= cap,
+            "ten doublings from rto_min must reach the cap: {gaps:?}"
+        );
+    }
+
+    #[test]
+    fn rtt_samples_shrink_the_rto_below_the_initial_timeout() {
+        // Warm a flow on a fast, lightly lossy fabric, then black-hole it:
+        // the first retransmission gap must reflect the *measured* RTT
+        // (≪ the initial retransmit_timeout), not the fixed constant.
+        let session = spsim::trace::session();
+        let cfg = Arc::new(clean().with_drop_prob(0.01).with_faults(
+            FaultPlan::new().with_black_hole(0, 1, VTime::from_us(900_000), VTime::MAX),
+        ));
+        let ads = Network::new(2, Arc::clone(&cfg), 7).into_adapters();
+        for i in 0..100u64 {
+            // widely spaced: every send completes its exchange
+            ads[0]
+                .try_send_at(VTime::from_us(i * 1000), 1, 256, i)
+                .unwrap();
+        }
+        let err = ads[0]
+            .try_send_at(VTime::from_us(950_000), 1, 256, 999u64)
+            .expect_err("link is black-holed forever");
+        assert!(!err.fast_failed);
+        let t = session.finish();
+        let mut retrans: Vec<u64> = t
+            .events
+            .iter()
+            .filter(|e| e.kind == spsim::EventKind::Retransmit)
+            .map(|e| e.vtime.as_ns())
+            .collect();
+        retrans.retain(|&ns| ns >= VTime::from_us(950_000).as_ns());
+        // First gap = injected→first retransmit ≈ clamp(srtt+4·rttvar,
+        // rto_min, ..) + jitter. The measured RTT is a few µs, so the gap
+        // must sit near rto_min — far below the initial timeout.
+        let first_gap = retrans[0] - err.first_attempt.as_ns();
+        assert!(
+            first_gap < cfg.retransmit_timeout.as_ns(),
+            "measured RTO {}ns should undercut the initial timeout {}ns",
+            first_gap,
+            cfg.retransmit_timeout.as_ns()
+        );
+        assert!(
+            first_gap >= cfg.rto_min.as_ns(),
+            "RTO must respect rto_min: {first_gap}ns"
+        );
+    }
+
+    #[test]
+    fn second_send_to_a_dead_peer_fast_fails_at_zero_cost() {
+        // The fast-fail ledger: detection pays the full retransmission
+        // budget once; every later send to the latched peer costs zero
+        // virtual time and leaves zero wire footprint.
+        let session = spsim::trace::session();
+        let cfg = Arc::new(
+            clean()
+                .with_faults(FaultPlan::new().with_link_dead(0, 1, VTime::ZERO))
+                .with_max_retransmits(6),
+        );
+        let ads = Network::new(2, Arc::clone(&cfg), 3).into_adapters();
+        let e1 = ads[0]
+            .try_send_at(VTime::ZERO, 1, 64, 1u64)
+            .expect_err("detection send");
+        assert!(!e1.fast_failed);
+        assert_eq!(e1.retries, 6);
+        assert!(ads[0].peer_health().is_dead(1));
+        let vt1 = (e1.last_attempt - e1.first_attempt).as_ns();
+        assert!(vt1 > 0);
+
+        let e2 = ads[0]
+            .try_send_at(e1.last_attempt, 1, 64, 2u64)
+            .expect_err("latched peer");
+        assert!(e2.fast_failed);
+        assert_eq!(e2.retries, 0);
+        let vt2 = (e2.last_attempt - e2.first_attempt).as_ns();
+        assert!(
+            vt2 * 10 <= vt1,
+            "fast fail must be ≥10× cheaper: first {vt1}ns, second {vt2}ns"
+        );
+        assert_eq!(ads[0].stats().timeouts.get(), 1, "one real detection");
+        assert_eq!(ads[0].stats().fast_fails.get(), 1);
+        assert_eq!(ads[0].peer_health().dead_peers(), vec![1]);
+        // No wire footprint for the refused send, and the write-off keeps
+        // the quiescence ledger balanced for the detection send.
+        let sink = session.sink();
+        assert_eq!(sink.injected(), 1, "fast fail never injects");
+        sink.assert_quiescent();
+        let t = session.finish();
+        assert_eq!(t.count(spsim::EventKind::WriteOff), 1);
+    }
+
+    #[test]
+    fn crashed_destination_black_holes_and_writes_off() {
+        // A node crash composes with the reliability protocol exactly like
+        // a dead link: sends to the crashed node from *any* peer time out,
+        // are written off, and latch the peer dead per-adapter.
+        let cfg = Arc::new(
+            clean()
+                .with_faults(FaultPlan::new().with_crash(2, VTime::from_us(10)))
+                .with_max_retransmits(4),
+        );
+        let ads = Network::new(3, Arc::clone(&cfg), 9).into_adapters();
+        // Before the crash instant the node is reachable.
+        let ok = ads[0].try_send_at(VTime::ZERO, 2, 64, 1u64);
+        assert!(ok.is_ok(), "node 2 is alive until 10µs: {ok:?}");
+        // After it, every flow touching node 2 is black-holed.
+        let e = ads[1]
+            .try_send_at(VTime::from_us(20), 2, 64, 2u64)
+            .expect_err("node 2 crashed");
+        assert!(!e.delivered);
+        assert!(ads[1].peer_health().is_dead(2));
+        // The crashed node's own sends die too (crash-stop: no injection).
+        let own = ads[2]
+            .try_send_at(VTime::from_us(20), 0, 64, 3u64)
+            .expect_err("crashed node cannot inject");
+        assert_eq!((own.src, own.dst), (2, 0));
+    }
+
+    #[test]
+    fn slow_factor_multiplies_serialization_times() {
+        // slow(1, 4): node 1's injection and ejection serialize 4× slower;
+        // node 0's timings are untouched.
+        let cfg = Arc::new(clean().with_faults(FaultPlan::new().with_slow(1, 4)));
+        let ads = Network::new(2, Arc::clone(&cfg), 5).into_adapters();
+        let ser = cfg.wire_time(512);
+        // 0→1: sender fast, receiver slow — ejection serialization is 4×.
+        let r = ads[0].try_send_at(VTime::ZERO, 1, 512, 1u64).unwrap();
+        assert_eq!(r.injected_at, VTime::ZERO + ser, "node 0 injects at 1×");
+        let min = r.injected_at + cfg.fabric_latency + ser * 4;
+        assert!(
+            r.delivered_at >= min,
+            "node 1 must eject at 4×: {r:?} vs min {min:?}"
+        );
+        // 1→0: sender slow — injection serialization is 4×.
+        let r2 = ads[1].try_send_at(VTime::ZERO, 0, 512, 2u64).unwrap();
+        assert_eq!(
+            r2.injected_at,
+            VTime::ZERO + ser * 4,
+            "node 1 injects at 4×"
+        );
+    }
+
+    #[test]
+    fn stalled_window_delays_then_recovers_like_a_black_hole() {
+        // stall(1, 5ms, 8ms): node 1 makes no protocol progress in the
+        // window; a mid-window send survives via retransmissions landing
+        // after recovery, exactly once.
+        let cfg = Arc::new(clean().with_faults(FaultPlan::new().with_stall(
+            1,
+            VTime::from_us(5_000),
+            VTime::from_us(8_000),
+        )));
+        let ads = Network::new(2, cfg, 5).into_adapters();
+        let during = ads[0].send_at(VTime::from_us(5_500), 1, 64, 2u64);
+        assert!(
+            during.delivered_at >= VTime::from_us(8_000),
+            "mid-stall send must wait out the window: {during:?}"
+        );
+        let got = ads[1].rx().recv_merge(ads[1].clock()).unwrap();
+        assert_eq!(got.item.body, 2);
+        assert!(ads[1].rx().is_empty(), "exactly once around the stall");
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod link;
 pub mod network;
 pub mod packet;
 
-pub use adapter::{Adapter, AdapterStats, DeliveryTimeout, SendReceipt};
+pub use adapter::{Adapter, AdapterStats, DeliveryTimeout, PeerHealth, SendReceipt};
 pub use link::Link;
 pub use network::Network;
 pub use packet::WirePacket;

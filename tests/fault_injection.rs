@@ -246,29 +246,71 @@ fn dead_link_surfaces_delivery_timeout_and_fires_err_hndlr() {
                     seq,
                     acked,
                     retries,
+                    fast_failed,
                     detail,
                 } => {
                     assert_eq!(*target, 1);
                     assert_eq!(*seq, 0, "first packet on the flow");
                     assert_eq!(*acked, 0, "nothing ever acknowledged");
                     assert_eq!(*retries, 6, "bounded by max_retransmits");
+                    assert!(!*fast_failed, "first failure burns the retry budget");
                     assert!(detail.contains("flow 0→1"), "flow state missing: {detail}");
                 }
                 other => panic!("expected DeliveryTimeout, got {other:?}"),
             }
-            // The op was abandoned: nothing outstanding, fence returns.
+            // The op was abandoned and the peer latched dead: nothing
+            // outstanding, and a second send fast-fails with zero wire
+            // activity instead of burning another retry budget.
             assert_eq!(ctx.pending(1), 0);
-            ctx.fence(1).expect("fence after abandoned op");
-            assert_eq!(ctx.stats().delivery_timeouts.get(), 1);
+            assert_eq!(ctx.dead_peers(), vec![1]);
+            let err2 = ctx
+                .put(1, buf, &[7u8; 8], None, None, None)
+                .expect_err("send to a dead peer must fast-fail");
+            assert!(
+                matches!(
+                    err2,
+                    LapiError::DeliveryTimeout {
+                        fast_failed: true,
+                        ..
+                    }
+                ),
+                "second failure should be a fast-fail, got {err2:?}"
+            );
+            // A fence toward a dead peer fails fast and deterministically
+            // rather than reporting a vacuous success.
+            let fence_err = ctx.fence(1).expect_err("fence to a dead peer fails fast");
+            assert!(matches!(
+                fence_err,
+                LapiError::DeliveryTimeout {
+                    fast_failed: true,
+                    ..
+                }
+            ));
+            assert_eq!(ctx.stats().delivery_timeouts.get(), 2);
+            assert_eq!(ctx.stats().peer_deaths.get(), 1);
         }
         // No gfence: it would ride the dead link. Both ranks just finish.
     });
+    // Exactly-once per *peer* death, not per killed flow or failed op: two
+    // failed sends, one aggregated err_hndlr invocation.
     assert_eq!(fired.load(Ordering::SeqCst), 1, "err_hndlr fired once");
     let seen = seen.lock().expect("err list");
-    assert!(matches!(
-        seen[0],
-        LapiError::DeliveryTimeout { target: 1, .. }
-    ));
+    assert_eq!(seen.len(), 1);
+    match &seen[0] {
+        LapiError::DeliveryTimeout {
+            target: 1, detail, ..
+        } => {
+            assert!(
+                detail.contains("declared dead"),
+                "aggregated diagnostic missing: {detail}"
+            );
+            assert!(
+                detail.contains("flow 0→1"),
+                "killed-flow listing missing: {detail}"
+            );
+        }
+        other => panic!("expected aggregated DeliveryTimeout, got {other:?}"),
+    }
 }
 
 #[test]
