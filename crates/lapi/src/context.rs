@@ -1,9 +1,8 @@
 //! The per-task LAPI context: the public API surface of Table 1.
 
 use std::sync::Arc;
-use std::thread::JoinHandle;
 
-use spsim::{trace, NodeId, VClock, VDur, VTime};
+use spsim::{trace, NodeId, ServiceHandle, VClock, VDur, VTime};
 
 use crate::addr::Addr;
 use crate::counter::{Counter, RemoteCounter};
@@ -43,8 +42,8 @@ pub enum Senv {
 /// One task's LAPI context (`LAPI_Init` creates it; see [`crate::LapiWorld`]).
 pub struct LapiContext {
     pub(crate) engine: Arc<Engine>,
-    pub(crate) dispatcher: Option<JoinHandle<()>>,
-    pub(crate) completion: Vec<JoinHandle<()>>,
+    pub(crate) dispatcher: Option<ServiceHandle>,
+    pub(crate) completion: Vec<ServiceHandle>,
     pub(crate) barrier: spsim::VBarrier,
     pub(crate) exchange: Arc<Exchange>,
 }

@@ -1719,6 +1719,10 @@ impl Engine {
     /// One polling step: process whatever has arrived, or block (real time,
     /// bounded) for the next packet. Panics past `deadline` — simulated
     /// deadlock.
+    // liveness: recv_timeout wakes on every packet the switch delivers to
+    // this node's adapter ring; on silence the POLL_TICK real-time bound
+    // re-arms the wait until `deadline`, then deadlock_report fires — a
+    // dead or non-polling peer cannot park this thread forever.
     fn poll_step(&self, deadline: Instant) {
         self.adapter.pump(self.clock().now());
         match self.adapter.rx().recv_timeout(POLL_TICK) {

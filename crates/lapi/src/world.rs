@@ -6,7 +6,6 @@
 //! then moved into node threads (see `spsim::run_spmd_with`).
 
 use std::sync::Arc;
-use std::thread;
 use std::time::Duration;
 
 use parking_lot::Mutex;
@@ -101,17 +100,17 @@ impl LapiWorld {
             .map(|ad| {
                 let engine = Engine::new(ad, mode, escape);
                 let d_engine = Arc::clone(&engine);
-                let dispatcher = thread::Builder::new()
-                    .name(format!("lapi-disp-{}", d_engine.id()))
-                    .spawn(move || d_engine.dispatcher_loop())
-                    .expect("spawn dispatcher");
+                let dispatcher =
+                    spsim::spawn_service(format!("lapi-disp-{}", d_engine.id()), move || {
+                        d_engine.dispatcher_loop()
+                    });
                 let completion = (0..completion_threads)
                     .map(|k| {
                         let c_engine = Arc::clone(&engine);
-                        thread::Builder::new()
-                            .name(format!("lapi-cmpl-{}-{k}", c_engine.id()))
-                            .spawn(move || c_engine.completion_loop())
-                            .expect("spawn completion thread")
+                        spsim::spawn_service(
+                            format!("lapi-cmpl-{}-{k}", c_engine.id()),
+                            move || c_engine.completion_loop(),
+                        )
                     })
                     .collect();
                 LapiContext {

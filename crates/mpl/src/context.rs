@@ -1,7 +1,7 @@
 //! The per-task MPL context: `send`/`recv`, `rcvncall`, collectives.
 
+use spsim::ServiceHandle;
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::Instant;
 
 use spsim::{NodeId, VClock, VDur, VTime};
@@ -136,7 +136,7 @@ impl MplHandlerCtx<'_> {
 /// One task's MPL context.
 pub struct MplContext {
     pub(crate) engine: Arc<MplEngine>,
-    pub(crate) dispatcher: Option<JoinHandle<()>>,
+    pub(crate) dispatcher: Option<ServiceHandle>,
     pub(crate) barrier: spsim::VBarrier,
     pub(crate) exchange: Arc<MplExchange>,
 }

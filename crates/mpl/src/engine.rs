@@ -821,6 +821,10 @@ impl MplEngine {
     }
 
     /// One polling step (bounded real-time block).
+    // liveness: recv_timeout wakes on every packet the switch delivers to
+    // this node's adapter ring; on silence the POLL_TICK real-time bound
+    // re-arms the wait until `deadline`, then deadlock_report fires — a
+    // dead or non-polling peer cannot park this thread forever.
     pub(crate) fn poll_step(&self, deadline: Instant) {
         self.adapter.pump(self.clock().now());
         match self.adapter.rx().recv_timeout(POLL_TICK) {

@@ -1,7 +1,6 @@
 //! Job setup for the MPL baseline.
 
 use std::sync::Arc;
-use std::thread;
 use std::time::Duration;
 
 use parking_lot::Mutex;
@@ -72,10 +71,9 @@ impl MplWorld {
             .map(|ad| {
                 let engine = MplEngine::new(ad, mode, escape);
                 let d = Arc::clone(&engine);
-                let dispatcher = thread::Builder::new()
-                    .name(format!("mpl-disp-{}", d.id()))
-                    .spawn(move || d.dispatcher_loop())
-                    .expect("spawn MPL dispatcher");
+                let dispatcher = spsim::spawn_service(format!("mpl-disp-{}", d.id()), move || {
+                    d.dispatcher_loop()
+                });
                 MplContext {
                     engine,
                     dispatcher: Some(dispatcher),

@@ -58,7 +58,10 @@ pub use fault::{FaultPlan, FaultProfile, FaultWindow, LinkFaults, NodeFault};
 pub use mutation::Mutant;
 pub use queue::{QueueClosed, Stamped, TimedQueue};
 pub use rng::SimRng;
-pub use runtime::{run_spmd, run_spmd_with, schedule_tiebreak, set_schedule_tiebreak, NodeId};
+pub use runtime::{
+    run_spmd, run_spmd_with, schedule_tiebreak, set_schedule_tiebreak, spawn_service, NodeId,
+    ServiceHandle,
+};
 pub use spsc::{DeliveryQueue, DeliveryRings};
 pub use stats::{Histogram, StatCounter};
 pub use time::{VDur, VTime};

@@ -141,6 +141,45 @@ where
     collect_or_panic(outcomes)
 }
 
+/// Handle to a named service thread spawned by [`spawn_service`] — the
+/// *only* sanctioned way for simulated code to hold onto a running thread.
+///
+/// Lint rule A4 bans `std::thread::spawn`/`JoinHandle` in every
+/// virtual-time crate except this module, so that when the runtime moves
+/// to M:N node scheduling (ROADMAP item 1) every service thread is already
+/// created and joined through one choke point that the scheduler can take
+/// over.
+#[derive(Debug)]
+pub struct ServiceHandle {
+    inner: thread::JoinHandle<()>,
+}
+
+impl ServiceHandle {
+    /// Wait for the service to finish; `Err` carries the service's panic
+    /// payload (same contract as `std::thread::JoinHandle::join`).
+    pub fn join(self) -> thread::Result<()> {
+        self.inner.join()
+    }
+
+    /// Has the service already finished?
+    pub fn is_finished(&self) -> bool {
+        self.inner.is_finished()
+    }
+}
+
+/// Spawn a named engine service thread (dispatcher, completion handler).
+///
+/// # Panics
+/// Panics if the OS refuses to spawn a thread — service creation happens
+/// at world setup time where that is unrecoverable anyway.
+pub fn spawn_service(name: String, f: impl FnOnce() + Send + 'static) -> ServiceHandle {
+    let inner = thread::Builder::new()
+        .name(name)
+        .spawn(f)
+        .expect("spawn service thread");
+    ServiceHandle { inner }
+}
+
 fn collect_or_panic<R>(outcomes: Vec<thread::Result<R>>) -> Vec<R> {
     let mut results = Vec::with_capacity(outcomes.len());
     let mut first_panic = None;

@@ -634,6 +634,9 @@ impl<T: Send> DeliveryQueue<T> {
 
     /// Blocking receive bounded by real time; see
     /// [`TimedQueue::recv_timeout`].
+    // liveness: pure dispatch — both variants' recv_timeout carry their
+    // own liveness contracts (sender notify / ring push wakes the waiter,
+    // close poisons it), and the `dur` bound caps the block in real time.
     pub fn recv_timeout(&self, dur: Duration) -> Result<Option<Stamped<T>>, QueueClosed> {
         match self {
             DeliveryQueue::Heap(q) => q.recv_timeout(dur),

@@ -3,7 +3,9 @@
 //! The simulator's guarantees (same-seed byte-identical traces, virtual-time
 //! purity, diagnosable failures) rest on conventions the compiler cannot
 //! check. This crate walks every `.rs` file under `crates/` and `src/` and
-//! enforces them as six rules — see [`rules::Rule`] and DESIGN §10:
+//! enforces them as ten rules — see [`rules::Rule`] and DESIGN §10.
+//!
+//! Per-file token rules (PR 4/PR 7):
 //!
 //! * **L1** virtual-time purity — no `Instant`/`SystemTime`/`thread::sleep`
 //!   in simulated code outside allowlisted real-time bridges.
@@ -14,15 +16,31 @@
 //! * **L6** liveness — wait loops on hot paths carry a `// liveness:`
 //!   comment naming their wakeup source (and its peer-death poison path).
 //!
+//! Interprocedural rules, run over a workspace-wide call graph built by the
+//! item [`parser`] and [`graph`] modules:
+//!
+//! * **A1** transitive virtual-time taint — indirectly reaching a wall clock.
+//! * **A2** lock-order inversion — cycles in the acquired-while-held graph.
+//! * **A3** blocking reachability — L6 across function boundaries, from the
+//!   engine entry points.
+//! * **A4** raw `thread::spawn`/`JoinHandle` ban outside `spsim::runtime`.
+//!
+//! A-rule findings carry a *witness chain*: the call path from the flagged
+//! function to the offending primitive, one `file:line` per hop.
+//!
 //! Suppressions live in `lint.toml` at the repo root; every entry carries a
 //! required reason string ([`allowlist::Allowlist`]).
 
 #![warn(missing_docs)]
 
 pub mod allowlist;
+pub mod arules;
+pub mod graph;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
 
+use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -33,15 +51,18 @@ use rules::{classify, lint_source, FileClass, Finding};
 pub struct Report {
     /// Findings that survived the allowlist, sorted by (path, line, rule).
     pub findings: Vec<Finding>,
-    /// Non-fatal notes (unused suppressions, unreadable files).
+    /// Non-fatal notes (unreadable files).
     pub warnings: Vec<String>,
+    /// Suppressions that never matched — warnings normally, errors under
+    /// `--strict`.
+    pub stale: Vec<String>,
     /// Files inspected.
     pub files: usize,
 }
 
-/// Lint one file on disk. `rel` is the repo-relative path used for
-/// classification and reporting; fixture files may override their class
-/// with a first-line `// lint-as: <path>` comment.
+/// Lint one file on disk with the per-file L-rules. `rel` is the
+/// repo-relative path used for classification and reporting; fixture files
+/// may override their class with a first-line `// lint-as: <path>` comment.
 pub fn lint_file(rel: &str, src: &str, allow: &Allowlist) -> Vec<Finding> {
     let class = match fixture_class(src).or_else(|| classify(rel)) {
         Some(c) => c,
@@ -60,12 +81,52 @@ pub fn lint_file(rel: &str, src: &str, allow: &Allowlist) -> Vec<Finding> {
 /// Honor a `// lint-as: crates/lapi/src/engine.rs` header comment, which
 /// lets fixture files borrow the class of a real path.
 fn fixture_class(src: &str) -> Option<FileClass> {
-    let first = src.lines().next()?.trim();
-    let as_path = first.strip_prefix("// lint-as:")?.trim();
-    classify(as_path)
+    classify(fixture_as(src)?)
 }
 
-/// Walk `crates/` and `src/` under `root` and lint everything in scope.
+/// The `// lint-as:` header path itself, if present.
+fn fixture_as(src: &str) -> Option<&str> {
+    let first = src.lines().next()?.trim();
+    Some(first.strip_prefix("// lint-as:")?.trim())
+}
+
+/// Run the interprocedural analyzer (A1–A4) over a set of files given as
+/// `(repo-relative path, source)` pairs. Files out of lint scope are
+/// skipped; `// lint-as:` headers pick each file's effective path. Findings
+/// are allowlist-filtered like the L-rules.
+pub fn analyze_set(files: &[(String, String)], allow: &Allowlist) -> Vec<Finding> {
+    let mut parsed = Vec::new();
+    let mut lines: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for (real, src) in files {
+        let effective = fixture_as(src).unwrap_or(real).to_string();
+        if classify(&effective).is_none() {
+            continue;
+        }
+        let lexed = lexer::lex(src);
+        parsed.push((
+            real.clone(),
+            effective.clone(),
+            parser::parse_file(real, &effective, &lexed),
+        ));
+        lines.insert(real.clone(), src.lines().map(str::to_string).collect());
+    }
+    let ws = graph::Workspace::build(parsed);
+    arules::run(&ws, allow, &lines)
+        .into_iter()
+        .filter(|f| {
+            let text = lines
+                .get(&f.path)
+                .and_then(|v| v.get(f.line as usize - 1))
+                .map(String::as_str)
+                .unwrap_or("");
+            !allow.suppresses(f, text)
+        })
+        .collect()
+}
+
+/// Walk `crates/` and `src/` under `root` and lint everything in scope:
+/// the per-file L-rules, then the interprocedural A-rules over the whole
+/// set at once.
 pub fn lint_root(root: &Path, allow: &Allowlist) -> Report {
     let mut files = Vec::new();
     for top in ["crates", "src"] {
@@ -74,7 +135,7 @@ pub fn lint_root(root: &Path, allow: &Allowlist) -> Report {
     files.sort();
     let mut findings = Vec::new();
     let mut warnings = Vec::new();
-    let mut inspected = 0usize;
+    let mut sources: Vec<(String, String)> = Vec::new();
     for path in &files {
         let rel = path
             .strip_prefix(root)
@@ -86,19 +147,95 @@ pub fn lint_root(root: &Path, allow: &Allowlist) -> Report {
         }
         match fs::read_to_string(path) {
             Ok(src) => {
-                inspected += 1;
                 findings.extend(lint_file(&rel, &src, allow));
+                sources.push((rel, src));
             }
             Err(e) => warnings.push(format!("{rel}: unreadable: {e}")),
         }
     }
+    let inspected = sources.len();
+    findings.extend(analyze_set(&sources, allow));
     findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
-    warnings.extend(allow.unused());
     Report {
         findings,
         warnings,
+        stale: allow.unused(),
         files: inspected,
     }
+}
+
+/// Render a lint run as flat, hand-rolled JSON (no serde — the registry is
+/// offline). Shape:
+///
+/// ```json
+/// {"tool":"spsim-lint","files":N,"suppressions":N,"strict":bool,
+///  "findings":[{"rule":"A3","path":"…","line":N,"msg":"…",
+///               "witness":[{"label":"…","path":"…","line":N}]}],
+///  "stale_suppressions":["…"],"warnings":["…"]}
+/// ```
+pub fn render_json(report: &Report, suppressions: usize, strict: bool) -> String {
+    let mut s = String::from("{");
+    s.push_str(&format!(
+        "\"tool\":\"spsim-lint\",\"files\":{},\"suppressions\":{},\"strict\":{},",
+        report.files, suppressions, strict
+    ));
+    s.push_str("\"findings\":[");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"msg\":\"{}\",\"witness\":[",
+            f.rule.code(),
+            json_escape(&f.path),
+            f.line,
+            json_escape(&f.msg)
+        ));
+        for (j, h) in f.witness.iter().enumerate() {
+            if j > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"label\":\"{}\",\"path\":\"{}\",\"line\":{}}}",
+                json_escape(&h.label),
+                json_escape(&h.path),
+                h.line
+            ));
+        }
+        s.push_str("]}");
+    }
+    s.push_str("],\"stale_suppressions\":[");
+    for (i, w) in report.stale.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!("\"{}\"", json_escape(w)));
+    }
+    s.push_str("],\"warnings\":[");
+    for (i, w) in report.warnings.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!("\"{}\"", json_escape(w)));
+    }
+    s.push_str("]}");
+    s
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {

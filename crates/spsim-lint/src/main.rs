@@ -1,20 +1,28 @@
 //! CLI driver: `cargo run -p spsim-lint [-- --root DIR --allow FILE file…]`.
 //!
 //! With no file arguments, lints every `.rs` file under `<root>/crates` and
-//! `<root>/src` against `<root>/lint.toml`. With file arguments, lints just
-//! those files (fixtures use a `// lint-as:` header to pick their class).
-//! Exit status: 0 clean, 1 findings, 2 configuration error.
+//! `<root>/src` against `<root>/lint.toml` — the per-file L-rules plus the
+//! interprocedural A-rules over the whole set. With file arguments, lints
+//! just those files (fixtures use a `// lint-as:` header to pick their
+//! class); the A-rules see all given files as one mini-workspace.
+//!
+//! Flags: `--strict` turns stale suppressions into hard errors; `--json`
+//! prints a machine-readable report to stdout instead of human lines.
+//! Exit status: 0 clean, 1 findings (or stale entries under --strict),
+//! 2 configuration error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use spsim_lint::allowlist::Allowlist;
-use spsim_lint::{lint_file, lint_root};
+use spsim_lint::{analyze_set, lint_file, lint_root, render_json, Report};
 
 fn main() -> ExitCode {
     let mut root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
     let mut allow_path: Option<PathBuf> = None;
     let mut files: Vec<PathBuf> = Vec::new();
+    let mut strict = false;
+    let mut json = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -27,8 +35,12 @@ fn main() -> ExitCode {
                 Some(v) => allow_path = Some(PathBuf::from(v)),
                 None => return usage("--allow needs a file"),
             },
+            "--strict" => strict = true,
+            "--json" => json = true,
             "--help" | "-h" => {
-                eprintln!("usage: spsim-lint [--root DIR] [--allow FILE] [file.rs …]");
+                eprintln!(
+                    "usage: spsim-lint [--root DIR] [--allow FILE] [--strict] [--json] [file.rs …]"
+                );
                 return ExitCode::SUCCESS;
             }
             _ => files.push(PathBuf::from(a)),
@@ -48,12 +60,11 @@ fn main() -> ExitCode {
         Err(_) => Allowlist::default(),
     };
 
-    let (findings, warnings, files_seen) = if files.is_empty() {
-        let report = lint_root(&root, &allow);
-        (report.findings, report.warnings, report.files)
+    let report = if files.is_empty() {
+        lint_root(&root, &allow)
     } else {
         let mut findings = Vec::new();
-        let n = files.len();
+        let mut sources: Vec<(String, String)> = Vec::new();
         for f in &files {
             let src = match std::fs::read_to_string(f) {
                 Ok(s) => s,
@@ -63,27 +74,54 @@ fn main() -> ExitCode {
                 }
             };
             findings.extend(lint_file(&f.to_string_lossy(), &src, &allow));
+            sources.push((f.to_string_lossy().into_owned(), src));
         }
-        (findings, allow.unused(), n)
+        findings.extend(analyze_set(&sources, &allow));
+        findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+        Report {
+            findings,
+            warnings: Vec::new(),
+            stale: allow.unused(),
+            files: sources.len(),
+        }
     };
 
-    for w in &warnings {
-        eprintln!("spsim-lint: warning: {w}");
+    let stale_fatal = strict && !report.stale.is_empty();
+    if json {
+        println!("{}", render_json(&report, allow.len(), strict));
+    } else {
+        for w in &report.warnings {
+            eprintln!("spsim-lint: warning: {w}");
+        }
+        for w in &report.stale {
+            if strict {
+                eprintln!("spsim-lint: error: {w} (stale entries are fatal under --strict)");
+            } else {
+                eprintln!("spsim-lint: warning: {w}");
+            }
+        }
+        for f in &report.findings {
+            println!("{}", f.render());
+        }
     }
-    for f in &findings {
-        println!("{}", f.render());
-    }
-    if findings.is_empty() {
-        eprintln!(
-            "spsim-lint: clean ({files_seen} files, {} suppressions)",
-            allow.len()
-        );
+    if report.findings.is_empty() && !stale_fatal {
+        if !json {
+            eprintln!(
+                "spsim-lint: clean ({} files, {} suppressions)",
+                report.files,
+                allow.len()
+            );
+        }
         ExitCode::SUCCESS
     } else {
-        eprintln!(
-            "spsim-lint: {} finding(s) in {files_seen} files",
-            findings.len()
-        );
+        if !json {
+            eprintln!(
+                "spsim-lint: {} finding(s), {} stale suppression(s) in {} files",
+                report.findings.len(),
+                report.stale.len(),
+                report.files
+            );
+        }
         ExitCode::FAILURE
     }
 }

@@ -1,0 +1,645 @@
+//! Item-level parser: the layer between the lexer and the interprocedural
+//! rules (A1–A4). One pass over a file's (test-stripped) token stream
+//! recovers the *items* the call-graph rules need — `fn` items with their
+//! owners (impl/trait types), call expressions, lock acquisitions, wall-
+//! clock uses, wait-probe calls and `// liveness:` annotations — without
+//! pulling in syn or a real grammar. Precision contract: see DESIGN §10.
+//! Everything here is deliberately conservative: a construct the parser
+//! cannot resolve degrades to a name-level match, never to silence.
+
+use crate::lexer::{strip_test_items, Lexed, Tok, Token};
+
+/// A lock guard live at some point in a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeldLock {
+    /// Qualified lock name, `crate:field` (e.g. `lapi:outstanding`).
+    pub lock: String,
+    /// Line the guard was taken on.
+    pub line: u32,
+}
+
+/// One call expression inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Callee's simple name (`recv_timeout`, `process_packet`).
+    pub name: String,
+    /// `Type` for `Type::name(…)` paths, `self` for `self.name(…)` method
+    /// calls, `None` for everything else.
+    pub qual: Option<String>,
+    /// 1-based line of the call.
+    pub line: u32,
+    /// Lock guards live at the call site (for A2).
+    pub held: Vec<HeldLock>,
+}
+
+/// One direct lock acquisition (`….lock()`, `….read()`, `….write()` with
+/// empty argument lists, or `Mutex::lock(&x)`).
+#[derive(Debug, Clone)]
+pub struct LockAcq {
+    /// Qualified lock name (`crate:field`); `crate:?` when the receiver is
+    /// an expression the parser cannot name.
+    pub lock: String,
+    /// 1-based line of the acquisition.
+    pub line: u32,
+    /// Guards already held when this one is taken (for A2 edges).
+    pub held: Vec<HeldLock>,
+}
+
+/// Everything the interprocedural rules need to know about one `fn` item.
+/// Closures are *not* separate functions: their bodies' calls, probes and
+/// clock uses land in the enclosing `FnInfo`, so a closure inherits (and
+/// propagates) the enclosing function's taint by construction.
+#[derive(Debug, Clone)]
+pub struct FnInfo {
+    /// Simple name.
+    pub name: String,
+    /// Enclosing `impl`/`trait` type name, if any.
+    pub owner: Option<String>,
+    /// Display stem (file stem: `engine`, `queue`), used in witness chains.
+    pub stem: String,
+    /// Real on-disk repo-relative path (what findings report).
+    pub path: String,
+    /// Effective path after `// lint-as:` (what classification uses).
+    pub effective: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Last line of the body.
+    pub end_line: u32,
+    /// Call expressions, in order.
+    pub calls: Vec<CallSite>,
+    /// Subset of `calls` whose callee is a wait/park/recv-family primitive.
+    pub probes: Vec<CallSite>,
+    /// Direct lock acquisitions.
+    pub acquires: Vec<LockAcq>,
+    /// Wall-clock tokens: `(line, which)` for `Instant`/`SystemTime`/
+    /// `thread::sleep`.
+    pub clock_uses: Vec<(u32, String)>,
+    /// Does a `// liveness:` comment cover this function (inside the body
+    /// or within 3 lines above the `fn` keyword)?
+    pub has_liveness: bool,
+}
+
+impl FnInfo {
+    /// `stem::name` — the short label used in witness chains.
+    pub fn label(&self) -> String {
+        format!("{}::{}", self.stem, self.name)
+    }
+}
+
+/// One thread-primitive site for A4: `(line, what)`.
+#[derive(Debug, Clone)]
+pub struct SpawnSite {
+    /// 1-based line.
+    pub line: u32,
+    /// What was seen (`thread::spawn`, `JoinHandle`, `.spawn(`).
+    pub what: String,
+}
+
+/// The parse result for one file.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    /// All `fn` items (free, impl and trait-default methods, nested fns).
+    pub fns: Vec<FnInfo>,
+    /// Raw OS-thread sites anywhere in the file, including outside `fn`
+    /// bodies (struct fields, use declarations) — A4 material.
+    pub spawns: Vec<SpawnSite>,
+}
+
+/// Calls that block, park, yield or pump: each makes the *caller* a
+/// blocking function for A3. Mirrors (and extends) L6's `WAIT_PROBES`.
+pub const WAIT_PROBES: &[&str] = &[
+    "wait",
+    "wait_for",
+    "wait_until",
+    "wait_while",
+    "recv",
+    "recv_merge",
+    "recv_timeout",
+    "park",
+    "park_timeout",
+    "yield_now",
+];
+
+/// Guard-producing method names (empty-argument form only).
+const GUARD_CALLS: &[&str] = &["lock", "read", "write"];
+
+/// Keywords that precede `(` without being calls.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "loop", "return", "let", "fn", "move", "in", "as", "ref", "mut",
+    "else", "unsafe", "dyn", "impl", "where", "use", "pub", "crate", "super", "box", "break",
+    "continue", "yield", "true", "false",
+];
+
+/// Crate segment of an effective repo-relative path: `crates/lapi/src/…` →
+/// `lapi`; `src/…` (the facade crate) → `spsim-lapi`.
+pub fn crate_of(effective: &str) -> &str {
+    if let Some(rest) = effective.strip_prefix("crates/") {
+        rest.split('/').next().unwrap_or("?")
+    } else {
+        "spsim-lapi"
+    }
+}
+
+/// File stem of an effective path (`crates/sim/src/queue.rs` → `queue`).
+pub fn stem_of(effective: &str) -> &str {
+    effective
+        .rsplit('/')
+        .next()
+        .unwrap_or(effective)
+        .trim_end_matches(".rs")
+}
+
+/// Parse one file. `real` is the on-disk repo-relative path (reported in
+/// findings); `effective` is the classification path (after `// lint-as:`).
+pub fn parse_file(real: &str, effective: &str, lexed: &Lexed) -> ParsedFile {
+    let toks = strip_test_items(&lexed.tokens);
+    let mut out = ParsedFile::default();
+    scan_items(&toks, 0, toks.len(), None, real, effective, lexed, &mut out);
+    scan_spawns(&toks, &mut out);
+    out
+}
+
+fn ident(t: Option<&Token>) -> Option<&str> {
+    match t.map(|t| &t.tok) {
+        Some(Tok::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn is_punct(t: Option<&Token>, c: char) -> bool {
+    matches!(t.map(|t| &t.tok), Some(Tok::Punct(p)) if *p == c)
+}
+
+fn matching_brace(toks: &[Token], open: usize, end: usize) -> usize {
+    let mut d = 0usize;
+    let mut i = open;
+    while i < end {
+        match toks[i].tok {
+            Tok::Punct('{') => d += 1,
+            Tok::Punct('}') => {
+                d -= 1;
+                if d == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    end.saturating_sub(1)
+}
+
+/// Walk `toks[i..end]` at item level, descending into `impl`/`trait`/`mod`
+/// blocks and parsing every `fn` body encountered.
+#[allow(clippy::too_many_arguments)]
+fn scan_items(
+    toks: &[Token],
+    mut i: usize,
+    end: usize,
+    owner: Option<&str>,
+    real: &str,
+    effective: &str,
+    lexed: &Lexed,
+    out: &mut ParsedFile,
+) {
+    while i < end {
+        match ident(toks.get(i)) {
+            Some("impl") => {
+                let (name, open) = impl_owner(toks, i, end);
+                if let Some(open) = open {
+                    let close = matching_brace(toks, open, end);
+                    scan_items(
+                        toks,
+                        open + 1,
+                        close,
+                        name.as_deref(),
+                        real,
+                        effective,
+                        lexed,
+                        out,
+                    );
+                    i = close + 1;
+                    continue;
+                }
+                i += 1;
+            }
+            Some("trait") => {
+                let name = ident(toks.get(i + 1)).map(str::to_string);
+                if let Some(open) = (i + 1..end).find(|&j| is_punct(toks.get(j), '{')) {
+                    let close = matching_brace(toks, open, end);
+                    scan_items(
+                        toks,
+                        open + 1,
+                        close,
+                        name.as_deref(),
+                        real,
+                        effective,
+                        lexed,
+                        out,
+                    );
+                    i = close + 1;
+                    continue;
+                }
+                i += 1;
+            }
+            Some("mod") if ident(toks.get(i + 1)).is_some() && is_punct(toks.get(i + 2), '{') => {
+                // Inline module: items inside keep the (lack of an) owner.
+                let close = matching_brace(toks, i + 2, end);
+                scan_items(toks, i + 3, close, owner, real, effective, lexed, out);
+                i = close + 1;
+            }
+            Some("fn") => {
+                i = parse_fn(toks, i, end, owner, real, effective, lexed, out);
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+/// Owner type of an `impl` block: the ident after `for` in trait impls,
+/// else the first type ident after the (skipped) generic parameter list.
+/// Returns `(owner, Some(body_open_index))`.
+fn impl_owner(toks: &[Token], i: usize, end: usize) -> (Option<String>, Option<usize>) {
+    let mut j = i + 1;
+    // Skip `<…>` generics directly after `impl`.
+    if is_punct(toks.get(j), '<') {
+        let mut d = 0i32;
+        while j < end {
+            match toks[j].tok {
+                Tok::Punct('<') => d += 1,
+                Tok::Punct('>') => {
+                    d -= 1;
+                    if d == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    let mut first_ident: Option<String> = None;
+    let mut after_for: Option<String> = None;
+    let mut saw_for = false;
+    let mut open = None;
+    while j < end {
+        match &toks[j].tok {
+            Tok::Punct('{') => {
+                open = Some(j);
+                break;
+            }
+            Tok::Ident(s) if s == "for" => saw_for = true,
+            Tok::Ident(s) if s == "where" => {
+                // `where` clause: the owner is settled; find the body brace.
+                if let Some(o) = (j..end).find(|&k| is_punct(toks.get(k), '{')) {
+                    open = Some(o);
+                }
+                break;
+            }
+            Tok::Ident(s) => {
+                if saw_for {
+                    if after_for.is_none() {
+                        after_for = Some(s.clone());
+                    }
+                } else {
+                    // Track the *last* path segment before generics: for
+                    // `spsim::queue::TimedQueue<M>` keep `TimedQueue`.
+                    if !is_punct(toks.get(j + 1), '<')
+                        || first_ident.is_none()
+                        || is_punct(toks.get(j.wrapping_sub(1)), ':')
+                    {
+                        first_ident = Some(s.clone());
+                    }
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    (after_for.or(first_ident), open)
+}
+
+/// Parse the `fn` item starting at `toks[i]` (`== fn`). Returns the index
+/// to resume scanning from.
+#[allow(clippy::too_many_arguments)]
+fn parse_fn(
+    toks: &[Token],
+    i: usize,
+    end: usize,
+    owner: Option<&str>,
+    real: &str,
+    effective: &str,
+    lexed: &Lexed,
+    out: &mut ParsedFile,
+) -> usize {
+    let Some(name) = ident(toks.get(i + 1)) else {
+        return i + 1;
+    };
+    let name = name.to_string();
+    let fn_line = toks[i].line;
+    // Find the body `{` (or a `;` for bodiless trait declarations) at
+    // paren/bracket depth 0.
+    let mut j = i + 2;
+    let mut d = 0i32;
+    let mut open = None;
+    while j < end {
+        match toks[j].tok {
+            Tok::Punct('(') | Tok::Punct('[') => d += 1,
+            Tok::Punct(')') | Tok::Punct(']') => d -= 1,
+            Tok::Punct('{') if d == 0 => {
+                open = Some(j);
+                break;
+            }
+            Tok::Punct(';') if d == 0 => return j + 1,
+            _ => {}
+        }
+        j += 1;
+    }
+    let Some(open) = open else { return j };
+    let close = matching_brace(toks, open, end);
+    let end_line = toks.get(close).map(|t| t.line).unwrap_or(fn_line);
+
+    let mut info = FnInfo {
+        name,
+        owner: owner.map(str::to_string),
+        stem: stem_of(effective).to_string(),
+        path: real.to_string(),
+        effective: effective.to_string(),
+        line: fn_line,
+        end_line,
+        calls: Vec::new(),
+        probes: Vec::new(),
+        acquires: Vec::new(),
+        clock_uses: Vec::new(),
+        has_liveness: false,
+    };
+    scan_body(
+        toks,
+        open + 1,
+        close,
+        effective,
+        real,
+        lexed,
+        &mut info,
+        out,
+    );
+    // A `// liveness:` marker covers the fn if it sits inside the item or
+    // in a comment block contiguous with the `fn` line (same convention as
+    // L6: multi-line explanations above the item stay legal).
+    let comment_lines = lexed.comment_lines_containing("");
+    info.has_liveness = lexed
+        .comments
+        .iter()
+        .filter(|(_, t)| t.contains("liveness:"))
+        .any(|(l, _)| {
+            (*l >= fn_line && *l <= end_line)
+                || (*l < fn_line && (*l + 1..fn_line).all(|x| comment_lines.contains(&x)))
+        });
+    out.fns.push(info);
+    close + 1
+}
+
+#[derive(Debug)]
+struct Guard {
+    name: String,
+    lock: String,
+    line: u32,
+    depth: usize,
+    /// Token index from which the binding is live (its statement's `;`).
+    from: usize,
+}
+
+/// Scan one fn body, collecting calls, probes, acquisitions and clock
+/// uses. Nested `fn` items are parsed as their own `FnInfo` (and skipped
+/// here); closures are scanned inline, so they fold into the enclosing fn.
+#[allow(clippy::too_many_arguments)]
+fn scan_body(
+    toks: &[Token],
+    start: usize,
+    close: usize,
+    effective: &str,
+    real: &str,
+    lexed: &Lexed,
+    info: &mut FnInfo,
+    out: &mut ParsedFile,
+) {
+    let krate = crate_of(effective);
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth = 0usize;
+    let mut i = start;
+    while i < close {
+        match &toks[i].tok {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                guards.retain(|g| g.depth <= depth);
+            }
+            Tok::Ident(w) if w == "fn" => {
+                // A nested fn is its own item; don't fold it in here.
+                i = parse_fn(toks, i, close, None, real, effective, lexed, out);
+                continue;
+            }
+            Tok::Ident(w) if w == "let" => {
+                if let Some((name, (line, lock_tok), semi)) = guard_binding(toks, i, close, krate) {
+                    let lock = lock_name_at(toks, lock_tok, krate);
+                    guards.push(Guard {
+                        name,
+                        lock,
+                        line,
+                        depth,
+                        from: semi,
+                    });
+                }
+            }
+            Tok::Ident(w) if w == "drop" && is_punct(toks.get(i + 1), '(') => {
+                if let Some(name) = ident(toks.get(i + 2)) {
+                    guards.retain(|g| g.name != name);
+                }
+            }
+            Tok::Ident(w) if w == "Instant" || w == "SystemTime" => {
+                info.clock_uses.push((toks[i].line, w.clone()));
+            }
+            Tok::Ident(w)
+                if GUARD_CALLS.contains(&w.as_str())
+                    && is_punct(toks.get(i.wrapping_sub(1)), '.')
+                    && is_punct(toks.get(i + 1), '(')
+                    && is_punct(toks.get(i + 2), ')') =>
+            {
+                // Direct acquisition `recv.lock()` / `x.read()` / `x.write()`.
+                let lock = lock_name_at(toks, i, krate);
+                let held = held_snapshot(&guards, i);
+                info.acquires.push(LockAcq {
+                    lock,
+                    line: toks[i].line,
+                    held,
+                });
+                i += 3;
+                continue;
+            }
+            Tok::Ident(w)
+                if GUARD_CALLS.contains(&w.as_str())
+                    && is_punct(toks.get(i.wrapping_sub(1)), ':')
+                    && is_punct(toks.get(i.wrapping_sub(2)), ':')
+                    && matches!(ident(toks.get(i.wrapping_sub(3))), Some("Mutex" | "RwLock"))
+                    && is_punct(toks.get(i + 1), '(') =>
+            {
+                // UFCS form `Mutex::lock(&x)`: name the lock from the first
+                // argument ident.
+                let mut k = i + 2;
+                while k < close && ident(toks.get(k)).is_none() {
+                    k += 1;
+                }
+                let lock = match ident(toks.get(k)) {
+                    // `Mutex::lock(&self.field)`
+                    Some("self") if is_punct(toks.get(k + 1), '.') => {
+                        ident(toks.get(k + 2)).unwrap_or("?")
+                    }
+                    Some("self") => "?",
+                    Some(n) => n,
+                    None => "?",
+                };
+                let held = held_snapshot(&guards, i);
+                info.acquires.push(LockAcq {
+                    lock: format!("{krate}:{lock}"),
+                    line: toks[i].line,
+                    held,
+                });
+            }
+            Tok::Ident(w) if is_punct(toks.get(i + 1), '(') => {
+                if NON_CALL_KEYWORDS.contains(&w.as_str()) {
+                    i += 1;
+                    continue;
+                }
+                let qual = call_qual(toks, i);
+                if w == "sleep" && qual.as_deref() == Some("thread") {
+                    info.clock_uses.push((toks[i].line, "thread::sleep".into()));
+                }
+                let site = CallSite {
+                    name: w.clone(),
+                    qual,
+                    line: toks[i].line,
+                    held: held_snapshot(&guards, i),
+                };
+                if WAIT_PROBES.contains(&w.as_str()) {
+                    info.probes.push(site.clone());
+                }
+                info.calls.push(site);
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+fn held_snapshot(guards: &[Guard], at: usize) -> Vec<HeldLock> {
+    guards
+        .iter()
+        .filter(|g| g.from <= at)
+        .map(|g| HeldLock {
+            lock: g.lock.clone(),
+            line: g.line,
+        })
+        .collect()
+}
+
+/// Qualifier of a call at token `i`: `Some(type)` for `Type::name(…)`,
+/// `Some("self")` for `self.name(…)`, else `None`.
+fn call_qual(toks: &[Token], i: usize) -> Option<String> {
+    if i >= 2 && is_punct(toks.get(i - 1), ':') && is_punct(toks.get(i - 2), ':') {
+        return ident(toks.get(i.wrapping_sub(3))).map(str::to_string);
+    }
+    if i >= 2 && is_punct(toks.get(i - 1), '.') && ident(toks.get(i - 2)) == Some("self") {
+        return Some("self".to_string());
+    }
+    None
+}
+
+/// Name the lock acquired by the guard-call token at `i` (`lock`/`read`/
+/// `write`): the identifier directly before the `.`, qualified by crate.
+fn lock_name_at(toks: &[Token], i: usize, krate: &str) -> String {
+    let base = if i >= 2 && is_punct(toks.get(i - 1), '.') {
+        match ident(toks.get(i - 2)) {
+            Some(n) if n != "self" => n,
+            _ => "?",
+        }
+    } else {
+        "?"
+    };
+    format!("{krate}:{base}")
+}
+
+/// If the statement starting at `let` (index `i`) binds a plain identifier
+/// to an expression ending in a guard call, return `(name, (line, lock
+/// token index), semi index)`.
+fn guard_binding(
+    toks: &[Token],
+    i: usize,
+    end: usize,
+    _krate: &str,
+) -> Option<(String, (u32, usize), usize)> {
+    let mut j = i + 1;
+    if ident(toks.get(j)) == Some("mut") {
+        j += 1;
+    }
+    let name = ident(toks.get(j))?.to_string();
+    if !is_punct(toks.get(j + 1), '=') {
+        return None;
+    }
+    let mut k = j + 2;
+    let mut d = 0i32;
+    while k < end {
+        match toks[k].tok {
+            Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => d += 1,
+            Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') => d -= 1,
+            Tok::Punct(';') if d == 0 => break,
+            _ => {}
+        }
+        k += 1;
+    }
+    if k >= 4
+        && is_punct(toks.get(k - 1), ')')
+        && is_punct(toks.get(k - 2), '(')
+        && ident(toks.get(k - 3)).is_some_and(|m| GUARD_CALLS.contains(&m))
+        && is_punct(toks.get(k - 4), '.')
+    {
+        let lock_tok = k - 3;
+        Some((name, (toks[lock_tok].line, lock_tok), k))
+    } else {
+        None
+    }
+}
+
+/// File-wide A4 scan: raw OS-thread primitives anywhere in the token
+/// stream, including struct fields and `use` declarations.
+fn scan_spawns(toks: &[Token], out: &mut ParsedFile) {
+    for (i, t) in toks.iter().enumerate() {
+        let Tok::Ident(w) = &t.tok else { continue };
+        match w.as_str() {
+            "JoinHandle" => out.spawns.push(SpawnSite {
+                line: t.line,
+                what: "JoinHandle".into(),
+            }),
+            "spawn" | "scope" | "Builder" | "spawn_scoped"
+                if i >= 3
+                    && is_punct(toks.get(i - 1), ':')
+                    && is_punct(toks.get(i - 2), ':')
+                    && ident(toks.get(i - 3)) == Some("thread") =>
+            {
+                out.spawns.push(SpawnSite {
+                    line: t.line,
+                    what: format!("thread::{w}"),
+                });
+            }
+            "spawn" | "spawn_scoped"
+                if is_punct(toks.get(i.wrapping_sub(1)), '.') && is_punct(toks.get(i + 1), '(') =>
+            {
+                out.spawns.push(SpawnSite {
+                    line: t.line,
+                    what: format!(".{w}(…)"),
+                });
+            }
+            _ => {}
+        }
+    }
+}

@@ -4,7 +4,8 @@
 
 use crate::lexer::{lex, strip_test_items, Lexed, Tok, Token};
 
-/// The six enforced invariants.
+/// The ten enforced invariants: six per-file token rules (L1–L6) and four
+/// interprocedural, call-graph rules (A1–A4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
     /// Virtual-time purity: no wall-clock primitives in simulated code.
@@ -20,6 +21,18 @@ pub enum Rule {
     /// Liveness: wait loops need a `// liveness:` comment naming the
     /// wakeup source.
     L6,
+    /// Transitive virtual-time taint: a simulated function *indirectly*
+    /// reaching a wall-clock primitive through its callees.
+    A1,
+    /// Lock-order inversion: a cycle in the acquired-while-held graph
+    /// built across function boundaries.
+    A2,
+    /// Blocking reachability: a function reachable from an engine entry
+    /// point that can park or wait must carry or inherit `// liveness:`.
+    A3,
+    /// Raw OS-thread primitives (`thread::spawn`, `JoinHandle`) outside
+    /// `spsim::runtime` — the M:N-scheduling precondition.
+    A4,
 }
 
 impl Rule {
@@ -32,6 +45,10 @@ impl Rule {
             Rule::L4 => "L4",
             Rule::L5 => "L5",
             Rule::L6 => "L6",
+            Rule::A1 => "A1",
+            Rule::A2 => "A2",
+            Rule::A3 => "A3",
+            Rule::A4 => "A4",
         }
     }
 
@@ -44,9 +61,25 @@ impl Rule {
             "L4" => Rule::L4,
             "L5" => Rule::L5,
             "L6" => Rule::L6,
+            "A1" => Rule::A1,
+            "A2" => Rule::A2,
+            "A3" => Rule::A3,
+            "A4" => Rule::A4,
             _ => return None,
         })
     }
+}
+
+/// One hop of a witness chain: a function (or call/primitive site) an
+/// interprocedural finding routes through.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hop {
+    /// Short label, `stem::fn` (e.g. `engine::poll_step`).
+    pub label: String,
+    /// Repo-relative path of the hop.
+    pub path: String,
+    /// 1-based line of the hop.
+    pub line: u32,
 }
 
 /// One violation, addressed by repo-relative path and 1-based line.
@@ -60,18 +93,32 @@ pub struct Finding {
     pub line: u32,
     /// Human-readable description.
     pub msg: String,
+    /// Witness chain for interprocedural (A-rule) findings: the call path
+    /// from the entry/flagged function down to the offending primitive.
+    /// Empty for the per-file L-rules.
+    pub witness: Vec<Hop>,
 }
 
 impl Finding {
-    /// `path:line: [Lx] msg` — the stable output format.
+    /// `path:line: [Lx] msg` — the stable output format. A-rule findings
+    /// append their witness chain, one arrow line plus one `file:line` line
+    /// per hop.
     pub fn render(&self) -> String {
-        format!(
+        let mut s = format!(
             "{}:{}: [{}] {}",
             self.path,
             self.line,
             self.rule.code(),
             self.msg
-        )
+        );
+        if !self.witness.is_empty() {
+            let arrows: Vec<&str> = self.witness.iter().map(|h| h.label.as_str()).collect();
+            s.push_str(&format!("\n    witness: {}", arrows.join(" → ")));
+            for h in &self.witness {
+                s.push_str(&format!("\n      {} at {}:{}", h.label, h.path, h.line));
+            }
+        }
+        s
     }
 }
 
@@ -223,6 +270,7 @@ fn rule_l1(path: &str, toks: &[Token], out: &mut Vec<Finding>) {
                 path: path.to_string(),
                 line: t.line,
                 msg,
+                witness: Vec::new(),
             });
         }
     }
@@ -243,6 +291,7 @@ fn rule_l2(path: &str, toks: &[Token], out: &mut Vec<Finding>) {
                          same-seed trace identity — use BTree{} here",
                         &s[4..]
                     ),
+                    witness: Vec::new(),
                 });
             }
         }
@@ -283,6 +332,7 @@ fn rule_l3(path: &str, toks: &[Token], lexed: &Lexed, out: &mut Vec<Finding>) {
                     "`Ordering::{which}` without an adjacent `// ordering:` justification \
                      comment (same line, up to 3 lines above, or continuing a justified run)"
                 ),
+                witness: Vec::new(),
             });
         }
     }
@@ -370,6 +420,7 @@ fn rule_l4(path: &str, toks: &[Token], out: &mut Vec<Finding>) {
                                  to the wait",
                                 g.name, g.line
                             ),
+                            witness: Vec::new(),
                         });
                     }
                 }
@@ -479,6 +530,7 @@ fn rule_l5(path: &str, toks: &[Token], out: &mut Vec<Finding>) {
                         msg: "bare `panic!` on an engine hot path — use `spsim::sim_panic!` \
                               or embed `deadlock_report`/`tail_report` in the message"
                             .to_string(),
+                        witness: Vec::new(),
                     });
                 }
                 i = close + 1;
@@ -495,6 +547,7 @@ fn rule_l5(path: &str, toks: &[Token], out: &mut Vec<Finding>) {
                         "`.{m}()` on an engine hot path dies without simulator context — \
                          use `spsim::OrDiag::or_diag` so the trace tail is attached"
                     ),
+                    witness: Vec::new(),
                 });
             }
             _ => {}
@@ -572,6 +625,7 @@ fn rule_l6(path: &str, toks: &[Token], lexed: &Lexed, out: &mut Vec<Finding>) {
                      name the wakeup source (who fills the slot / notifies the cv / \
                      closes the queue) in a comment block directly above the loop"
                 ),
+                witness: Vec::new(),
             });
         }
     }

@@ -1,0 +1,15 @@
+// lint-as: crates/lapi/src/engine.rs
+//! Fixture: A1 — a virtual-time fn that reaches the wall clock only
+//! through a callee. `timebase` itself is L1's business (direct use);
+//! `issue_packet` has no clock token on any of its lines, so only the
+//! call graph can see the taint.
+
+fn timebase() -> u64 {
+    let t = Instant::now();
+    stamp(t)
+}
+
+fn issue_packet(&self) {
+    let t = timebase();
+    self.wire_send(t);
+}

@@ -1,0 +1,12 @@
+// lint-as: crates/lapi/src/engine.rs
+//! Fixture: clean under A1 — the same call shape, but the helper reads
+//! virtual time, so no taint flows anywhere.
+
+fn timebase(&self) -> u64 {
+    self.clock.now().as_ns()
+}
+
+fn issue_packet(&self) {
+    let t = self.timebase();
+    self.wire_send(t);
+}

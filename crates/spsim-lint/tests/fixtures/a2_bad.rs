@@ -1,0 +1,18 @@
+// lint-as: crates/lapi/src/engine.rs
+//! Fixture: A2 — two functions acquire the same pair of locks in opposite
+//! orders. Neither function is wrong on its own; only the cross-function
+//! acquired-while-held graph exposes the inversion.
+
+impl Engine {
+    fn charge(&self) {
+        let outstanding = self.outstanding.lock();
+        let reasm = self.reasm.lock();
+        settle(outstanding, reasm);
+    }
+
+    fn refund(&self) {
+        let reasm = self.reasm.lock();
+        let outstanding = self.outstanding.lock();
+        settle(outstanding, reasm);
+    }
+}

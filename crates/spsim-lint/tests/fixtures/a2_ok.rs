@@ -1,0 +1,17 @@
+// lint-as: crates/lapi/src/engine.rs
+//! Fixture: clean under A2 — both functions take the locks in the same
+//! order, so the acquired-while-held graph is acyclic.
+
+impl Engine {
+    fn charge(&self) {
+        let outstanding = self.outstanding.lock();
+        let reasm = self.reasm.lock();
+        settle(outstanding, reasm);
+    }
+
+    fn refund(&self) {
+        let outstanding = self.outstanding.lock();
+        let reasm = self.reasm.lock();
+        unsettle(outstanding, reasm);
+    }
+}

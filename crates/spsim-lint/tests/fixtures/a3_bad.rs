@@ -1,0 +1,15 @@
+// lint-as: crates/lapi/src/engine.rs
+//! Fixture: A3 — a helper that blocks, reachable from an engine entry
+//! point, with no `// liveness:` annotation anywhere on the chain. L6
+//! cannot see it: the blocking call is not inside a loop.
+
+impl Engine {
+    fn dispatcher_loop(&self) {
+        self.step();
+    }
+
+    fn step(&self) {
+        let pkt = self.rx.recv();
+        self.handle(pkt);
+    }
+}

@@ -1,0 +1,17 @@
+// lint-as: crates/lapi/src/engine.rs
+//! Fixture: clean under A3 — the same chain, but the blocking helper
+//! carries a `// liveness:` contract, which also absorbs everything it
+//! calls below.
+
+impl Engine {
+    fn dispatcher_loop(&self) {
+        self.step();
+    }
+
+    // liveness: recv wakes on every packet the adapter enqueues; the
+    // channel close (peer death) poisons the receiver and the Err exits.
+    fn step(&self) {
+        let pkt = self.rx.recv();
+        self.handle(pkt);
+    }
+}

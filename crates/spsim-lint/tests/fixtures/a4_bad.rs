@@ -1,0 +1,14 @@
+// lint-as: crates/lapi/src/world.rs
+//! Fixture: A4 — raw OS-thread primitives in a simulated crate. The type
+//! in the struct field counts too: holding a `JoinHandle` is what keeps
+//! M:N scheduling from taking the thread over.
+
+use std::thread::JoinHandle;
+
+pub struct Service {
+    handle: Option<JoinHandle<()>>,
+}
+
+pub fn start() -> JoinHandle<()> {
+    std::thread::spawn(|| run())
+}

@@ -1,0 +1,34 @@
+// lint-as: crates/lapi/src/engine.rs
+//! Fixture (multi-file): call-graph edge cases for the conservative
+//! resolver — trait-object dispatch, generic dispatch, and closures.
+//! Pairs with `xcrate/hostclock.rs`, which holds the tainted callee in a
+//! different (simulated) crate.
+
+trait Completion {
+    fn on_complete(&self);
+}
+
+impl Engine {
+    /// Trait-object call: the resolver cannot see the vtable, so this
+    /// degrades to a name-match on `on_complete` — which finds the
+    /// cross-file impl.
+    fn fire(&self, h: &dyn Completion) {
+        h.on_complete();
+    }
+
+    /// Generic method call: degrades exactly the same way.
+    fn fire_generic<H: Completion>(&self, h: &H) {
+        h.on_complete();
+    }
+
+    /// Closure: its body's calls belong to the enclosing fn, so the
+    /// closure capture inherits (and propagates) the taint.
+    fn fire_deferred(&self) {
+        let cb = || self.stamp_now();
+        cb();
+    }
+
+    fn stamp_now(&self) -> u64 {
+        host_nanos()
+    }
+}

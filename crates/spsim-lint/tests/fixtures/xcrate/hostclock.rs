@@ -1,0 +1,16 @@
+// lint-as: crates/sim/src/hostclock.rs
+//! Fixture (multi-file): the tainted callee crate. `host_nanos` touches
+//! the wall clock directly (L1's business); everything that reaches it
+//! from `xcrate/handlers.rs` is A1's.
+
+pub struct Notifier;
+
+impl Completion for Notifier {
+    fn on_complete(&self) {
+        let _ = host_nanos();
+    }
+}
+
+pub fn host_nanos() -> u64 {
+    Instant::now().elapsed().as_nanos() as u64
+}
