@@ -29,6 +29,7 @@ fn check(path: &str) -> i32 {
             "adapter_rings_pps",
             perf::measure_adapter_pps(DeliveryPath::Rings),
         ),
+        ("scale_n1024_pps", perf::measure_scale_point(1024).pps),
     ];
     for (key, measured) in checks {
         let Some(&committed) = base.get(key) else {
@@ -57,7 +58,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("--check") => {
-            let path = args.get(1).map(String::as_str).unwrap_or("BENCH_6.json");
+            let path = args.get(1).map(String::as_str).unwrap_or("BENCH_10.json");
             std::process::exit(check(path));
         }
         Some("--out") => {

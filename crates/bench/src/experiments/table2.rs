@@ -15,8 +15,9 @@
 
 use lapi::{HdrOutcome, Mode};
 use mpl::MplMode;
-use parking_lot::{Condvar, Mutex};
+use parking_lot::Mutex;
 use spsim::run_spmd_with;
+use spsim::SimCondvar;
 use std::sync::Arc;
 
 use crate::report::{Measurement, Report};
@@ -155,7 +156,7 @@ fn mpl_rcvncall_round_trip(reps: usize) -> f64 {
                 hctx.isend(st.src, 2, &data);
             });
         }
-        let got: Arc<(Mutex<usize>, Condvar)> = Arc::new((Mutex::new(0), Condvar::new()));
+        let got: Arc<(Mutex<usize>, SimCondvar)> = Arc::new((Mutex::new(0), SimCondvar::new()));
         if rank == 0 {
             let got = Arc::clone(&got);
             ctx.rcvncall(2, move |_hctx, _data, _st| {

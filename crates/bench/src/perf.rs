@@ -11,11 +11,18 @@
 //! * **adapter-level packet rate**: an end-to-end many-to-one packet storm
 //!   through `Network`/`Adapter` under each path;
 //! * **sweep runtimes**: wall-clock seconds for the quick Figure 2 and
-//!   Figure 3 reproductions, the numbers a contributor actually waits on.
+//!   Figure 3 reproductions, the numbers a contributor actually waits on;
+//! * **node-count scaling**: end-to-end wall-clock seconds and
+//!   simulated-packets/sec for a ring-neighbor SPMD job at
+//!   n ∈ {4, 64, 256, 1024} under the M:N pooled scheduler, plus a
+//!   thread-per-node run at n = 4 so the pooled-vs-threads delta is on
+//!   record (at 1024 nodes the legacy path would need ~3000 OS threads;
+//!   the pooled path runs it on `SPSIM_WORKERS`).
 //!
-//! Results are written as flat JSON (`BENCH_6.json` is the first committed
-//! baseline) and re-checked in CI: a >20% packets/sec regression against
-//! the committed baseline fails the `--check` invocation.
+//! Results are written as flat JSON (`BENCH_6.json` was the first committed
+//! baseline; `BENCH_10.json` adds the scaling lane) and re-checked in CI:
+//! a packets/sec regression of more than 20% against the committed
+//! baseline fails the `--check` invocation.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -39,6 +46,23 @@ const QUEUE_REPS: usize = 3;
 const STORM_SENDERS: usize = 3;
 /// Packets per sender in the adapter storm.
 const STORM_PER_SENDER: usize = 50_000;
+/// Node counts for the scaling lane.
+const SCALE_NODES: [usize; 4] = [4, 64, 256, 1024];
+/// Packets each node sends to its ring neighbor in the scaling lane —
+/// small, because the quantity under test is the per-node scheduling cost,
+/// not steady-state delivery throughput (the storm above covers that).
+const SCALE_PER_NODE: usize = 32;
+
+/// One node-count point of the scaling lane.
+#[derive(Debug, Clone)]
+pub struct ScalePoint {
+    /// Simulated nodes in the SPMD job.
+    pub nodes: usize,
+    /// End-to-end wall-clock seconds (pooled scheduler).
+    pub secs: f64,
+    /// Simulated packets delivered per wall-clock second.
+    pub pps: f64,
+}
 
 /// One full run of the lane.
 #[derive(Debug, Clone)]
@@ -55,6 +79,12 @@ pub struct PerfReport {
     pub fig2_quick_secs: f64,
     /// Wall-clock seconds for the quick Figure 3 sweep.
     pub fig3_quick_secs: f64,
+    /// The node-count scaling lane (pooled scheduler), one point per entry
+    /// of [`SCALE_NODES`].
+    pub scale: Vec<ScalePoint>,
+    /// Thread-per-node wall-clock seconds at n = 4 (`SPSIM_SCHED=threads`),
+    /// the pooled-vs-threads comparison point.
+    pub scale_n4_threads_secs: f64,
 }
 
 impl PerfReport {
@@ -160,6 +190,51 @@ pub fn measure_adapter_pps(path: DeliveryPath) -> f64 {
     total as f64 / start.elapsed().as_secs_f64()
 }
 
+/// End-to-end SPMD wall clock for an `n`-node ring-neighbor job: every
+/// node injects [`SCALE_PER_NODE`] packets toward `(rank + 1) % n` and
+/// drains as many, through the full `Network`/`Adapter` stack and
+/// `run_spmd_with`'s node scheduling. The drain loop yields through the
+/// scheduler so the job completes on a single pooled worker.
+fn run_ring_job(n: usize, per_node: usize) -> f64 {
+    let cfg = Arc::new(MachineConfig::default().with_no_faults());
+    let ads = Network::<u64>::new(n, cfg, 0x5CA1E).into_adapters();
+    let start = Instant::now();
+    spsim::run_spmd_with(ads, move |rank, a| {
+        let dst = (rank + 1) % n;
+        for i in 0..per_node {
+            // Spaced injections, as in the adapter storm above.
+            a.send_at(VTime::from_us(i as u64 * 50), dst, 64, i as u64);
+        }
+        let mut got = 0usize;
+        while got < per_node {
+            match a.rx().try_recv() {
+                Ok(Some(_)) => got += 1,
+                Ok(None) => spsim::yield_now(),
+                Err(_) => break,
+            }
+        }
+    });
+    start.elapsed().as_secs_f64()
+}
+
+/// One scaling-lane point under the (default) pooled scheduler.
+pub fn measure_scale_point(n: usize) -> ScalePoint {
+    let secs = run_ring_job(n, SCALE_PER_NODE);
+    ScalePoint {
+        nodes: n,
+        secs,
+        pps: (n * SCALE_PER_NODE) as f64 / secs,
+    }
+}
+
+/// The same ring job under the legacy thread-per-node scheduler.
+pub fn measure_scale_threads_secs(n: usize) -> f64 {
+    spsim::set_sched_mode(Some(spsim::SchedMode::Threads));
+    let secs = run_ring_job(n, SCALE_PER_NODE);
+    spsim::set_sched_mode(None);
+    secs
+}
+
 /// Run the whole lane (several minutes of wall clock for the sweeps).
 pub fn run_full() -> PerfReport {
     let queue_heap_pps = measure_queue_pps(DeliveryPath::Heap);
@@ -172,6 +247,11 @@ pub fn run_full() -> PerfReport {
     let t = Instant::now();
     let _ = crate::experiments::fig3::run(true);
     let fig3_quick_secs = t.elapsed().as_secs_f64();
+    let scale = SCALE_NODES
+        .iter()
+        .map(|&n| measure_scale_point(n))
+        .collect();
+    let scale_n4_threads_secs = measure_scale_threads_secs(4);
     PerfReport {
         queue_rings_pps,
         queue_heap_pps,
@@ -179,25 +259,52 @@ pub fn run_full() -> PerfReport {
         adapter_heap_pps,
         fig2_quick_secs,
         fig3_quick_secs,
+        scale,
+        scale_n4_threads_secs,
     }
 }
 
 /// Render the report as flat JSON (no serde in this workspace — the format
 /// is one object of numeric fields, parseable by [`parse_flat_json`]).
 pub fn to_json(r: &PerfReport) -> String {
-    let mut s = String::from("{\n");
-    let fields: [(&str, f64); 7] = [
-        ("queue_rings_pps", r.queue_rings_pps),
-        ("queue_heap_pps", r.queue_heap_pps),
-        ("queue_ratio", r.queue_ratio()),
-        ("adapter_rings_pps", r.adapter_rings_pps),
-        ("adapter_heap_pps", r.adapter_heap_pps),
-        ("fig2_quick_secs", r.fig2_quick_secs),
-        ("fig3_quick_secs", r.fig3_quick_secs),
+    // Rates keep one decimal; the scaling-lane seconds keep four (a 4-node
+    // job finishes in milliseconds and would round to 0.0).
+    let mut fields: Vec<(String, String)> = vec![
+        (
+            "queue_rings_pps".into(),
+            format!("{:.1}", r.queue_rings_pps),
+        ),
+        ("queue_heap_pps".into(), format!("{:.1}", r.queue_heap_pps)),
+        ("queue_ratio".into(), format!("{:.1}", r.queue_ratio())),
+        (
+            "adapter_rings_pps".into(),
+            format!("{:.1}", r.adapter_rings_pps),
+        ),
+        (
+            "adapter_heap_pps".into(),
+            format!("{:.1}", r.adapter_heap_pps),
+        ),
+        (
+            "fig2_quick_secs".into(),
+            format!("{:.1}", r.fig2_quick_secs),
+        ),
+        (
+            "fig3_quick_secs".into(),
+            format!("{:.1}", r.fig3_quick_secs),
+        ),
     ];
+    for p in &r.scale {
+        fields.push((format!("scale_n{}_secs", p.nodes), format!("{:.4}", p.secs)));
+        fields.push((format!("scale_n{}_pps", p.nodes), format!("{:.1}", p.pps)));
+    }
+    fields.push((
+        "scale_n4_threads_secs".into(),
+        format!("{:.4}", r.scale_n4_threads_secs),
+    ));
+    let mut s = String::from("{\n");
     for (i, (k, v)) in fields.iter().enumerate() {
         let comma = if i + 1 == fields.len() { "" } else { "," };
-        s.push_str(&format!("  \"{k}\": {v:.1}{comma}\n"));
+        s.push_str(&format!("  \"{k}\": {v}{comma}\n"));
     }
     s.push_str("}\n");
     s
@@ -233,12 +340,21 @@ mod tests {
             adapter_heap_pps: 400_000.0,
             fig2_quick_secs: 12.25,
             fig3_quick_secs: 8.5,
+            scale: vec![ScalePoint {
+                nodes: 4,
+                secs: 0.0125,
+                pps: 10_240.0,
+            }],
+            scale_n4_threads_secs: 0.025,
         };
         let parsed = parse_flat_json(&to_json(&r));
         assert_eq!(parsed["queue_rings_pps"], 3_000_000.0);
         assert_eq!(parsed["queue_ratio"], 3.0);
         assert_eq!(parsed["fig2_quick_secs"], 12.2, "one decimal place");
-        assert_eq!(parsed.len(), 7);
+        assert_eq!(parsed["scale_n4_secs"], 0.0125, "four decimal places");
+        assert_eq!(parsed["scale_n4_pps"], 10_240.0);
+        assert_eq!(parsed["scale_n4_threads_secs"], 0.025);
+        assert_eq!(parsed.len(), 10);
     }
 
     #[test]
@@ -247,5 +363,15 @@ mod tests {
         // report a positive rate.
         assert!(measure_queue_pps_with(DeliveryPath::Heap, 2_000) > 0.0);
         assert!(measure_queue_pps_with(DeliveryPath::Rings, 2_000) > 0.0);
+    }
+
+    #[test]
+    fn scaling_lane_runs_under_both_schedulers() {
+        // Small job: the lane completes pooled and threaded and reports
+        // positive wall-clock times.
+        let p = measure_scale_point(4);
+        assert_eq!(p.nodes, 4);
+        assert!(p.secs > 0.0 && p.pps > 0.0);
+        assert!(measure_scale_threads_secs(4) > 0.0);
     }
 }

@@ -1,0 +1,60 @@
+//! 1024-node scale smoke test — the acceptance gate for M:N node
+//! scheduling (ROADMAP item 1): a four-figure node count, which would need
+//! ~3000 OS threads under the legacy thread-per-node runtime, must
+//! complete on the pooled scheduler with a worker set sized to the host.
+//!
+//! The workload is deliberately short — create one distributed array, fill
+//! every block locally, then pull a single remote element from the ring
+//! neighbor — because what is under test is the scheduler (spawn, yield
+//! points, engine service tasks, barrier parks, teardown at n = 1024),
+//! not GA throughput. `#[ignore]`d in the default lane: it is quick under
+//! `--release` (CI runs it there with `-- --ignored`) but slow in debug.
+
+use std::sync::Arc;
+
+use ga::{Ga, GaBackend, GaConfig, GaKind, LapiGaBackend, Patch};
+use lapi::{LapiWorld, Mode};
+use spsim::{run_spmd_with, MachineConfig};
+
+const TASKS: usize = 1024;
+const ROWS: usize = 128;
+const COLS: usize = 128;
+
+fn col_major(patch: &Patch, f: impl Fn(usize, usize) -> f64) -> Vec<f64> {
+    let mut out = Vec::with_capacity(patch.elems());
+    for j in patch.lo.1..=patch.hi.1 {
+        for i in patch.lo.0..=patch.hi.0 {
+            out.push(f(i, j));
+        }
+    }
+    out
+}
+
+#[test]
+#[ignore = "1024 nodes: run with --release (CI's ga-scale job does)"]
+fn thousand_node_ga_workload_completes_pooled() {
+    let gas: Vec<Ga> = LapiWorld::init(TASKS, MachineConfig::default(), Mode::Interrupt)
+        .into_iter()
+        .map(|ctx| Ga::new(LapiGaBackend::new(ctx, GaConfig::default()) as Arc<dyn GaBackend>))
+        .collect();
+    run_spmd_with(gas, |rank, ga| {
+        let a = ga.create("scale", ROWS, COLS, GaKind::Double);
+        ga.sync();
+
+        // Everyone writes its own block (exercises the put path and the
+        // owner-local fast path at full node count).
+        let mine = a
+            .local_patch()
+            .expect("1024 = 32x32 grid, every task owns a block");
+        a.put(mine, &col_major(&mine, |_, _| rank as f64));
+        ga.sync();
+
+        // One remote element from the ring neighbor: 1024 simultaneous
+        // interrupt-mode gets, each served by a pooled dispatcher task.
+        let next = (rank + 1) % TASKS;
+        let theirs = a.distribution(next).expect("neighbor owns a block");
+        let corner = Patch::new(theirs.lo, theirs.lo);
+        assert_eq!(a.get(corner), vec![next as f64]);
+        ga.sync();
+    });
+}

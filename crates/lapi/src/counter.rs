@@ -19,7 +19,8 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::Mutex;
+use spsim::SimCondvar;
 use spsim::{VClock, VTime};
 
 /// Index of a counter within its owning node's counter table.
@@ -42,7 +43,7 @@ struct State {
 #[derive(Debug)]
 struct Inner {
     state: Mutex<State>,
-    cond: Condvar,
+    cond: SimCondvar,
 }
 
 /// An opaque LAPI counter.
@@ -61,7 +62,7 @@ impl Counter {
                     value: 0,
                     last_event: VTime::ZERO,
                 }),
-                cond: Condvar::new(),
+                cond: SimCondvar::new(),
             }),
         }
     }

@@ -21,7 +21,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use parking_lot::{Condvar, Mutex, RwLock};
+use parking_lot::{Mutex, RwLock};
+use spsim::SimCondvar;
 use spsim::{trace, MachineConfig, NodeId, OrDiag, Stamped, TimedQueue, VClock, VTime};
 use spswitch::{Adapter, DeliveryTimeout, SendReceipt, WirePacket};
 
@@ -94,7 +95,7 @@ struct CmplWork {
 /// dead before the reply arrives (peer-death propagation).
 pub(crate) struct RmwSlot {
     st: Mutex<Option<LapiResult<u64>>>,
-    cv: Condvar,
+    cv: SimCondvar,
 }
 
 /// Handle to a pending `LAPI_Rmw`: resolves to the previous cell value.
@@ -172,7 +173,7 @@ pub struct Engine {
     handlers: RwLock<BTreeMap<u32, HeaderHandlerFn>>,
     reasm: Mutex<BTreeMap<(NodeId, MsgId), Reasm>>,
     outstanding: Mutex<Vec<i64>>,
-    outstanding_cv: Condvar,
+    outstanding_cv: SimCondvar,
     /// Pending rmw tickets with the target each awaits a reply from, so
     /// peer-death propagation can poison exactly the tickets it strands.
     rmw_slots: Mutex<BTreeMap<u64, (NodeId, Arc<RmwSlot>)>>,
@@ -190,7 +191,7 @@ pub struct Engine {
     next_msg: AtomicU64,
     next_ticket: AtomicU64,
     mode: Mutex<Mode>,
-    mode_cv: Condvar,
+    mode_cv: SimCondvar,
     cmpl_q: TimedQueue<CmplWork>,
     pub(crate) stats: LapiStats,
     pub(crate) escape: Duration,
@@ -213,14 +214,14 @@ impl Engine {
             handlers: RwLock::new(BTreeMap::new()),
             reasm: Mutex::new(BTreeMap::new()),
             outstanding: Mutex::new(vec![0; n]),
-            outstanding_cv: Condvar::new(),
+            outstanding_cv: SimCondvar::new(),
             rmw_slots: Mutex::new(BTreeMap::new()),
             dead_peers: Mutex::new(vec![false; n]),
             pending_cmpl: Mutex::new(vec![Vec::new(); n]),
             next_msg: AtomicU64::new(1),
             next_ticket: AtomicU64::new(1),
             mode: Mutex::new(mode),
-            mode_cv: Condvar::new(),
+            mode_cv: SimCondvar::new(),
             cmpl_q: TimedQueue::with_escape(escape),
             stats: LapiStats::default(),
             escape,
@@ -1129,7 +1130,7 @@ impl Engine {
         let ticket = self.next_ticket.fetch_add(1, Ordering::Relaxed);
         let slot = Arc::new(RmwSlot {
             st: Mutex::new(None),
-            cv: Condvar::new(),
+            cv: SimCondvar::new(),
         });
         self.rmw_slots
             .lock()

@@ -187,6 +187,81 @@ fn heap_and_ring_paths_stay_identical_under_node_crash() {
     );
 }
 
+// ----------------------------------------------------- scheduler equivalence
+//
+// PR 10's M:N scheduler must be *invisible* to virtual time: the same seed
+// must replay byte-identically whether nodes run thread-per-node
+// (`SPSIM_SCHED=threads`) or as fibers on a pooled worker set, and at any
+// worker count (`SPSIM_WORKERS`), including a single worker, where every
+// blocking point must yield correctly or the run livelocks.
+
+/// Serializes the tests that flip the process-global scheduler knobs so
+/// each one actually measures the mode it claims to.
+static SCHED_KNOBS: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Restores the default scheduler mode and worker cap even if the test
+/// body panics mid-comparison.
+struct SchedRestore;
+impl Drop for SchedRestore {
+    fn drop(&mut self) {
+        spsim::set_sched_mode(None);
+        spsim::set_worker_cap(None);
+    }
+}
+
+#[test]
+fn pooled_and_threaded_schedulers_produce_byte_identical_traces() {
+    let _serial = SCHED_KNOBS.lock().unwrap_or_else(|e| e.into_inner());
+    let _restore = SchedRestore;
+
+    spsim::set_sched_mode(Some(spsim::SchedMode::Threads));
+    let threads = run_once();
+
+    // Single worker first: the pool grows on demand but never shrinks, so
+    // the cap=1 run must precede the cap=4 run within this process.
+    spsim::set_sched_mode(Some(spsim::SchedMode::Pool));
+    spsim::set_worker_cap(Some(1));
+    let pool1 = run_once();
+    spsim::set_worker_cap(Some(4));
+    let pool4 = run_once();
+
+    assert!(!threads.is_empty(), "workload produced no trace events");
+    assert_eq!(
+        threads, pool1,
+        "thread-per-node and single-worker pooled runs diverged — a \
+         blocking point is leaking host scheduling into virtual time"
+    );
+    assert_eq!(
+        pool1, pool4,
+        "pooled runs diverged across worker counts — the scheduler's \
+         dispatch order is reaching an ordering-sensitive path"
+    );
+}
+
+#[test]
+fn crash_replay_is_byte_identical_under_pooled_scheduler() {
+    let _serial = SCHED_KNOBS.lock().unwrap_or_else(|e| e.into_inner());
+    let _restore = SchedRestore;
+    let cfg = || MachineConfig::default().with_no_faults();
+
+    spsim::set_sched_mode(Some(spsim::SchedMode::Threads));
+    let threads = crash_run_once_on(cfg());
+
+    spsim::set_sched_mode(Some(spsim::SchedMode::Pool));
+    spsim::set_worker_cap(Some(1));
+    let pooled = crash_run_once_on(cfg());
+
+    assert!(
+        !threads.is_empty(),
+        "crash workload produced no trace events"
+    );
+    assert_eq!(
+        threads, pooled,
+        "crash replay diverged between schedulers — retransmit storms and \
+         peer-death unwinding must not observe the worker pool"
+    );
+}
+
 /// The SPSC delivery rings are a drop-in replacement for the legacy
 /// `TimedQueue` delivery path: within the deterministic envelope a
 /// same-seed run must produce a byte-identical trace through either path,

@@ -11,7 +11,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::Mutex;
+use spsim::SimCondvar;
 use spsim::{trace, MachineConfig, NodeId, OrDiag, Stamped, StatCounter, VClock, VTime};
 use spswitch::{Adapter, SendReceipt, WirePacket};
 
@@ -49,7 +50,7 @@ pub type RcvncallFn = Arc<dyn Fn(&MplHandlerCtx<'_>, Vec<u8>, Status) + Send + S
 /// Completion state of one receive.
 pub(crate) struct RecvState {
     st: Mutex<RecvInner>,
-    cv: Condvar,
+    cv: SimCondvar,
 }
 
 struct RecvInner {
@@ -72,7 +73,7 @@ impl RecvState {
                     len: 0,
                 },
             }),
-            cv: Condvar::new(),
+            cv: SimCondvar::new(),
         })
     }
 
@@ -113,14 +114,14 @@ impl RecvState {
 /// Completion state of one send (buffer-reusable semantics).
 pub(crate) struct SendState {
     st: Mutex<(bool, VTime)>,
-    cv: Condvar,
+    cv: SimCondvar,
 }
 
 impl SendState {
     fn new() -> Arc<Self> {
         Arc::new(SendState {
             st: Mutex::new((false, VTime::ZERO)),
-            cv: Condvar::new(),
+            cv: SimCondvar::new(),
         })
     }
 
@@ -251,7 +252,7 @@ pub(crate) struct MplEngine {
     adapter: Adapter<MplBody>,
     state: Mutex<MatchState>,
     mode: Mutex<MplMode>,
-    mode_cv: Condvar,
+    mode_cv: SimCondvar,
     pub(crate) stats: MplStats,
     pub(crate) escape: Duration,
     terminated: AtomicBool,
@@ -269,7 +270,7 @@ impl MplEngine {
                 rndv_sends: BTreeMap::new(),
             }),
             mode: Mutex::new(mode),
-            mode_cv: Condvar::new(),
+            mode_cv: SimCondvar::new(),
             stats: MplStats::default(),
             escape,
             terminated: AtomicBool::new(false),

@@ -71,10 +71,12 @@ fn eager_send_completes_locally_before_recv_posted() {
             ctx.barrier();
         } else {
             ctx.barrier(); // only now post the receive
-                           // wait (real time) until the dispatcher has buffered the
-                           // unexpected message, so the accounting below is deterministic
+                           // spin (yielding to the scheduler, so the dispatcher can run
+                           // even on a single pooled worker) until the dispatcher has
+                           // buffered the unexpected message, so the accounting below
+                           // is deterministic
             while ctx.stats().packets.get() < 1 {
-                std::thread::sleep(std::time::Duration::from_millis(1));
+                spsim::yield_now();
             }
             let (data, _) = ctx.recv(Some(0), Some(3));
             assert_eq!(data, vec![5u8; 1000]);

@@ -8,9 +8,10 @@
 
 use std::sync::Arc;
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::Mutex;
 
 use crate::clock::VClock;
+use crate::sched::SimCondvar;
 use crate::time::{VDur, VTime};
 
 struct State {
@@ -24,7 +25,7 @@ struct Inner {
     n: usize,
     cost: VDur,
     state: Mutex<State>,
-    cond: Condvar,
+    cond: SimCondvar,
 }
 
 /// A reusable barrier over `n` participants that aligns virtual clocks.
@@ -47,7 +48,7 @@ impl VBarrier {
                     max_time: VTime::ZERO,
                     release_time: VTime::ZERO,
                 }),
-                cond: Condvar::new(),
+                cond: SimCondvar::new(),
             }),
         }
     }

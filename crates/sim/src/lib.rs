@@ -1,7 +1,9 @@
 //! # spsim — virtual-time simulation kernel for the simulated RS/6000 SP
 //!
 //! This crate provides the substrate on which the LAPI reproduction runs:
-//! every simulated SP *node* is a real OS thread, but time is **virtual**.
+//! every simulated SP *node* is a cooperative task multiplexed M:N onto a
+//! fixed worker pool ([`sched`]; `SPSIM_SCHED=threads` restores the legacy
+//! thread-per-node runtime), and time is **virtual**.
 //! Each node owns a [`VClock`] — a monotonically advancing virtual-nanosecond
 //! counter. CPU work performed by the communication libraries is charged to
 //! the clock with [`VClock::advance`]; messages carry virtual timestamps, and
@@ -21,7 +23,7 @@
 //!   clock. This is how packet arrival times propagate between node threads.
 //! * [`VBarrier`] — a barrier that aligns the virtual clocks of all
 //!   participants (to the maximum, plus a configurable cost).
-//! * [`run_spmd`] — spawn `n` node threads running the same closure
+//! * [`run_spmd`] — run `n` node tasks executing the same closure
 //!   (single-program-multiple-data, like a parallel job on the SP), with
 //!   panic propagation.
 //! * [`SimRng`] — a tiny deterministic RNG (SplitMix64) used for route
@@ -45,6 +47,7 @@ pub mod mutation;
 pub mod queue;
 pub mod rng;
 pub mod runtime;
+pub mod sched;
 pub mod spsc;
 pub mod stats;
 pub mod time;
@@ -61,6 +64,10 @@ pub use rng::SimRng;
 pub use runtime::{
     run_spmd, run_spmd_with, schedule_tiebreak, set_schedule_tiebreak, spawn_service, NodeId,
     ServiceHandle,
+};
+pub use sched::{
+    on_fiber, sched_mode, set_sched_mode, set_worker_cap, yield_now, SchedMode, SimCondvar,
+    SimWaitTimeoutResult,
 };
 pub use spsc::{DeliveryQueue, DeliveryRings};
 pub use stats::{Histogram, StatCounter};

@@ -19,10 +19,11 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::Mutex;
 
 use crate::clock::VClock;
 use crate::diag::OrDiag;
+use crate::sched::SimCondvar;
 use crate::time::VTime;
 
 /// Default real-time escape for blocking receives.
@@ -75,7 +76,7 @@ impl<T> Ord for Entry<T> {
 
 struct Inner<T> {
     heap: Mutex<HeapState<T>>,
-    cond: Condvar,
+    cond: SimCondvar,
     /// Mirror of `heap.len()`, maintained on every push/pop so the hot
     /// emptiness polls (`len`/`is_empty`) never take the heap lock.
     depth: AtomicUsize,
@@ -130,7 +131,7 @@ impl<T> TimedQueue<T> {
                     closed: false,
                     waiters: 0,
                 }),
-                cond: Condvar::new(),
+                cond: SimCondvar::new(),
                 depth: AtomicUsize::new(0),
             }),
             escape,

@@ -1,0 +1,1212 @@
+//! M:N cooperative node scheduler.
+//!
+//! The SP machine of the paper ran jobs at hundreds-to-1024 nodes; a
+//! thread-per-node runtime caps the simulator at a few dozen. This module
+//! multiplexes every simulated execution context — node bodies and the
+//! engine service loops folded through [`crate::runtime::spawn_service`] —
+//! onto a small fixed pool of OS workers, so a 1024-node job costs
+//! `~workers` threads instead of ~3000.
+//!
+//! The pieces:
+//!
+//! * **Fibers** — each task owns a stack and is entered/left with a
+//!   16-instruction x86-64 context switch ([`spsim_ctx_switch`]). A task's
+//!   blocking points (queue waits, barrier parks, engine condvars) switch
+//!   back to the worker instead of blocking the OS thread, which is what
+//!   keeps a 1-core host (`SPSIM_WORKERS=1`) live: a single worker round-
+//!   robins every runnable task.
+//! * **[`SimCondvar`]** — a condition variable whose waiters park through
+//!   the scheduler when called from a fiber and fall back to the raw
+//!   condvar on plain threads, so the same call sites serve both the
+//!   pooled and the legacy `SPSIM_SCHED=threads` runtime.
+//! * **Timers with quiescent fast-forward** — every blocking wait in the
+//!   simulator carries a wall-clock deadline (poll/dispatch ticks, escape
+//!   hatches). When every task is parked and nothing is runnable, real
+//!   sleeping would only slow the job down without changing its virtual
+//!   outcome (timeout paths charge no virtual time on an empty tick), so
+//!   the pool fires the earliest deadline immediately. A budget — at most
+//!   one full cycle of pending timers per external progress signal —
+//!   stops that from busy-spinning when a timeout genuinely needs wall
+//!   time to pass (deadlock escapes keep their legacy pacing).
+//!
+//! Determinism: traces and results are functions of virtual timestamps and
+//! queue insertion sequence only — the existing determinism suite already
+//! passes under freely racing OS threads — so any correct scheduler,
+//! pooled or not, at any worker count, reproduces them byte-for-byte.
+//! `determinism.rs` asserts exactly that.
+
+use std::any::Any;
+use std::cell::{Cell, RefCell, UnsafeCell};
+use std::collections::{BinaryHeap, VecDeque};
+use std::mem::MaybeUninit;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use crate::diag::OrDiag;
+
+// ------------------------------------------------------------------ mode
+
+/// How the runtime executes simulated contexts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedMode {
+    /// M:N on the worker pool (the default).
+    Pool,
+    /// Legacy thread-per-node / thread-per-service (`SPSIM_SCHED=threads`)
+    /// — the escape hatch and differential baseline.
+    Threads,
+}
+
+// 0 = no override, 1 = Pool, 2 = Threads.
+static MODE_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// Programmatically force the scheduler mode (`None` restores the
+/// `SPSIM_SCHED` environment default). Process-global, like
+/// [`crate::runtime::set_schedule_tiebreak`]: callers that flip it around a
+/// simulated run must serialize those runs and restore it afterwards.
+pub fn set_sched_mode(mode: Option<SchedMode>) {
+    // ordering: callers serialize whole runs around this hook (see above),
+    // so no simulated thread races the store.
+    MODE_OVERRIDE.store(
+        match mode {
+            None => 0,
+            Some(SchedMode::Pool) => 1,
+            Some(SchedMode::Threads) => 2,
+        },
+        Ordering::Relaxed, // ordering: see serialization note above
+    );
+}
+
+fn env_mode() -> SchedMode {
+    static ENV: OnceLock<SchedMode> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        match std::env::var("SPSIM_SCHED").as_deref() {
+            Ok("threads") => SchedMode::Threads,
+            // Anything else (unset, "pool", typos) runs pooled: the default.
+            _ => SchedMode::Pool,
+        }
+    })
+}
+
+/// The scheduler mode in effect for newly created contexts.
+pub fn sched_mode() -> SchedMode {
+    if !FIBERS_SUPPORTED {
+        return SchedMode::Threads;
+    }
+    // ordering: see set_sched_mode — flips are serialized between runs.
+    match MODE_OVERRIDE.load(Ordering::Relaxed) {
+        1 => SchedMode::Pool,
+        2 => SchedMode::Threads,
+        _ => env_mode(),
+    }
+}
+
+// --------------------------------------------------------------- workers
+
+// 0 = no override; otherwise the forced worker-pool cap.
+static WORKER_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Programmatically cap the worker pool (`None` restores the
+/// `SPSIM_WORKERS`/core-count default). Workers already spawned above a
+/// lowered cap go idle rather than exiting; raising the cap re-engages
+/// them. Same process-global serialization contract as [`set_sched_mode`].
+pub fn set_worker_cap(cap: Option<usize>) {
+    // ordering: serialized between runs by the caller, like set_sched_mode.
+    WORKER_OVERRIDE.store(cap.unwrap_or(0), Ordering::Relaxed);
+    if let Some(s) = Sched::get() {
+        let mut st = s.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.active_cap = worker_cap();
+        let target = st.live.clamp(1, st.active_cap);
+        s.ensure_workers(&mut st, target);
+        drop(st);
+        s.work_cv.notify_all();
+    }
+}
+
+fn env_workers() -> Option<usize> {
+    static ENV: OnceLock<Option<usize>> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("SPSIM_WORKERS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+    })
+}
+
+fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// The effective pool-size cap: explicit override, else `SPSIM_WORKERS`,
+/// else the host core count (`min(cores, n)` is applied against live
+/// tasks when the pool grows).
+fn worker_cap() -> usize {
+    // ordering: serialized between runs by the caller, like set_sched_mode.
+    match WORKER_OVERRIDE.load(Ordering::Relaxed) {
+        0 => env_workers().unwrap_or_else(host_cores),
+        n => n,
+    }
+}
+
+/// Per-fiber stack size: `SPSIM_STACK_KB` override, else 512 KiB. Stacks
+/// are allocated uninitialized so untouched pages stay uncommitted — a
+/// 1024-node job reserves address space, not RAM.
+fn stack_bytes() -> usize {
+    static ENV: OnceLock<usize> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("SPSIM_STACK_KB")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 32)
+            .unwrap_or(512)
+            * 1024
+    })
+}
+
+// ---------------------------------------------------------- context switch
+
+#[cfg(target_arch = "x86_64")]
+const FIBERS_SUPPORTED: bool = true;
+#[cfg(not(target_arch = "x86_64"))]
+const FIBERS_SUPPORTED: bool = false;
+
+// System-V x86-64 stack switch: save the callee-saved registers and the
+// stack pointer of the current context, restore another's. The fiber's
+// first entry is faked as a restore whose popped registers were pre-staged
+// by `Task::init_frame` (r12 = the task pointer, return address =
+// `spsim_fiber_entry`).
+#[cfg(target_arch = "x86_64")]
+std::arch::global_asm!(
+    ".text",
+    ".globl spsim_ctx_switch",
+    ".p2align 4",
+    "spsim_ctx_switch:",
+    "push rbp",
+    "push rbx",
+    "push r12",
+    "push r13",
+    "push r14",
+    "push r15",
+    "mov [rdi], rsp",
+    "mov rsp, rsi",
+    "pop r15",
+    "pop r14",
+    "pop r13",
+    "pop r12",
+    "pop rbx",
+    "pop rbp",
+    "ret",
+    ".globl spsim_fiber_entry",
+    ".p2align 4",
+    "spsim_fiber_entry:",
+    "mov rdi, r12",
+    "and rsp, -16",
+    "call spsim_fiber_main",
+    "ud2",
+);
+
+#[cfg(target_arch = "x86_64")]
+extern "C" {
+    /// Defined in the `global_asm!` block above.
+    fn spsim_ctx_switch(save_rsp: *mut usize, restore_rsp: usize);
+    /// Label, never called from Rust — its address seeds new fiber frames.
+    fn spsim_fiber_entry();
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+unsafe fn spsim_ctx_switch(_save_rsp: *mut usize, _restore_rsp: usize) {
+    unreachable!("fibers are x86-64 only; sched_mode() forces Threads here")
+}
+
+/// Rust side of the fiber trampoline: runs the task closure under
+/// `catch_unwind`, records the outcome, and switches back to the worker
+/// for the last time. Never returns.
+#[cfg(target_arch = "x86_64")]
+#[no_mangle]
+extern "C" fn spsim_fiber_main(task: *const Task) {
+    // Safety: the worker that switched us in holds an Arc to this task for
+    // the whole time the fiber can run (see `Worker::run_task`).
+    let task = unsafe { &*task };
+    let body = unsafe { (*task.fiber.get()).entry.take() };
+    let body = body.or_diag("fiber entered twice");
+    if let Err(p) = catch_unwind(AssertUnwindSafe(body)) {
+        task.done.lock().unwrap_or_else(|e| e.into_inner()).panic = Some(p);
+    }
+    EXIT.with(|e| e.set(ExitKind::Finish));
+    switch_to_worker(task);
+    unreachable!("finished fiber resumed");
+}
+
+// ------------------------------------------------------------------ tasks
+
+const CANARY: u64 = 0x5EED_F1B3_DEAD_CA11;
+
+/// A fiber stack. Uninitialized on purpose: pages commit lazily as the
+/// task actually touches them. Stored as u64 words so the canary and the
+/// staged register frame are naturally aligned.
+struct Stack {
+    mem: Box<[MaybeUninit<u64>]>,
+}
+
+impl Stack {
+    fn new(bytes: usize) -> Stack {
+        let words = bytes.div_ceil(8);
+        let mut v = Vec::with_capacity(words);
+        // Safety: MaybeUninit<u64> is valid uninitialized.
+        unsafe { v.set_len(words) };
+        Stack {
+            mem: v.into_boxed_slice(),
+        }
+    }
+
+    fn base(&self) -> usize {
+        self.mem.as_ptr() as usize
+    }
+
+    fn len_bytes(&self) -> usize {
+        self.mem.len() * 8
+    }
+
+    fn top(&self) -> usize {
+        (self.base() + self.len_bytes()) & !15
+    }
+}
+
+/// Fiber-side state, touched only by the spawner (before the first
+/// schedule) and by the single worker currently switching the task —
+/// hand-offs are serialized through the scheduler lock.
+struct FiberState {
+    stack: Stack,
+    /// Saved stack pointer while the task is off-CPU.
+    rsp: usize,
+    entry: Option<Box<dyn FnOnce() + Send + 'static>>,
+}
+
+struct Done {
+    finished: bool,
+    panic: Option<Box<dyn Any + Send + 'static>>,
+    /// Fibers parked in `join_task`, unparked when this task finishes.
+    fiber_waiters: Vec<Arc<Task>>,
+}
+
+/// One scheduled execution context: a node body or an engine service loop.
+pub(crate) struct Task {
+    name: String,
+    fiber: UnsafeCell<FiberState>,
+    /// True while the task sits in the parked set (scheduler-lock guarded).
+    parked: AtomicBool,
+    /// Wake token for unpark-before-park races (scheduler-lock guarded).
+    notified: AtomicBool,
+    /// Why the last park ended; read by the fiber after it resumes.
+    timed_out: AtomicBool,
+    /// Bumped on every park; stale timer entries are detected by mismatch.
+    park_epoch: AtomicU64,
+    /// Worker index this task must resume on (`usize::MAX` = any): set
+    /// when a task parks mid-unwind, because std's panic bookkeeping is
+    /// thread-local and must unwind on the thread that started it.
+    pin: AtomicUsize,
+    done: Mutex<Done>,
+    done_cv: Condvar,
+}
+
+// Safety: `fiber` is only touched by the spawner before the task is first
+// enqueued and by the one worker currently running or switching the task;
+// every hand-off between workers goes through the scheduler mutex, which
+// orders those accesses.
+unsafe impl Send for Task {}
+unsafe impl Sync for Task {}
+
+impl Task {
+    fn new(name: String, entry: Box<dyn FnOnce() + Send + 'static>) -> Arc<Task> {
+        let task = Arc::new(Task {
+            name,
+            fiber: UnsafeCell::new(FiberState {
+                stack: Stack::new(stack_bytes()),
+                rsp: 0,
+                entry: Some(entry),
+            }),
+            parked: AtomicBool::new(false),
+            notified: AtomicBool::new(false),
+            timed_out: AtomicBool::new(false),
+            park_epoch: AtomicU64::new(0),
+            pin: AtomicUsize::new(usize::MAX),
+            done: Mutex::new(Done {
+                finished: false,
+                panic: None,
+                fiber_waiters: Vec::new(),
+            }),
+            done_cv: Condvar::new(),
+        });
+        // Safety: no other reference to `fiber` exists yet.
+        unsafe { task.init_frame(Arc::as_ptr(&task)) };
+        task
+    }
+
+    /// Stage the initial stack frame so the first context switch "returns"
+    /// into `spsim_fiber_entry` with r12 = the task pointer.
+    ///
+    /// # Safety
+    /// Must run before the task is first enqueued, with no concurrent
+    /// access to `fiber`.
+    unsafe fn init_frame(&self, me: *const Task) {
+        let fb = &mut *self.fiber.get();
+        let base = fb.stack.base() as *mut u64;
+        // Canary at the stack's low end: clobbered means overflow.
+        base.write(CANARY);
+        let top = fb.stack.top();
+        // 8 words below the top: r15 r14 r13 r12 rbx rbp ret pad.
+        let frame = (top - 8 * 8) as *mut u64;
+        for i in 0..6 {
+            frame.add(i).write(0);
+        }
+        frame.add(3).write(me as u64); // restored into r12
+        #[cfg(target_arch = "x86_64")]
+        frame
+            .add(6)
+            .write(spsim_fiber_entry as *const () as usize as u64);
+        frame.add(7).write(0);
+        fb.rsp = frame as usize;
+    }
+
+    fn check_canary(&self) {
+        // Safety: called by the worker that owns the task right now.
+        let fb = unsafe { &*self.fiber.get() };
+        // Safety: reads the word init_frame wrote at the stack base.
+        let canary = unsafe { (fb.stack.base() as *const u64).read() };
+        if canary != CANARY {
+            // The guard word is gone: the fiber overran its stack and
+            // memory beyond it is already suspect. Nothing can be unwound
+            // safely; die loudly.
+            eprintln!(
+                "spsim: fiber `{}` overflowed its {}-byte stack (canary clobbered); \
+                 raise SPSIM_STACK_KB",
+                self.name,
+                fb.stack.len_bytes()
+            );
+            std::process::abort();
+        }
+    }
+
+    pub(crate) fn is_finished(&self) -> bool {
+        self.done.lock().unwrap_or_else(|e| e.into_inner()).finished
+    }
+}
+
+impl std::fmt::Debug for Task {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Task").field("name", &self.name).finish()
+    }
+}
+
+// --------------------------------------------------------- current fiber
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ExitKind {
+    Yield,
+    Park,
+    Finish,
+}
+
+thread_local! {
+    /// The task currently running on this worker, if any.
+    static CURRENT: RefCell<Option<Arc<Task>>> = const { RefCell::new(None) };
+    /// Saved worker stack pointer while a fiber runs.
+    static WORKER_RSP: Cell<usize> = const { Cell::new(0) };
+    /// This worker's index (`usize::MAX` on non-worker threads).
+    static WORKER_ID: Cell<usize> = const { Cell::new(usize::MAX) };
+    /// Why the fiber last switched back to the worker.
+    static EXIT: Cell<ExitKind> = const { Cell::new(ExitKind::Finish) };
+    /// Park deadline accompanying an `ExitKind::Park` switch-back.
+    static EXIT_DEADLINE: Cell<Option<Instant>> = const { Cell::new(None) };
+}
+
+/// The fiber the calling thread is currently executing, if it is one.
+pub(crate) fn current_task() -> Option<Arc<Task>> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Is the caller running on a pooled fiber (vs a plain OS thread)?
+pub fn on_fiber() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+/// Switch from the running fiber back to its worker. Returns when (if)
+/// the task is next resumed, possibly on a different worker.
+fn switch_to_worker(task: &Task) {
+    task.check_canary();
+    // Pin mid-unwind fibers to this worker: std's panic count is
+    // thread-local, so an unwind that started here must finish here.
+    let pin = if std::thread::panicking() {
+        WORKER_ID.with(|w| w.get())
+    } else {
+        usize::MAX
+    };
+    // ordering: consumed by the worker under the scheduler lock after the
+    // switch completes.
+    task.pin.store(pin, Ordering::Relaxed);
+    let to = WORKER_RSP.with(|c| c.get());
+    // Safety: `to` is the rsp this worker saved when it switched the fiber
+    // in; the save slot is the task's own, untouched until the switch.
+    unsafe { spsim_ctx_switch(std::ptr::addr_of_mut!((*task.fiber.get()).rsp), to) };
+}
+
+/// Park the running fiber until [`Sched::unpark`] or `deadline`. Returns
+/// true if the park ended by timeout. Must be called from a fiber.
+// liveness: wakeups come from Sched::unpark (queue pushes, condvar
+// notifies, joins) or from the timer heap when `deadline` is set; the
+// worker promotes due timers every scheduling round and fast-forwards the
+// earliest one when the whole pool is quiescent.
+pub(crate) fn park_current(deadline: Option<Instant>) -> bool {
+    let task = current_task().or_diag("park_current outside a fiber");
+    EXIT.with(|e| e.set(ExitKind::Park));
+    EXIT_DEADLINE.with(|d| d.set(deadline));
+    switch_to_worker(&task);
+    // ordering: set by the waking worker before it handed the task back
+    // through the scheduler lock.
+    task.timed_out.load(Ordering::Relaxed)
+}
+
+/// Yield the running fiber to the back of the ready queue; plain
+/// `std::thread::yield_now` when called from an OS thread. The scheduler-
+/// aware replacement for spin-loop yields (e.g. a full delivery ring).
+// liveness: pure yield — the task is immediately runnable again; the
+// condition it spins on is advanced by whichever task the worker runs in
+// the meantime (ring consumers drain on their own tick timers).
+pub fn yield_now() {
+    if current_task().is_some() {
+        EXIT.with(|e| e.set(ExitKind::Yield));
+        let task = current_task().or_diag("yield raced task teardown");
+        switch_to_worker(&task);
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+// -------------------------------------------------------------- scheduler
+
+struct TimerEnt {
+    at: Instant,
+    seq: u64,
+    epoch: u64,
+    task: Arc<Task>,
+}
+
+impl PartialEq for TimerEnt {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for TimerEnt {}
+impl PartialOrd for TimerEnt {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEnt {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest deadline
+        // on top (same inversion as TimedQueue's Entry).
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct SchedState {
+    ready: VecDeque<Arc<Task>>,
+    timers: BinaryHeap<TimerEnt>,
+    timer_seq: u64,
+    /// Tasks currently executing on a worker.
+    running: usize,
+    /// Unfinished tasks (running + ready + parked).
+    live: usize,
+    /// Spawned worker threads.
+    workers: usize,
+    /// Workers with index >= this cap idle (test hook / lowered override).
+    active_cap: usize,
+    /// Eagerly fired timers since the last external progress signal.
+    fired_since_progress: usize,
+    /// Progress epoch snapshot (see `PROGRESS`).
+    seen_progress: u64,
+}
+
+struct Sched {
+    state: Mutex<SchedState>,
+    work_cv: Condvar,
+}
+
+/// Bumped (lock-free) on every event that could unblock a parked task:
+/// condvar notifies, unparks, spawns, finishes. Workers reset the eager
+/// timer budget when they observe a new epoch.
+static PROGRESS: AtomicU64 = AtomicU64::new(0);
+
+/// Record that something happened which might wake a parked task. Called
+/// from notify paths even when no fiber waiter was found, because the
+/// state change it signals is what a parked task's next tick will observe.
+pub(crate) fn note_progress() {
+    // ordering: a monotonic hint, read under the scheduler lock; relaxed
+    // is enough because missing one bump only delays eager firing by a
+    // tick, never changes a virtual-time outcome.
+    PROGRESS.fetch_add(1, Ordering::Relaxed);
+}
+
+static SCHED: OnceLock<Sched> = OnceLock::new();
+
+impl Sched {
+    fn get() -> Option<&'static Sched> {
+        SCHED.get()
+    }
+
+    fn global() -> &'static Sched {
+        SCHED.get_or_init(|| Sched {
+            state: Mutex::new(SchedState {
+                ready: VecDeque::new(),
+                timers: BinaryHeap::new(),
+                timer_seq: 0,
+                running: 0,
+                live: 0,
+                workers: 0,
+                active_cap: worker_cap(),
+                fired_since_progress: 0,
+                seen_progress: 0,
+            }),
+            work_cv: Condvar::new(),
+        })
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SchedState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Spawn worker threads up to `target` (never shrinks; a lowered cap
+    /// just idles the excess).
+    fn ensure_workers(&'static self, st: &mut SchedState, target: usize) {
+        while st.workers < target {
+            let wi = st.workers;
+            std::thread::Builder::new()
+                .name(format!("spsim-worker-{wi}"))
+                .spawn(move || self.worker_loop(wi))
+                .or_diag("spawn scheduler worker");
+            st.workers += 1;
+        }
+    }
+
+    /// Enqueue a new task on the pool.
+    fn spawn_task(&'static self, task: Arc<Task>) {
+        let mut st = self.lock();
+        st.live += 1;
+        st.active_cap = worker_cap();
+        let target = st.live.clamp(1, st.active_cap);
+        self.ensure_workers(&mut st, target);
+        st.ready.push_back(task);
+        drop(st);
+        note_progress();
+        self.work_cv.notify_one();
+    }
+
+    /// Make a parked task runnable (or leave it a wake token if it has not
+    /// finished parking yet). `timed_out=false` marks a genuine notify.
+    fn unpark(&self, task: &Arc<Task>) {
+        let mut st = self.lock();
+        // ordering: both flags are only flipped under the scheduler lock.
+        if task.parked.swap(false, Ordering::Relaxed) {
+            task.timed_out.store(false, Ordering::Relaxed);
+            st.ready.push_back(Arc::clone(task));
+            // ordering: pin writes happen-before via the scheduler lock.
+            let pinned = task.pin.load(Ordering::Relaxed) != usize::MAX;
+            drop(st);
+            note_progress();
+            // A pinned task can only run on one worker — wake them all so
+            // the right one sees it.
+            if pinned {
+                self.work_cv.notify_all();
+            } else {
+                self.work_cv.notify_one();
+            }
+        } else {
+            // ordering: wake token is read back under the same lock.
+            task.notified.store(true, Ordering::Relaxed);
+            drop(st);
+            note_progress();
+        }
+    }
+
+    /// Pop the first ready task this worker may run (pin-aware).
+    fn pop_ready(st: &mut SchedState, wi: usize) -> Option<Arc<Task>> {
+        let idx = st.ready.iter().position(|t| {
+            // ordering: pins are written before the task re-enters the
+            // ready queue via the scheduler lock.
+            let p = t.pin.load(Ordering::Relaxed);
+            p == usize::MAX || p == wi
+        })?;
+        st.ready.remove(idx)
+    }
+
+    /// Move every wall-clock-due (or stale) timer out of the heap; due
+    /// tasks become ready with `timed_out` set.
+    fn promote_due(&self, st: &mut SchedState, now: Instant) {
+        while let Some(top) = st.timers.peek() {
+            if top.at > now {
+                break;
+            }
+            let ent = st.timers.pop().or_diag("peeked timer vanished");
+            if Self::timer_valid(&ent) {
+                // ordering: flags flipped under the scheduler lock; the
+                // resumed fiber observes timed_out via the lock hand-off.
+                ent.task.parked.store(false, Ordering::Relaxed);
+                ent.task.timed_out.store(true, Ordering::Relaxed);
+                st.ready.push_back(ent.task);
+            }
+        }
+    }
+
+    fn timer_valid(ent: &TimerEnt) -> bool {
+        // ordering: checked under the scheduler lock that also guards
+        // parking, so the epoch cannot advance mid-check.
+        ent.task.parked.load(Ordering::Relaxed)
+            && ent.task.park_epoch.load(Ordering::Relaxed) == ent.epoch
+    }
+
+    /// Earliest still-valid deadline, if any (stale heads are discarded).
+    fn earliest_deadline(st: &mut SchedState) -> Option<Instant> {
+        while let Some(top) = st.timers.peek() {
+            if Self::timer_valid(top) {
+                return Some(top.at);
+            }
+            st.timers.pop();
+        }
+        None
+    }
+
+    fn worker_loop(&'static self, wi: usize) {
+        WORKER_ID.with(|w| w.set(wi));
+        loop {
+            let task = {
+                let mut st = self.lock();
+                loop {
+                    if wi >= st.active_cap {
+                        st = self.work_cv.wait(st).unwrap_or_else(|e| e.into_inner());
+                        continue;
+                    }
+                    // ordering: a progress epoch change resets the eager
+                    // budget; relaxed is fine (see note_progress).
+                    let ep = PROGRESS.load(Ordering::Relaxed);
+                    if ep != st.seen_progress {
+                        st.seen_progress = ep;
+                        st.fired_since_progress = 0;
+                    }
+                    self.promote_due(&mut st, Instant::now());
+                    if let Some(t) = Self::pop_ready(&mut st, wi) {
+                        st.running += 1;
+                        break t;
+                    }
+                    // Quiescent fast-forward: nothing runnable anywhere —
+                    // wall sleeping cannot change the virtual outcome, so
+                    // fire the earliest deadline now. The budget (one
+                    // cycle of pending timers per progress signal) keeps a
+                    // genuine no-progress state at legacy wall pacing.
+                    if st.running == 0
+                        && st.ready.is_empty()
+                        && st.fired_since_progress < st.timers.len()
+                    {
+                        if let Some(ent) = Self::pop_valid_timer(&mut st) {
+                            st.fired_since_progress += 1;
+                            // ordering: under the scheduler lock, as above.
+                            let p = ent.task.pin.load(Ordering::Relaxed);
+                            ent.task.parked.store(false, Ordering::Relaxed);
+                            ent.task.timed_out.store(true, Ordering::Relaxed);
+                            if p == usize::MAX || p == wi {
+                                st.running += 1;
+                                break ent.task;
+                            }
+                            st.ready.push_back(ent.task);
+                            drop(st);
+                            self.work_cv.notify_all();
+                            st = self.lock();
+                            continue;
+                        }
+                    }
+                    match Self::earliest_deadline(&mut st) {
+                        Some(d) => {
+                            let now = Instant::now();
+                            if d > now {
+                                let (g, _) = self
+                                    .work_cv
+                                    .wait_timeout(st, d - now)
+                                    .unwrap_or_else(|e| e.into_inner());
+                                st = g;
+                            }
+                        }
+                        // liveness: woken by spawn_task/unpark/set_worker_cap
+                        // notifies; with no pending timers there is nothing
+                        // to time out toward.
+                        None => st = self.work_cv.wait(st).unwrap_or_else(|e| e.into_inner()),
+                    }
+                }
+            };
+            self.run_task(task, wi);
+        }
+    }
+
+    fn pop_valid_timer(st: &mut SchedState) -> Option<TimerEnt> {
+        while let Some(ent) = st.timers.pop() {
+            if Self::timer_valid(&ent) {
+                return Some(ent);
+            }
+        }
+        None
+    }
+
+    /// Switch a task in; on switch-back, apply its exit protocol. The park
+    /// transition is completed *here*, on the worker side, after the
+    /// fiber's context is fully saved — so a task can never be resumed by
+    /// another worker while its registers are still in flight.
+    fn run_task(&'static self, task: Arc<Task>, _wi: usize) {
+        CURRENT.with(|c| *c.borrow_mut() = Some(Arc::clone(&task)));
+        // Safety: this worker owns the task until the switch back; rsp was
+        // staged by init_frame or the task's last switch-out.
+        let restore = unsafe { (*task.fiber.get()).rsp };
+        let save = WORKER_RSP.with(|c| c.as_ptr());
+        unsafe { spsim_ctx_switch(save, restore) };
+        CURRENT.with(|c| *c.borrow_mut() = None);
+        let exit = EXIT.with(|e| e.get());
+        match exit {
+            ExitKind::Yield => {
+                let mut st = self.lock();
+                st.running -= 1;
+                st.ready.push_back(task);
+                drop(st);
+                self.work_cv.notify_one();
+            }
+            ExitKind::Park => {
+                let deadline = EXIT_DEADLINE.with(|d| d.take());
+                let mut st = self.lock();
+                st.running -= 1;
+                // ordering: the wake-token handshake is serialized by the
+                // scheduler lock (see Sched::unpark).
+                if task.notified.swap(false, Ordering::Relaxed) {
+                    // Unparked before the park completed: run again soon.
+                    // ordering: still under the scheduler lock.
+                    task.timed_out.store(false, Ordering::Relaxed);
+                    st.ready.push_back(task);
+                    drop(st);
+                    self.work_cv.notify_one();
+                } else {
+                    // ordering: park flag and epoch flip under the lock;
+                    // timer validation re-reads them under the same lock.
+                    task.parked.store(true, Ordering::Relaxed);
+                    let epoch = task.park_epoch.fetch_add(1, Ordering::Relaxed) + 1;
+                    if let Some(at) = deadline {
+                        st.timer_seq += 1;
+                        let seq = st.timer_seq;
+                        let is_new_min = st.timers.peek().is_none_or(|t| at < t.at);
+                        st.timers.push(TimerEnt {
+                            at,
+                            seq,
+                            epoch,
+                            task,
+                        });
+                        drop(st);
+                        if is_new_min {
+                            // Sleeping workers hold a stale earliest
+                            // deadline; refresh them.
+                            self.work_cv.notify_all();
+                        }
+                    }
+                }
+            }
+            ExitKind::Finish => {
+                {
+                    let mut st = self.lock();
+                    st.running -= 1;
+                    st.live -= 1;
+                }
+                let waiters = {
+                    let mut done = task.done.lock().unwrap_or_else(|e| e.into_inner());
+                    done.finished = true;
+                    std::mem::take(&mut done.fiber_waiters)
+                };
+                task.done_cv.notify_all();
+                note_progress();
+                for w in &waiters {
+                    self.unpark(w);
+                }
+                self.work_cv.notify_one();
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------ public API
+
+/// Spawn a closure as a pooled task. Used by `spsim::runtime` for node
+/// bodies and service loops; not exposed outside the crate.
+pub(crate) fn spawn(name: String, f: Box<dyn FnOnce() + Send + 'static>) -> Arc<Task> {
+    let task = Task::new(name, f);
+    Sched::global().spawn_task(Arc::clone(&task));
+    task
+}
+
+/// Wait until `task` finishes. Parks when called from a fiber, blocks on
+/// the task's condvar from a plain thread (e.g. a unit test's main thread
+/// dropping a context).
+// liveness: the joined task's Finish transition notifies `done_cv` and
+// unparks every registered fiber waiter.
+pub(crate) fn join_task(task: &Arc<Task>) {
+    if let Some(me) = current_task() {
+        loop {
+            {
+                let mut done = task.done.lock().unwrap_or_else(|e| e.into_inner());
+                if done.finished {
+                    return;
+                }
+                done.fiber_waiters.push(Arc::clone(&me));
+            }
+            park_current(None);
+        }
+    } else {
+        let mut done = task.done.lock().unwrap_or_else(|e| e.into_inner());
+        while !done.finished {
+            done = task.done_cv.wait(done).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// Take the panic payload a finished task died with, if any.
+pub(crate) fn take_panic(task: &Arc<Task>) -> Option<Box<dyn Any + Send + 'static>> {
+    task.done
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .panic
+        .take()
+}
+
+// -------------------------------------------------------------- condvar
+
+/// Result of a timed [`SimCondvar`] wait (API-compatible with
+/// `parking_lot::WaitTimeoutResult`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimWaitTimeoutResult(bool);
+
+impl SimWaitTimeoutResult {
+    /// Did the wait end because the timeout elapsed?
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// Scheduler-aware condition variable.
+///
+/// Drop-in for `parking_lot::Condvar` at every blocking point in simulated
+/// code: a fiber caller registers as a waiter and parks through the pool
+/// (releasing the caller's lock via `MutexGuard::unlocked`), a plain
+/// thread falls through to an ordinary condvar wait. Notifies wake one or
+/// all of *both* kinds of waiter, so mixed jobs — fiber services with a
+/// thread-driven harness, or the `SPSIM_SCHED=threads` legacy mode — need
+/// no special-casing at call sites.
+#[derive(Default)]
+pub struct SimCondvar {
+    raw: parking_lot::Condvar,
+    fibers: Mutex<VecDeque<Arc<Task>>>,
+    /// Registered fiber waiters, mirrored outside the deque lock so the
+    /// (hot) notify path of a condvar with no fiber waiters — every
+    /// `TimedQueue` push from a plain thread, for instance — skips the
+    /// lock entirely. Incremented before the caller's mutex is released in
+    /// `fiber_wait`, so a registration that happens-before a notify (via
+    /// that mutex) is always visible to the notifier's load.
+    nfibers: AtomicUsize,
+}
+
+impl SimCondvar {
+    /// Create a new condition variable.
+    pub const fn new() -> Self {
+        SimCondvar {
+            raw: parking_lot::Condvar::new(),
+            fibers: Mutex::new(VecDeque::new()),
+            nfibers: AtomicUsize::new(0),
+        }
+    }
+
+    fn waiters(&self) -> std::sync::MutexGuard<'_, VecDeque<Arc<Task>>> {
+        self.fibers.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Register, release the caller's lock, park; deregister on the way
+    /// out whatever ended the park.
+    fn fiber_wait(
+        &self,
+        me: Arc<Task>,
+        guard_unlock: impl FnOnce(&dyn Fn() -> bool) -> bool,
+        deadline: Option<Instant>,
+    ) -> bool {
+        {
+            let mut w = self.waiters();
+            // ordering: SeqCst pairs with the notify fast-path load; the
+            // increment lands before the caller's mutex is released below.
+            self.nfibers.fetch_add(1, Ordering::SeqCst);
+            w.push_back(Arc::clone(&me));
+        }
+        let timed_out = guard_unlock(&|| park_current(deadline));
+        // Always deregister: a park can also end spuriously (a stale wake
+        // token from an earlier timed-out wait), and leaving the entry
+        // behind would let a later notify_one be absorbed by a waiter that
+        // already left — starving a genuine one.
+        let still_registered = {
+            let mut w = self.waiters();
+            match w.iter().position(|t| Arc::ptr_eq(t, &me)) {
+                Some(i) => {
+                    w.remove(i);
+                    // ordering: as at registration; the popper decrements
+                    // otherwise.
+                    self.nfibers.fetch_sub(1, Ordering::SeqCst);
+                    true
+                }
+                None => false,
+            }
+        };
+        if !still_registered && timed_out {
+            // A notifier popped us concurrently with our timeout and spent
+            // its notify on a waiter that is giving up — pass it on so the
+            // wakeup is not lost.
+            self.notify_one();
+        }
+        timed_out
+    }
+
+    /// Block until notified; the guard is released while waiting and
+    /// re-acquired before returning.
+    // liveness: woken by notify_one/notify_all from whichever task flips
+    // the condition the caller re-checks in its wait loop.
+    pub fn wait<T>(&self, guard: &mut parking_lot::MutexGuard<'_, T>) {
+        match current_task() {
+            Some(me) => {
+                self.fiber_wait(
+                    me,
+                    |park| parking_lot::MutexGuard::unlocked(guard, park),
+                    None,
+                );
+            }
+            None => self.raw.wait(guard),
+        }
+    }
+
+    /// Block until notified or `timeout` elapses.
+    // liveness: notify wakeups as in `wait`; the deadline additionally
+    // feeds the scheduler timer heap (promoted when due or quiescent).
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut parking_lot::MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> SimWaitTimeoutResult {
+        self.wait_until(guard, Instant::now() + timeout)
+    }
+
+    /// Block until notified or the `deadline` instant passes.
+    // liveness: notify wakeups as in `wait`; the deadline additionally
+    // feeds the scheduler timer heap (promoted when due or quiescent).
+    pub fn wait_until<T>(
+        &self,
+        guard: &mut parking_lot::MutexGuard<'_, T>,
+        deadline: Instant,
+    ) -> SimWaitTimeoutResult {
+        match current_task() {
+            Some(me) => {
+                if deadline <= Instant::now() {
+                    return SimWaitTimeoutResult(true);
+                }
+                let timed_out = self.fiber_wait(
+                    me,
+                    |park| parking_lot::MutexGuard::unlocked(guard, park),
+                    Some(deadline),
+                );
+                SimWaitTimeoutResult(timed_out)
+            }
+            None => SimWaitTimeoutResult(self.raw.wait_until(guard, deadline).timed_out()),
+        }
+    }
+
+    /// Wake one waiter (fiber or thread).
+    pub fn notify_one(&self) {
+        // ordering: SeqCst pairs with the registration increment; a zero
+        // here means no fiber registered-before this notify, so the deque
+        // lock can be skipped (the raw notify below still covers threads).
+        if self.nfibers.load(Ordering::SeqCst) == 0 {
+            if Sched::get().is_some() {
+                // No fiber was registered yet, but a parked task's next
+                // tick will observe whatever state change this signals.
+                note_progress();
+            }
+            self.raw.notify_one();
+            return;
+        }
+        let w = {
+            let mut ws = self.waiters();
+            let t = ws.pop_front();
+            if t.is_some() {
+                // ordering: as at registration.
+                self.nfibers.fetch_sub(1, Ordering::SeqCst);
+            }
+            t
+        };
+        if let Some(t) = w {
+            if let Some(s) = Sched::get() {
+                s.unpark(&t);
+            }
+        } else if Sched::get().is_some() {
+            note_progress();
+        }
+        self.raw.notify_one();
+    }
+
+    /// Wake all waiters (fibers and threads).
+    pub fn notify_all(&self) {
+        // ordering: see notify_one.
+        if self.nfibers.load(Ordering::SeqCst) == 0 {
+            if Sched::get().is_some() {
+                note_progress();
+            }
+            self.raw.notify_all();
+            return;
+        }
+        let drained: Vec<_> = {
+            let mut ws = self.waiters();
+            let d: Vec<_> = ws.drain(..).collect();
+            // ordering: as at registration.
+            self.nfibers.fetch_sub(d.len(), Ordering::SeqCst);
+            d
+        };
+        if let Some(s) = Sched::get() {
+            if drained.is_empty() {
+                note_progress();
+            }
+            for t in &drained {
+                s.unpark(t);
+            }
+        }
+        self.raw.notify_all();
+    }
+}
+
+impl std::fmt::Debug for SimCondvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SimCondvar")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex as PlMutex;
+
+    fn spawn_fn(name: &str, f: impl FnOnce() + Send + 'static) -> Arc<Task> {
+        spawn(name.to_string(), Box::new(f))
+    }
+
+    #[test]
+    fn task_runs_and_joins() {
+        let hit = Arc::new(AtomicBool::new(false));
+        let h2 = Arc::clone(&hit);
+        let t = spawn_fn("t-basic", move || h2.store(true, Ordering::SeqCst));
+        join_task(&t);
+        assert!(hit.load(Ordering::SeqCst));
+        assert!(t.is_finished());
+        assert!(take_panic(&t).is_none());
+    }
+
+    #[test]
+    fn panic_payload_is_captured() {
+        let t = spawn_fn("t-panic", || panic!("fiber exploded"));
+        join_task(&t);
+        let p = take_panic(&t).expect("panic recorded");
+        let msg = p.downcast_ref::<&str>().expect("str payload");
+        assert_eq!(*msg, "fiber exploded");
+    }
+
+    #[test]
+    fn many_tasks_on_one_pool_interleave() {
+        let n = 64;
+        let count = Arc::new(AtomicUsize::new(0));
+        let tasks: Vec<_> = (0..n)
+            .map(|i| {
+                let c = Arc::clone(&count);
+                spawn_fn(&format!("t-many-{i}"), move || {
+                    for _ in 0..3 {
+                        yield_now();
+                    }
+                    c.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for t in &tasks {
+            join_task(t);
+        }
+        assert_eq!(count.load(Ordering::SeqCst), n);
+    }
+
+    #[test]
+    fn simcondvar_handoff_between_fibers() {
+        struct Board {
+            m: PlMutex<u32>,
+            cv: SimCondvar,
+        }
+        let b = Arc::new(Board {
+            m: PlMutex::new(0),
+            cv: SimCondvar::new(),
+        });
+        let (b1, b2) = (Arc::clone(&b), Arc::clone(&b));
+        let consumer = spawn_fn("t-cv-consumer", move || {
+            let mut v = b1.m.lock();
+            while *v < 3 {
+                b1.cv.wait(&mut v);
+            }
+        });
+        let producer = spawn_fn("t-cv-producer", move || {
+            for _ in 0..3 {
+                *b2.m.lock() += 1;
+                b2.cv.notify_one();
+                yield_now();
+            }
+        });
+        join_task(&producer);
+        join_task(&consumer);
+        assert_eq!(*b.m.lock(), 3);
+    }
+
+    #[test]
+    fn quiescent_pool_fast_forwards_tick_timers() {
+        // A fiber whose ticks do productive work (signalled by a notify,
+        // like a barrier's progress drain) needs 40 ms of wall pacing under
+        // the legacy runtime; the quiescent pool fast-forwards each tick.
+        let m = Arc::new(PlMutex::new(()));
+        let cv = Arc::new(SimCondvar::new());
+        let drained = Arc::new(SimCondvar::new());
+        let (m2, cv2, d2) = (Arc::clone(&m), Arc::clone(&cv), Arc::clone(&drained));
+        let started = Instant::now();
+        let t = spawn_fn("t-ticker", move || {
+            let mut g = m2.lock();
+            for _ in 0..8 {
+                let r = cv2.wait_for(&mut g, Duration::from_millis(5));
+                assert!(r.timed_out());
+                // The progress signal a real tick's drain would emit; it
+                // re-arms the pool's eager-fire budget.
+                d2.notify_one();
+            }
+        });
+        join_task(&t);
+        assert!(
+            started.elapsed() < Duration::from_millis(30),
+            "eager firing should beat wall pacing, took {:?}",
+            started.elapsed()
+        );
+    }
+
+    #[test]
+    fn simcondvar_wait_from_plain_thread_still_works() {
+        let m = PlMutex::new(());
+        let cv = SimCondvar::new();
+        let mut g = m.lock();
+        assert!(cv.wait_for(&mut g, Duration::from_millis(2)).timed_out());
+    }
+}

@@ -32,10 +32,11 @@ use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering}
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::Mutex;
 
 use crate::clock::VClock;
 use crate::queue::{QueueClosed, Stamped, TimedQueue, DEFAULT_ESCAPE};
+use crate::sched::SimCondvar;
 use crate::time::VTime;
 
 /// How long a producer spins on a full ring before yielding the CPU.
@@ -133,7 +134,7 @@ struct RingsInner<T> {
     staged: Mutex<BinaryHeap<Entry<T>>>,
     /// Park/wake handshake for blocked consumers (see `recv_merge`).
     park: Mutex<()>,
-    cond: Condvar,
+    cond: SimCondvar,
     waiters: AtomicUsize,
 }
 
@@ -214,7 +215,7 @@ impl<T: Send> DeliveryRings<T> {
                 closed: AtomicBool::new(false),
                 staged: Mutex::new(BinaryHeap::new()),
                 park: Mutex::new(()),
-                cond: Condvar::new(),
+                cond: SimCondvar::new(),
                 waiters: AtomicUsize::new(0),
             }),
             escape,
@@ -272,7 +273,9 @@ impl<T: Send> DeliveryRings<T> {
             }
             spins += 1;
             if spins > FULL_SPINS {
-                std::thread::yield_now();
+                // Scheduler-aware: a fiber producer must give the (possibly
+                // sole) worker back to the consumer that drains this ring.
+                crate::sched::yield_now();
                 let now = Instant::now();
                 let dl = *deadline.get_or_insert(now + self.escape);
                 if now >= dl {

@@ -23,8 +23,10 @@ const ENTRY_NAMES: &[&str] = &[
     "progress",
 ];
 
-/// The one module allowed to touch raw OS threads (A4).
-const RUNTIME_HOME: &str = "crates/sim/src/runtime.rs";
+/// The modules allowed to touch raw OS threads (A4): the SPMD runtime
+/// (legacy thread-per-node path, service threads) and the M:N scheduler
+/// (worker pool, fiber park/unpark, the `SimCondvar` thread fallback).
+const THREAD_HOMES: &[&str] = &["crates/sim/src/runtime.rs", "crates/sim/src/sched.rs"];
 
 /// Run all four interprocedural rules. `lines` maps each real path to its
 /// source lines (used to honor existing L1 suppressions when computing
@@ -468,13 +470,16 @@ fn rule_a3(ws: &Workspace, out: &mut Vec<Finding>) {
 
 // --------------------------------------------------------------------- A4
 
-/// Raw OS-thread primitives outside `spsim::runtime`. M:N node scheduling
-/// (ROADMAP item 1) requires every simulated thread to be created and
-/// joined by the runtime, so `thread::spawn`/`Builder`/`scope` and
-/// `JoinHandle` are banned in virtual-time crates everywhere else.
+/// Raw OS-thread primitives outside `spsim::runtime`/`spsim::sched`. M:N
+/// node scheduling (ROADMAP item 1) requires every simulated thread to be
+/// created and joined by the runtime, so `thread::spawn`/`Builder`/`scope`
+/// and `JoinHandle` are banned in virtual-time crates everywhere else.
+/// Blocking primitives — `thread::park`/`park_timeout` and raw `Condvar`
+/// waits — are banned too: they pin a pooled worker without yielding to the
+/// scheduler, which livelocks a single-worker pool.
 fn rule_a4(ws: &Workspace, out: &mut Vec<Finding>) {
     for (real, effective, sites) in &ws.spawns {
-        if effective == RUNTIME_HOME {
+        if THREAD_HOMES.contains(&effective.as_str()) {
             continue;
         }
         if !classify(effective).unwrap_or_default().virtual_time {
@@ -482,16 +487,26 @@ fn rule_a4(ws: &Workspace, out: &mut Vec<Finding>) {
         }
         let stem = crate::parser::stem_of(effective);
         for s in sites {
+            let advice = if matches!(s.what.as_str(), "thread::park" | "thread::park_timeout") {
+                "these bypass the scheduler's yield points and pin a pooled \
+                 worker; block through `spsim::SimCondvar` or the runtime's \
+                 queues instead"
+            } else if s.what == "Condvar" {
+                "a raw condvar wait pins a pooled worker without yielding; \
+                 use `spsim::SimCondvar`, which parks fibers scheduler-side"
+            } else {
+                "only spsim::runtime may create or hold threads; use \
+                 `spsim::runtime::spawn_service`/`ServiceHandle`"
+            };
             out.push(Finding {
                 rule: Rule::A4,
                 path: real.clone(),
                 line: s.line,
                 msg: format!(
-                    "raw OS-thread primitive `{}` in simulated code ({} crate) — \
-                     only spsim::runtime may create or hold threads; use \
-                     `spsim::runtime::spawn_service`/`ServiceHandle`",
+                    "raw OS-thread primitive `{}` in simulated code ({} crate) — {}",
                     s.what,
-                    crate_of(effective)
+                    crate_of(effective),
+                    advice
                 ),
                 witness: vec![Hop {
                     label: format!("{}::{}", stem, s.what),

@@ -611,7 +611,11 @@ fn guard_binding(
 }
 
 /// File-wide A4 scan: raw OS-thread primitives anywhere in the token
-/// stream, including struct fields and `use` declarations.
+/// stream, including struct fields and `use` declarations. Besides thread
+/// creation, this also collects the primitives that *block* an OS thread
+/// behind the scheduler's back — `thread::park`/`park_timeout` and raw
+/// `Condvar` waits — which would pin a pooled worker instead of yielding
+/// the fiber (use `spsim::SimCondvar` / the runtime's park instead).
 fn scan_spawns(toks: &[Token], out: &mut ParsedFile) {
     for (i, t) in toks.iter().enumerate() {
         let Tok::Ident(w) = &t.tok else { continue };
@@ -620,7 +624,11 @@ fn scan_spawns(toks: &[Token], out: &mut ParsedFile) {
                 line: t.line,
                 what: "JoinHandle".into(),
             }),
-            "spawn" | "scope" | "Builder" | "spawn_scoped"
+            "Condvar" => out.spawns.push(SpawnSite {
+                line: t.line,
+                what: "Condvar".into(),
+            }),
+            "spawn" | "scope" | "Builder" | "spawn_scoped" | "park" | "park_timeout"
                 if i >= 3
                     && is_punct(toks.get(i - 1), ':')
                     && is_punct(toks.get(i - 2), ':')

@@ -1,0 +1,20 @@
+// lint-as: crates/mpl/src/engine.rs
+//! Fixture: A4 — blocking primitives that pin a pooled worker. Under M:N
+//! scheduling a node fiber that calls `thread::park` (or waits on a raw
+//! `Condvar`) blocks the OS worker itself instead of yielding, which
+//! livelocks a single-worker pool. Simulated code must block through
+//! `spsim::SimCondvar`, whose fiber path parks scheduler-side.
+
+use std::sync::Condvar;
+
+pub struct Waiter {
+    cv: Condvar,
+}
+
+pub fn wait_for_packet() {
+    std::thread::park();
+}
+
+pub fn wait_with_deadline() {
+    std::thread::park_timeout(std::time::Duration::from_millis(5));
+}

@@ -1,0 +1,14 @@
+// lint-as: crates/sim/src/sched.rs
+//! Fixture: clean under A4 — the scheduler itself is a sanctioned thread
+//! home. Its worker pool legitimately parks OS threads and falls back to a
+//! raw `Condvar` for plain (non-fiber) callers of `SimCondvar`.
+
+use std::sync::Condvar;
+
+pub struct WorkerPark {
+    cv: Condvar,
+}
+
+pub fn idle_worker() {
+    std::thread::park_timeout(std::time::Duration::from_millis(5));
+}

@@ -181,6 +181,28 @@ fn a4_bans_raw_threads_outside_runtime() {
 }
 
 #[test]
+fn a4_bans_park_and_raw_condvar_outside_scheduler() {
+    // Blocking primitives pin a pooled worker without yielding: two
+    // `Condvar` mentions (import + field) plus park and park_timeout.
+    let f = analyze_fixtures(&["a4_park_bad.rs"], &Allowlist::default());
+    assert_eq!(f.len(), 4, "2×Condvar + park + park_timeout: {f:?}");
+    assert!(f.iter().all(|x| x.rule == Rule::A4));
+    assert!(
+        f.iter()
+            .any(|x| x.msg.contains("thread::park") && x.msg.contains("SimCondvar")),
+        "park findings steer to SimCondvar: {f:?}"
+    );
+    assert!(
+        f.iter()
+            .any(|x| x.msg.contains("`Condvar`") && x.msg.contains("parks fibers")),
+        "condvar findings explain the fiber path: {f:?}"
+    );
+    // The scheduler is a sanctioned home: parking workers and the raw
+    // condvar fallback live there by design.
+    assert!(analyze_fixtures(&["a4_park_ok.rs"], &Allowlist::default()).is_empty());
+}
+
+#[test]
 fn conservative_resolution_covers_dynamic_calls() {
     // Trait-object and generic calls degrade to name-match, closures fold
     // into their enclosing fn, and calls resolve across crate boundaries.
@@ -339,6 +361,7 @@ fn binary_exits_nonzero_on_each_bad_fixture_and_zero_on_workspace() {
         "a2_bad.rs",
         "a3_bad.rs",
         "a4_bad.rs",
+        "a4_park_bad.rs",
     ] {
         let (path, _) = fixture(name);
         let out = Command::new(bin)
@@ -354,8 +377,17 @@ fn binary_exits_nonzero_on_each_bad_fixture_and_zero_on_workspace() {
         assert!(!out.stdout.is_empty(), "{name}: findings printed");
     }
     for name in [
-        "l1_ok.rs", "l2_ok.rs", "l3_ok.rs", "l4_ok.rs", "l5_ok.rs", "l6_ok.rs", "a1_ok.rs",
-        "a2_ok.rs", "a3_ok.rs", "a4_ok.rs",
+        "l1_ok.rs",
+        "l2_ok.rs",
+        "l3_ok.rs",
+        "l4_ok.rs",
+        "l5_ok.rs",
+        "l6_ok.rs",
+        "a1_ok.rs",
+        "a2_ok.rs",
+        "a3_ok.rs",
+        "a4_ok.rs",
+        "a4_park_ok.rs",
     ] {
         let (path, _) = fixture(name);
         let out = Command::new(bin)

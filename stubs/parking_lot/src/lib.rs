@@ -21,7 +21,28 @@ use std::time::{Duration, Instant};
 pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
 
 /// RAII guard for [`Mutex`]. Releases the lock on drop.
-pub struct MutexGuard<'a, T: ?Sized>(Option<std::sync::MutexGuard<'a, T>>);
+///
+/// Carries a back-reference to the owning lock so [`MutexGuard::unlocked`]
+/// can temporarily release and re-acquire it (the real `parking_lot` offers
+/// the same associated function).
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a std::sync::Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<'a, T: ?Sized> MutexGuard<'a, T> {
+    /// Temporarily unlock the mutex, run `f`, and re-lock before returning.
+    ///
+    /// This is the seam the simulator's scheduler-aware condvar needs: a
+    /// fiber must release the caller's lock while it parks, then reacquire
+    /// it on wake, without giving up the guard-based API at call sites.
+    pub fn unlocked<U>(s: &mut Self, f: impl FnOnce() -> U) -> U {
+        s.inner.take();
+        let out = f();
+        s.inner = Some(s.lock.lock().unwrap_or_else(|e| e.into_inner()));
+        out
+    }
+}
 
 impl<T> Mutex<T> {
     /// Create a new mutex protecting `t`.
@@ -38,14 +59,23 @@ impl<T> Mutex<T> {
 impl<T: ?Sized> Mutex<T> {
     /// Acquire the lock, blocking until available.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        MutexGuard(Some(self.0.lock().unwrap_or_else(|e| e.into_inner())))
+        MutexGuard {
+            lock: &self.0,
+            inner: Some(self.0.lock().unwrap_or_else(|e| e.into_inner())),
+        }
     }
 
     /// Try to acquire the lock without blocking.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
         match self.0.try_lock() {
-            Ok(g) => Some(MutexGuard(Some(g))),
-            Err(std::sync::TryLockError::Poisoned(e)) => Some(MutexGuard(Some(e.into_inner()))),
+            Ok(g) => Some(MutexGuard {
+                lock: &self.0,
+                inner: Some(g),
+            }),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(MutexGuard {
+                lock: &self.0,
+                inner: Some(e.into_inner()),
+            }),
             Err(std::sync::TryLockError::WouldBlock) => None,
         }
     }
@@ -71,13 +101,17 @@ impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
 impl<'a, T: ?Sized> Deref for MutexGuard<'a, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        self.0.as_ref().expect("guard taken during condvar wait")
+        self.inner
+            .as_ref()
+            .expect("guard taken during condvar wait")
     }
 }
 
 impl<'a, T: ?Sized> DerefMut for MutexGuard<'a, T> {
     fn deref_mut(&mut self) -> &mut T {
-        self.0.as_mut().expect("guard taken during condvar wait")
+        self.inner
+            .as_mut()
+            .expect("guard taken during condvar wait")
     }
 }
 
@@ -105,9 +139,9 @@ impl Condvar {
     /// Block until notified; the guard is released while waiting and
     /// re-acquired before returning.
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
-        let g = guard.0.take().expect("guard already taken");
+        let g = guard.inner.take().expect("guard already taken");
         let g = self.0.wait(g).unwrap_or_else(|e| e.into_inner());
-        guard.0 = Some(g);
+        guard.inner = Some(g);
     }
 
     /// Block until notified or `timeout` elapses.
@@ -116,12 +150,12 @@ impl Condvar {
         guard: &mut MutexGuard<'_, T>,
         timeout: Duration,
     ) -> WaitTimeoutResult {
-        let g = guard.0.take().expect("guard already taken");
+        let g = guard.inner.take().expect("guard already taken");
         let (g, res) = self
             .0
             .wait_timeout(g, timeout)
             .unwrap_or_else(|e| e.into_inner());
-        guard.0 = Some(g);
+        guard.inner = Some(g);
         WaitTimeoutResult(res.timed_out())
     }
 
